@@ -1,0 +1,88 @@
+"""Ablation — term-evaluation backend of Algorithm 1 (tensor network vs statevector).
+
+Each substituted term of the approximation algorithm can be evaluated either
+by contracting the two split tensor networks (scales to large qubit counts)
+or by dense statevector propagation (cheaper for small registers).  Both must
+agree exactly; this ablation quantifies the crossover at reproduction scale
+and doubles as an MPS-vs-truncation comparison for the noiseless part.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once, write_report
+from repro.analysis import format_table
+from repro.circuits.library import qaoa_circuit, supremacy_circuit
+from repro.core import ApproximateNoisySimulator
+from repro.noise import NoiseModel, depolarizing_channel
+from repro.simulators import MPSSimulator, StatevectorSimulator
+
+_rows: dict = {}
+
+
+def _noisy(num_qubits):
+    ideal = qaoa_circuit(num_qubits, seed=29, native_gates=False)
+    return NoiseModel(depolarizing_channel(0.001), seed=29).insert_random(ideal, 4)
+
+
+@pytest.mark.parametrize("backend", ["tn", "statevector"])
+@pytest.mark.parametrize("num_qubits", [4, 9])
+def test_ablation_backend(benchmark, num_qubits, backend):
+    circuit = _noisy(num_qubits)
+    simulator = ApproximateNoisySimulator(level=1, backend=backend)
+
+    def run():
+        start = time.perf_counter()
+        result = simulator.fidelity(circuit)
+        return result.value, time.perf_counter() - start
+
+    value, elapsed = run_once(benchmark, run)
+    _rows.setdefault(num_qubits, {})[backend] = (value, elapsed)
+
+
+def test_ablation_mps_bond_dimension(benchmark):
+    """Bond-truncation (MPS) as the alternative SVD-based approximation axis."""
+    circuit = supremacy_circuit(2, 3, 8, seed=3)
+    exact = StatevectorSimulator().run(circuit)
+
+    def run():
+        rows = []
+        for bond in (2, 4, 8, None):
+            start = time.perf_counter()
+            mps = MPSSimulator(max_bond_dim=bond).run(circuit)
+            elapsed = time.perf_counter() - start
+            psi = mps.to_statevector()
+            psi = psi / np.linalg.norm(psi)
+            infidelity = 1.0 - abs(np.vdot(exact, psi)) ** 2
+            rows.append([bond if bond else "exact", elapsed, infidelity])
+        return rows
+
+    rows = run_once(benchmark, run)
+    table = format_table(
+        ["Max bond dim", "Time (s)", "Infidelity"],
+        rows,
+        title="Ablation: MPS bond-dimension truncation on inst_2x3_8 (noiseless)",
+    )
+    write_report("ablation_mps_truncation", table)
+    # Infidelity decreases as the bond dimension grows.
+    infidelities = [row[2] for row in rows]
+    assert infidelities[-1] <= infidelities[0] + 1e-12
+
+
+def test_ablation_backend_report(benchmark):
+    if not _rows:
+        pytest.skip("run with --benchmark-only to populate the table")
+    headers = ["Qubits", "TN backend (s)", "Statevector backend (s)", "Values agree"]
+    rows = []
+    for num_qubits, data in sorted(_rows.items()):
+        tn_value, tn_time = data["tn"]
+        sv_value, sv_time = data["statevector"]
+        rows.append([num_qubits, tn_time, sv_time, abs(tn_value - sv_value) < 1e-9])
+    table = format_table(headers, rows, title="Ablation: Algorithm 1 term-evaluation backend")
+    run_once(benchmark, write_report, "ablation_backend", table)
+    for data in _rows.values():
+        assert abs(data["tn"][0] - data["statevector"][0]) < 1e-9

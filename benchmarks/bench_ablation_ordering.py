@@ -1,0 +1,74 @@
+"""Ablation — contraction-order heuristic (greedy vs sequential).
+
+DESIGN.md calls out the contraction order as the main knob of the TN engine
+(the paper notes the TN-based method's efficiency "is highly dependent on the
+contraction order").  This ablation times the exact doubled-network
+contraction and the level-1 approximation under both orderings.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import run_once, write_report
+from repro.analysis import format_table
+from repro.circuits.library import qaoa_circuit
+from repro.core import ApproximateNoisySimulator
+from repro.noise import NoiseModel, depolarizing_channel
+from repro.simulators import TNSimulator
+
+STRATEGIES = ["greedy", "sequential"]
+_rows: dict = {}
+
+
+def _noisy():
+    ideal = qaoa_circuit(9, seed=19, native_gates=False)
+    return NoiseModel(depolarizing_channel(0.001), seed=19).insert_random(ideal, 4)
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_ablation_ordering_exact(benchmark, strategy):
+    circuit = _noisy()
+    simulator = TNSimulator(strategy=strategy, max_intermediate_size=None)
+
+    def run():
+        start = time.perf_counter()
+        value = simulator.fidelity(circuit)
+        return value, time.perf_counter() - start
+
+    value, elapsed = run_once(benchmark, run)
+    _rows.setdefault("exact", {})[strategy] = (value, elapsed)
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_ablation_ordering_approximation(benchmark, strategy):
+    circuit = _noisy()
+    simulator = ApproximateNoisySimulator(level=1, strategy=strategy, max_intermediate_size=None)
+
+    def run():
+        start = time.perf_counter()
+        result = simulator.fidelity(circuit)
+        return result.value, time.perf_counter() - start
+
+    value, elapsed = run_once(benchmark, run)
+    _rows.setdefault("approx", {})[strategy] = (value, elapsed)
+
+
+def test_ablation_ordering_report(benchmark):
+    if "exact" not in _rows or "approx" not in _rows:
+        pytest.skip("run with --benchmark-only to populate the table")
+    headers = ["Task", "Greedy time (s)", "Sequential time (s)", "Values agree"]
+    rows = []
+    for task, label in (("exact", "TN exact (doubled network)"), ("approx", "Ours level-1")):
+        greedy_value, greedy_time = _rows[task]["greedy"]
+        seq_value, seq_time = _rows[task]["sequential"]
+        rows.append([label, greedy_time, seq_time, abs(greedy_value - seq_value) < 1e-8])
+    table = format_table(headers, rows, title="Ablation: contraction-order heuristic")
+    run_once(benchmark, write_report, "ablation_ordering", table)
+
+    # Both orderings must agree numerically regardless of speed.
+    for task in ("exact", "approx"):
+        values = [_rows[task][s][0] for s in STRATEGIES]
+        assert abs(values[0] - values[1]) < 1e-8

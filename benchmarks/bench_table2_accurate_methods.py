@@ -1,0 +1,128 @@
+"""Table II — our algorithm vs the accurate methods (MM, TDD, TN).
+
+Paper setup: HF-VQE, QAOA and supremacy circuits with 2 and 20 injected
+decoherence noises; runtime of the MM-based, TDD-based and TN-based exact
+methods against the level-1 approximation, with MO (memory out) entries where
+a method exceeds its budget.
+
+Reproduction scale: hf_4/hf_6, qaoa_4/qaoa_9, inst_2x2_6/inst_2x3_6 with 2 and
+8 noises; memory budgets are scaled down proportionally so the MO pattern
+appears at the same relative points (MM fails on the larger circuits, TN
+survives everywhere at this scale, the approximation is cheapest per noise).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import run_once, write_report
+from repro.analysis import format_seconds, format_table
+from repro.circuits.library import benchmark_circuit
+from repro.core import ApproximateNoisySimulator
+from repro.noise import NoiseModel, SYCAMORE_LIKE_SPEC
+from repro.simulators import DensityMatrixSimulator, TDDSimulator, TNSimulator
+from repro.tensornetwork import ContractionMemoryError
+
+#: (family, benchmark name) rows of the reproduced table.
+CIRCUITS = [
+    ("HF-VQE", "hf_4"),
+    ("HF-VQE", "hf_6"),
+    ("QAOA", "qaoa_4"),
+    ("QAOA", "qaoa_9"),
+    ("Supremacy", "inst_2x2_6"),
+    ("Supremacy", "inst_2x3_6"),
+]
+NOISE_COUNTS = [2, 8]
+
+#: Scaled-down memory budgets emulating the paper's 2048 GB cap.
+MM_MAX_QUBITS = 8
+TDD_MAX_NODES = 60_000
+TN_MAX_INTERMEDIATE = 2**24
+
+_results: dict = {}
+
+
+def _noisy_circuit(name: str, num_noises: int):
+    ideal = benchmark_circuit(name, seed=7, native_gates=False)
+    model = NoiseModel(lambda arity, rng: SYCAMORE_LIKE_SPEC.gate_noise(arity, rng), seed=13)
+    return model.insert_random(ideal, num_noises)
+
+
+def _timed(func):
+    start = time.perf_counter()
+    try:
+        func()
+    except (MemoryError, ContractionMemoryError):
+        return "MO"
+    return time.perf_counter() - start
+
+
+def _method_runner(method: str, circuit):
+    if method == "MM":
+        return lambda: DensityMatrixSimulator(max_qubits=MM_MAX_QUBITS).fidelity(
+            circuit, _zero(circuit.num_qubits)
+        )
+    if method == "TDD":
+        return lambda: TDDSimulator(max_nodes=TDD_MAX_NODES).fidelity(circuit)
+    if method == "TN":
+        return lambda: TNSimulator(max_intermediate_size=TN_MAX_INTERMEDIATE).fidelity(circuit)
+    if method == "Ours":
+        return lambda: ApproximateNoisySimulator(
+            level=1, max_intermediate_size=TN_MAX_INTERMEDIATE
+        ).fidelity(circuit)
+    raise ValueError(method)
+
+
+def _zero(num_qubits: int):
+    import numpy as np
+
+    state = np.zeros(2**num_qubits, dtype=complex)
+    state[0] = 1.0
+    return state
+
+
+@pytest.mark.parametrize("num_noises", NOISE_COUNTS)
+@pytest.mark.parametrize("family,name", CIRCUITS)
+@pytest.mark.parametrize("method", ["MM", "TDD", "TN", "Ours"])
+def test_table2_method_runtime(benchmark, family, name, num_noises, method):
+    """Time one (circuit, noise count, method) cell of Table II."""
+    circuit = _noisy_circuit(name, num_noises)
+    runner = _method_runner(method, circuit)
+    elapsed = run_once(benchmark, _timed, runner)
+    key = (family, name, num_noises)
+    _results.setdefault(key, {"qubits": circuit.num_qubits, "gates": circuit.gate_count(),
+                              "depth": circuit.depth()})
+    _results[key][method] = elapsed
+
+
+def test_table2_report(benchmark):
+    """Assemble and persist the Table II reproduction from the timed cells."""
+    if not _results:
+        pytest.skip("run with --benchmark-only to populate the table")
+    headers = ["Type", "Circuit", "Qubits", "Gates", "Depth", "#Noise", "MM", "TDD", "TN", "Ours"]
+    rows = []
+    for (family, name, num_noises), data in sorted(_results.items(), key=lambda kv: (kv[0][0], kv[0][1], kv[0][2])):
+        rows.append(
+            [
+                family,
+                name,
+                data["qubits"],
+                data["gates"],
+                data["depth"],
+                num_noises,
+                format_seconds(data.get("MM")),
+                format_seconds(data.get("TDD")),
+                format_seconds(data.get("TN")),
+                format_seconds(data.get("Ours")),
+            ]
+        )
+    table = format_table(headers, rows, title="Table II (reproduction): runtime in seconds, MO = memory out")
+    run_once(benchmark, write_report, "table2_accurate_methods", table)
+
+    # Qualitative claims of the paper that must hold at this scale too:
+    # the TN-based method handles every small-noise case that MM fails on.
+    mm_mo = [k for k, d in _results.items() if d.get("MM") == "MO"]
+    tn_ok = [k for k in mm_mo if _results[k].get("TN") not in (None, "MO")]
+    assert tn_ok == mm_mo

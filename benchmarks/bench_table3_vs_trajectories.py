@@ -1,0 +1,136 @@
+"""Table III — our algorithm vs the quantum-trajectories method.
+
+Paper setup: QAOA circuits with a depolarizing noise model (20 noises,
+p = 0.001); the trajectories sample count is adjusted so its precision matches
+the level-1 approximation, then runtimes are compared for the MM-based and
+TN-based trajectory implementations.
+
+Reproduction scale: QAOA_4 / QAOA_6 / QAOA_9 with 8 noises at p = 0.001; the
+exact reference for the precision columns comes from the density-matrix
+simulator.  The claim being reproduced: at matched precision the approximation
+algorithm is faster than trajectories, and the trajectory precision does not
+beat ours.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once, write_report
+from repro.analysis import format_table
+from repro.circuits.library import qaoa_circuit
+from repro.core import ApproximateNoisySimulator
+from repro.noise import NoiseModel, depolarizing_channel
+from repro.simulators import DensityMatrixSimulator, TrajectorySimulator
+from repro.utils import zero_state
+
+NOISE_PROBABILITY = 0.001
+NUM_NOISES = 8
+QUBIT_COUNTS = [4, 6, 9]
+
+_results: dict = {}
+
+
+def _noisy_qaoa(num_qubits: int):
+    ideal = qaoa_circuit(num_qubits, seed=3, native_gates=False)
+    return NoiseModel(depolarizing_channel(NOISE_PROBABILITY), seed=5).insert_random(
+        ideal, NUM_NOISES
+    )
+
+
+def _exact(circuit):
+    return DensityMatrixSimulator().fidelity(circuit, zero_state(circuit.num_qubits))
+
+
+def _entry(num_qubits: int):
+    if num_qubits not in _results:
+        circuit = _noisy_qaoa(num_qubits)
+        _results[num_qubits] = {"circuit": circuit, "exact": _exact(circuit)}
+    return _results[num_qubits]
+
+
+@pytest.mark.parametrize("num_qubits", QUBIT_COUNTS)
+def test_table3_ours(benchmark, num_qubits):
+    """Level-1 approximation: runtime and precision."""
+    entry = _entry(num_qubits)
+    simulator = ApproximateNoisySimulator(level=1)
+
+    def run():
+        start = time.perf_counter()
+        result = simulator.fidelity(entry["circuit"])
+        return result.value, time.perf_counter() - start
+
+    value, elapsed = run_once(benchmark, run)
+    entry["ours_value"] = value
+    entry["ours_time"] = elapsed
+    entry["ours_error"] = abs(value - entry["exact"])
+
+
+@pytest.mark.parametrize("backend,label", [("statevector", "traj_mm"), ("tn", "traj_tn")])
+@pytest.mark.parametrize("num_qubits", QUBIT_COUNTS)
+def test_table3_trajectories(benchmark, num_qubits, backend, label):
+    """Quantum trajectories at a sample count matched to the level-1 precision."""
+    entry = _entry(num_qubits)
+    target_error = max(entry.get("ours_error", 1e-4), 1e-5)
+    simulator = TrajectorySimulator(backend)
+    samples = simulator.samples_for_precision(
+        entry["circuit"], target_error, pilot_samples=256, rng=1, max_samples=2000
+    )
+
+    def run():
+        start = time.perf_counter()
+        result = simulator.estimate_fidelity(entry["circuit"], samples, rng=2)
+        return result.estimate, time.perf_counter() - start
+
+    value, elapsed = run_once(benchmark, run)
+    entry[f"{label}_value"] = value
+    entry[f"{label}_time"] = elapsed
+    entry[f"{label}_error"] = abs(value - entry["exact"])
+    entry[f"{label}_samples"] = samples
+
+
+def test_table3_report(benchmark):
+    if not _results or "ours_value" not in next(iter(_results.values())):
+        pytest.skip("run with --benchmark-only to populate the table")
+    headers = [
+        "Circuit",
+        "Precision Ours",
+        "Precision Traj(MM)",
+        "Precision Traj(TN)",
+        "Runtime Ours",
+        "Runtime Traj(MM)",
+        "Runtime Traj(TN)",
+        "Traj samples",
+    ]
+    rows = []
+    for num_qubits in QUBIT_COUNTS:
+        entry = _results[num_qubits]
+        rows.append(
+            [
+                f"QAOA_{num_qubits}",
+                entry.get("ours_error"),
+                entry.get("traj_mm_error"),
+                entry.get("traj_tn_error"),
+                entry.get("ours_time"),
+                entry.get("traj_mm_time"),
+                entry.get("traj_tn_time"),
+                entry.get("traj_mm_samples"),
+            ]
+        )
+    table = format_table(
+        headers,
+        rows,
+        title=(
+            "Table III (reproduction): precision (|estimate − exact|) and runtime (s) at "
+            f"matched accuracy; depolarizing p={NOISE_PROBABILITY}, {NUM_NOISES} noises"
+        ),
+    )
+    run_once(benchmark, write_report, "table3_vs_trajectories", table)
+
+    # Qualitative claim: our level-1 error stays at (or below) the level the
+    # paper reports (~1e-4 for these sizes).
+    for entry in _results.values():
+        assert entry["ours_error"] < 1e-3

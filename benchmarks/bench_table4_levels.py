@@ -1,0 +1,95 @@
+"""Table IV — accuracy/time trade-off across approximation levels 0-3.
+
+Paper setup: qaoa_64 with 10 noises, ``|ψ⟩ = |0…0⟩`` and ``|v⟩ = U|0…0⟩``
+(the ideal circuit's output), levels 0-3.
+
+Reproduction scale: qaoa_9 with 6 noises; the exact reference comes from the
+density-matrix simulator.  The claims being reproduced: error drops by orders
+of magnitude per level, the runtime grows steeply per level, and level 1 is
+the sweet spot.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once, write_report
+from repro.analysis import format_table
+from repro.circuits.library import qaoa_circuit
+from repro.core import ApproximateNoisySimulator
+from repro.noise import NoiseModel, depolarizing_channel
+from repro.simulators import DensityMatrixSimulator, StatevectorSimulator
+
+NUM_NOISES = 6
+NOISE_PROBABILITY = 0.01
+LEVELS = [0, 1, 2, 3]
+
+_state: dict = {}
+_rows: dict = {}
+
+
+def _setup():
+    if _state:
+        return _state
+    ideal = qaoa_circuit(9, seed=11, native_gates=False)
+    noisy = NoiseModel(depolarizing_channel(NOISE_PROBABILITY), seed=17).insert_random(
+        ideal, NUM_NOISES
+    )
+    v = StatevectorSimulator().run(ideal)
+    rho = DensityMatrixSimulator().run(noisy)
+    exact = float(np.real(np.vdot(v, rho @ v)))
+    _state.update({"noisy": noisy, "v": v, "exact": exact})
+    return _state
+
+
+@pytest.mark.parametrize("level", LEVELS)
+def test_table4_level(benchmark, level):
+    """Time and score one approximation level."""
+    state = _setup()
+    simulator = ApproximateNoisySimulator(level=level)
+
+    def run():
+        start = time.perf_counter()
+        result = simulator.fidelity(state["noisy"], output_state=state["v"])
+        return result, time.perf_counter() - start
+
+    result, elapsed = run_once(benchmark, run)
+    _rows[level] = {
+        "time": elapsed,
+        "result": result.value,
+        "error": abs(result.value - state["exact"]),
+        "contractions": result.num_contractions,
+    }
+
+
+def test_table4_report(benchmark):
+    if not _rows:
+        pytest.skip("run with --benchmark-only to populate the table")
+    state = _setup()
+    headers = ["Level", "Time (s)", "Result", "Error", "Contractions"]
+    rows = [
+        [level, data["time"], data["result"], data["error"], data["contractions"]]
+        for level, data in sorted(_rows.items())
+    ]
+    rows.append(["exact", None, state["exact"], 0.0, None])
+    table = format_table(
+        headers,
+        rows,
+        title=(
+            "Table IV (reproduction): accuracy for approximation levels 0-3 on qaoa_9 with "
+            f"{NUM_NOISES} depolarizing noises (p={NOISE_PROBABILITY}), |v> = U|0...0>"
+        ),
+    )
+    run_once(benchmark, write_report, "table4_levels", table)
+
+    # Qualitative claims: error decreases with level and runtime increases.
+    errors = [_rows[level]["error"] for level in sorted(_rows)]
+    times = [_rows[level]["time"] for level in sorted(_rows)]
+    assert errors[1] <= errors[0]
+    assert errors[-1] <= errors[1] + 1e-12
+    assert times[-1] > times[0]
+    # Level-1 is already far more accurate than level-0 (orders of magnitude in the paper).
+    assert errors[1] < errors[0] / 5 or errors[1] < 1e-6

@@ -1,0 +1,51 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper at
+reproduction scale (see EXPERIMENTS.md for the scale mapping).  Results are
+printed to stdout (run ``pytest benchmarks/ --benchmark-only -s`` to see them
+live) and written to ``benchmarks/results/<name>.txt`` so the numbers survive
+the run.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make the package importable without installation (offline machines).
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Scale note prepended to every report.
+SCALE_NOTE = (
+    "Reproduction scale: circuit sizes and noise counts are reduced relative to the\n"
+    "paper's 256-core / 2 TB server runs; the qualitative shape (which method wins,\n"
+    "how cost scales, where crossovers fall) is what is being reproduced.\n"
+)
+
+
+def write_report(name: str, text: str) -> None:
+    """Print a report and persist it under ``benchmarks/results``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    full = f"{SCALE_NOTE}\n{text}\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(full)
+    print(f"\n{'=' * 78}\n{full}{'=' * 78}")
+
+
+@pytest.fixture(scope="session")
+def report_writer():
+    """Session-scoped access to :func:`write_report` for benchmark modules."""
+    return write_report
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing.
+
+    The paper's experiments are single-shot wall-clock measurements of fairly
+    slow simulations; multiple benchmark rounds would multiply the harness
+    runtime for no statistical gain.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)

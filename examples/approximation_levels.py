@@ -1,0 +1,64 @@
+"""Choosing an approximation level: the accuracy/cost trade-off of Algorithm 1.
+
+A runnable version of the paper's Table IV analysis on a laptop-scale circuit:
+sweep the approximation level, report value, measured error, the a-priori
+Theorem-1 bound and the contraction count, and show how the a-priori bound can
+be used to pick a level *before* spending any compute.
+
+Run:  python examples/approximation_levels.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.circuits.library import qaoa_circuit
+from repro.core import ApproximateNoisySimulator, contraction_count, theorem1_error_bound
+from repro.noise import NoiseModel, depolarizing_channel, noise_rate
+from repro.simulators import DensityMatrixSimulator, StatevectorSimulator
+
+
+def main() -> None:
+    p, num_noises = 0.01, 6
+    ideal = qaoa_circuit(9, seed=11, native_gates=False)
+    noisy = NoiseModel(depolarizing_channel(p), seed=17).insert_random(ideal, num_noises)
+    v = StatevectorSimulator().run(ideal)
+    exact = float(np.real(np.vdot(v, DensityMatrixSimulator().run(noisy) @ v)))
+    rate = noise_rate(depolarizing_channel(p))
+    print(f"Workload: {noisy.summary()}  (noise rate {rate:.3e}, exact fidelity {exact:.8f})\n")
+
+    # A-priori planning: bounds and costs known before running anything.
+    planning_rows = [
+        [level, theorem1_error_bound(num_noises, rate, level), contraction_count(num_noises, level)]
+        for level in range(num_noises + 1)
+    ]
+    print(
+        format_table(
+            ["Level", "Theorem-1 bound", "Contractions"],
+            planning_rows,
+            title="A-priori planning table (no simulation needed)",
+        )
+    )
+
+    # A-posteriori: run levels 0-3 and compare with the exact value.
+    rows = []
+    for level in range(4):
+        result = ApproximateNoisySimulator(level=level).fidelity(noisy, output_state=v)
+        rows.append(
+            [level, result.elapsed_seconds, result.value, abs(result.value - exact), result.num_contractions]
+        )
+    print()
+    print(
+        format_table(
+            ["Level", "Time (s)", "Result", "Error", "Contractions"],
+            rows,
+            title="Measured accuracy/cost per level (Table IV at reproduction scale)",
+        )
+    )
+    print(
+        "\nLevel 1 is the recommended operating point: its error is orders of magnitude below "
+        "level 0 while its cost is only 2(1+3N) contractions."
+    )
+
+
+if __name__ == "__main__":
+    main()

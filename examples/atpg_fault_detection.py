@@ -1,0 +1,88 @@
+"""ATPG-style fault detection driven by the approximation algorithm.
+
+The paper's conclusion proposes the approximation algorithm as the simulation
+engine inside ATPG (automatic test pattern generation) flows: to detect
+manufacturing defects of a quantum circuit one needs many noisy-simulation
+calls (one per fault × pattern), so they must be cheap.
+
+This example:
+
+1. takes a QAOA circuit that already carries the device's background
+   decoherence noise,
+2. enumerates single-gate faults (missing gates, over-rotations) plus a
+   "stuck-noise" defect,
+3. evaluates a candidate pattern set with the level-1 approximation algorithm,
+4. reports fault coverage and the greedily selected compact test set.
+
+Run:  python examples/atpg_fault_detection.py
+"""
+
+from repro.analysis import format_table
+from repro.atpg import (
+    FaultDetector,
+    StuckNoiseFault,
+    enumerate_single_gate_faults,
+    ideal_output_pattern,
+    random_patterns,
+)
+from repro.circuits.library import qaoa_circuit
+from repro.core import ApproximateNoisySimulator
+from repro.noise import NoiseModel, SYCAMORE_LIKE_SPEC, amplitude_damping_channel
+
+
+def main() -> None:
+    # Circuit under test: QAOA workload with the device's background noise.
+    ideal = qaoa_circuit(6, seed=13, native_gates=False)
+    background = NoiseModel(
+        lambda arity, rng: SYCAMORE_LIKE_SPEC.gate_noise(arity, rng), seed=13
+    )
+    circuit = background.insert_random(ideal, 4)
+    print(f"Circuit under test: {circuit.summary()}\n")
+
+    # Candidate faults: a sample of single-gate faults (missing gates and
+    # miscalibrated rotations) plus one defect-like strong decoherence hot spot.
+    faults = enumerate_single_gate_faults(circuit, delta=0.6, max_faults=10, rng=1)
+    faults.append(StuckNoiseFault(position=2, channel=amplitude_damping_channel(0.5)))
+
+    # Candidate patterns: the ideal-output pattern plus random product patterns.
+    patterns = [ideal_output_pattern(circuit)] + random_patterns(circuit.num_qubits, 4, rng=2)
+
+    # Detection engine: level-1 approximation; the threshold is chosen above
+    # the Theorem-1 bound of the background noise so the approximation error
+    # can never be mistaken for a fault.
+    estimator = ApproximateNoisySimulator(level=1)
+    detector = FaultDetector(estimator, threshold=1e-2)
+    result = detector.run(circuit, faults, patterns)
+
+    rows = []
+    for index, fault in enumerate(faults):
+        best = result.best_pattern_for(index)
+        deviation = result.detectability.get((index, best), 0.0) if best else 0.0
+        rows.append(
+            [
+                index,
+                fault.describe(),
+                "yes" if index in result.detected_faults else "NO",
+                best or "-",
+                deviation,
+            ]
+        )
+    print(
+        format_table(
+            ["#", "Fault", "Detected", "Best pattern", "Signature deviation"],
+            rows,
+            title="Fault detection report (level-1 approximation engine)",
+        )
+    )
+    print(
+        f"\nCoverage: {100 * result.coverage:.0f}%  |  "
+        f"selected test set: {result.selected_patterns}"
+    )
+    print(
+        "Undetected faults (if any) act trivially on the tested patterns — add "
+        "patterns exciting the corresponding qubits to close the gap."
+    )
+
+
+if __name__ == "__main__":
+    main()

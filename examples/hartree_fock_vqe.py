@@ -1,0 +1,71 @@
+"""Hartree-Fock VQE under noise: fidelity of the prepared ansatz state.
+
+The second benchmark family of the paper (``hf_N``).  The Givens-rotation
+ansatz conserves particle number, so a useful hardware-readiness check is how
+much of the output weight stays in the correct particle-number sector once
+decoherence is included, and how close the noisy state stays to the ideal
+ansatz state.
+
+The script computes, for an ``hf_6`` circuit with increasing noise counts:
+
+* the fidelity to the ideal ansatz state (via the level-1 approximation), and
+* the probability of remaining in the half-filling sector (via element-wise
+  density-matrix reconstruction on a smaller ``hf_4`` instance).
+
+Run:  python examples/hartree_fock_vqe.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.circuits.library import hf_circuit
+from repro.core import ApproximateNoisySimulator, estimate_density_matrix
+from repro.noise import NoiseModel, SYCAMORE_LIKE_SPEC
+from repro.simulators import StatevectorSimulator, TNSimulator
+
+
+def ansatz_fidelity_sweep() -> None:
+    ideal = hf_circuit(6, seed=3)
+    print(f"Workload: {ideal.summary()}")
+    ideal_state = StatevectorSimulator().run(ideal.without_noise())
+
+    simulator = ApproximateNoisySimulator(level=1)
+    rows = []
+    for num_noises in (0, 2, 4, 6):
+        model = NoiseModel(lambda arity, rng: SYCAMORE_LIKE_SPEC.gate_noise(arity, rng), seed=9)
+        noisy = model.insert_random(ideal, num_noises)
+        result = simulator.fidelity(noisy, output_state=ideal_state)
+        rows.append([num_noises, result.value, result.error_bound])
+    print(
+        format_table(
+            ["#Noises", "Fidelity to ideal ansatz", "Theorem-1 bound"],
+            rows,
+            title="hf_6 ansatz fidelity under superconducting decoherence",
+        )
+    )
+
+
+def particle_number_leakage() -> None:
+    ideal = hf_circuit(4, seed=3, native_gates=False)
+    noisy = NoiseModel(
+        lambda arity, rng: SYCAMORE_LIKE_SPEC.scaled(25.0).gate_noise(arity, rng), seed=9
+    ).insert_random(ideal, 4)
+
+    rho = estimate_density_matrix(TNSimulator(), noisy)
+    weights = np.array([bin(i).count("1") for i in range(rho.shape[0])])
+    in_sector = float(np.real(sum(rho[i, i] for i in range(rho.shape[0]) if weights[i] == 2)))
+    print(
+        "\nhf_4 with 4 strong decoherence events: probability of staying in the "
+        f"half-filling (2-particle) sector = {in_sector:.4f}"
+    )
+    print("Leakage out of the sector is a direct, physically interpretable error signature "
+          "that a noiseless simulation can never show.")
+
+
+def main() -> None:
+    ansatz_fidelity_sweep()
+    particle_number_leakage()
+
+
+if __name__ == "__main__":
+    main()

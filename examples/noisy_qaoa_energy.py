@@ -1,0 +1,66 @@
+"""Noisy QAOA cost expectation without density matrices.
+
+Extension of the paper's diagram: closing the doubled tensor network with a
+trace boundary and a local observable evaluates ``tr(O · E_N(ρ))`` directly,
+so the QAOA cost expectation under noise is available even when the density
+matrix itself is far too large to store.
+
+The script sweeps the depolarizing rate and reports how the expected cut value
+of a hardware-grid QAOA circuit decays towards the random-guessing value, and
+compares the clean expectation against brute force on a small instance.
+
+Run:  python examples/noisy_qaoa_energy.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.circuits.library import grid_graph
+from repro.circuits.library.qaoa import QAOAProblem, qaoa_problem_circuit
+from repro.circuits.observables import ising_cost_observable
+from repro.noise import NoiseModel, depolarizing_channel
+from repro.simulators import StatevectorSimulator, TNSimulator
+
+
+def main() -> None:
+    # A 3x3 hardware-grid MaxCut instance with one QAOA round.
+    rng = np.random.default_rng(5)
+    graph = grid_graph(3, 3, rng=rng)
+    edges = tuple((int(u), int(v), float(d["weight"])) for u, v, d in graph.edges(data=True))
+    problem = QAOAProblem(9, edges, gammas=(0.4,), betas=(0.35,))
+    circuit = qaoa_problem_circuit(problem, native_gates=False)
+    cost = ising_cost_observable(problem.edges)
+    tn = TNSimulator()
+
+    # Sanity check against brute force on the ideal circuit.
+    psi = StatevectorSimulator().run(circuit)
+    brute_force = float(np.real(np.vdot(psi, cost.matrix(9) @ psi)))
+    ideal_value = tn.expectation(circuit, cost)
+    print(f"Ideal ⟨C⟩ via tensor network : {ideal_value:+.6f}")
+    print(f"Ideal ⟨C⟩ via statevector    : {brute_force:+.6f}\n")
+
+    rows = []
+    for p in (0.0, 0.001, 0.005, 0.02, 0.05):
+        if p == 0.0:
+            noisy = circuit
+        else:
+            noisy = NoiseModel(depolarizing_channel(p), seed=7).insert_after_every_gate(circuit)
+        value = tn.expectation(noisy, cost)
+        rows.append([p, noisy.noise_count(), value, value / ideal_value if ideal_value else 1.0])
+
+    print(
+        format_table(
+            ["Depolarizing p", "#Noises", "⟨C⟩ under noise", "Fraction of ideal signal"],
+            rows,
+            title="QAOA-9 cost expectation vs noise strength (doubled-network expectation)",
+        )
+    )
+    print(
+        "\nAs the noise strength grows the cost expectation decays towards 0 — the value of a "
+        "uniformly random assignment — quantifying exactly how much optimization signal the "
+        "hardware noise leaves."
+    )
+
+
+if __name__ == "__main__":
+    main()

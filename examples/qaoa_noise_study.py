@@ -1,0 +1,59 @@
+"""QAOA under decoherence: how noise degrades the probability of the ideal outcome.
+
+This is the scenario the paper's introduction motivates: before running a QAOA
+workload on hardware, simulate it with the device's noise model to see how
+much signal survives.  The script sweeps the number of injected decoherence
+noises and reports
+
+* the fidelity ``⟨v| E_N(|0…0⟩⟨0…0|) |v⟩`` with ``|v⟩ = U|0…0⟩`` (the ideal
+  output state), computed with the level-1 approximation algorithm, and
+* the a-priori Theorem-1 error bound for each point, so the user knows how far
+  to trust each number without running an exact simulation.
+
+Run:  python examples/qaoa_noise_study.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.circuits.library import qaoa_circuit
+from repro.core import ApproximateNoisySimulator
+from repro.noise import NoiseModel, SYCAMORE_LIKE_SPEC, noise_rate
+from repro.simulators import StatevectorSimulator
+
+
+def main() -> None:
+    num_qubits = 9
+    ideal = qaoa_circuit(num_qubits, seed=21)
+    ideal_output = StatevectorSimulator().run(ideal)
+    print(f"Workload: {ideal.summary()}")
+
+    spec = SYCAMORE_LIKE_SPEC
+    sample_channel = spec.gate_noise(1, rng=0)
+    print(f"Device model: T1={spec.t1_ns/1e3:.0f} µs, T2={spec.t2_ns/1e3:.0f} µs, "
+          f"typical per-gate noise rate ≈ {noise_rate(sample_channel):.2e}\n")
+
+    simulator = ApproximateNoisySimulator(level=1)
+    rows = []
+    for num_noises in (0, 2, 4, 6, 8, 10):
+        model = NoiseModel(lambda arity, rng: spec.gate_noise(arity, rng), seed=33)
+        noisy = model.insert_random(ideal, num_noises)
+        result = simulator.fidelity(noisy, output_state=ideal_output)
+        rows.append([num_noises, result.value, result.error_bound, result.num_contractions])
+
+    print(
+        format_table(
+            ["#Noises", "Fidelity to ideal output", "Theorem-1 bound", "Contractions"],
+            rows,
+            title="QAOA-9 under superconducting decoherence (level-1 approximation)",
+        )
+    )
+
+    fidelities = [row[1] for row in rows]
+    drop = (1.0 - fidelities[-1] / fidelities[0]) * 100.0
+    print(f"\nWith {rows[-1][0]} decoherence events the ideal-output probability drops by "
+          f"{drop:.2f}% relative to the noiseless run.")
+
+
+if __name__ == "__main__":
+    main()

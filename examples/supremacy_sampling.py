@@ -1,0 +1,68 @@
+"""Random-circuit (quantum supremacy) amplitudes under noise.
+
+The third benchmark family of the paper: random ``inst_RxC_D`` circuits.  For
+these circuits the interesting quantity is how noise washes out the heavy
+output probabilities.  The script
+
+1. builds an ``inst_3x3_8`` random circuit,
+2. computes a handful of ideal bitstring probabilities with the tensor-network
+   amplitude contraction (no full statevector needed),
+3. recomputes them for the noisy circuit with the approximation algorithm via
+   the matrix-element API, and
+4. reports the resulting suppression towards the uniform distribution.
+
+Run:  python examples/supremacy_sampling.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.circuits.library import supremacy_circuit
+from repro.core import ApproximateNoisySimulator
+from repro.noise import NoiseModel, depolarizing_channel
+from repro.simulators import TNSimulator
+from repro.utils import basis_state
+
+
+def main() -> None:
+    rows_grid, cols_grid, depth = 3, 3, 8
+    circuit = supremacy_circuit(rows_grid, cols_grid, depth, seed=5)
+    num_qubits = circuit.num_qubits
+    uniform = 1.0 / 2**num_qubits
+    print(f"Workload: {circuit.summary()}  (uniform probability = {uniform:.2e})")
+
+    noisy = NoiseModel(depolarizing_channel(0.002), seed=5).insert_random(circuit, 8)
+    print(f"Noisy   : {noisy.summary()}\n")
+
+    tn = TNSimulator()
+    approx = ApproximateNoisySimulator(level=1)
+
+    rng = np.random.default_rng(17)
+    bitstrings = ["".join(rng.choice(["0", "1"], size=num_qubits)) for _ in range(6)]
+
+    table_rows = []
+    for bits in bitstrings:
+        ideal_probability = tn.fidelity(circuit, "0" * num_qubits, bits)
+        noisy_probability = approx.fidelity(noisy, output_state=basis_state(bits)).value
+        table_rows.append(
+            [bits, ideal_probability, noisy_probability, noisy_probability / ideal_probability]
+        )
+
+    print(
+        format_table(
+            ["Bitstring", "Ideal probability", "Noisy probability", "Ratio"],
+            table_rows,
+            title="Output probabilities before/after noise (level-1 approximation)",
+        )
+    )
+
+    meaningful = [row[3] for row in table_rows if row[1] > uniform * 1e-3]
+    print(
+        f"\nAveraged over bitstrings with non-negligible ideal probability, the noise multiplies "
+        f"the output probabilities by {np.mean(meaningful):.3f}; values below 1 for heavy outputs "
+        "show the noise pushing the distribution towards uniform."
+    )
+
+
+if __name__ == "__main__":
+    main()

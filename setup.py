@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e . --no-use-pep517`` (and plain ``python setup.py
+develop``) work on machines without the ``wheel`` package, e.g. offline
+environments.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,65 @@
+"""repro — reproduction of "Approximation Algorithm for Noisy Quantum Circuit Simulation".
+
+The package is organised around the paper's structure:
+
+* :mod:`repro.circuits` — gate library, circuit IR and benchmark generators
+  (QAOA, Hartree-Fock VQE, random supremacy circuits).
+* :mod:`repro.noise` — Kraus channels, the noise-rate metric and the
+  realistic superconducting decoherence model.
+* :mod:`repro.tensornetwork` — the from-scratch tensor-network engine and the
+  doubled-diagram builders of Section III.
+* :mod:`repro.simulators` — accurate baselines (statevector, density matrix,
+  tensor network, decision diagram) and approximate baselines (quantum
+  trajectories, MPS).
+* :mod:`repro.core` — the paper's contribution: the SVD decomposition of
+  noise tensors and the level-``l`` approximation algorithm (Algorithm 1)
+  with its Theorem-1 guarantees.
+* :mod:`repro.analysis` — error metrics, sample-count formulas and report
+  formatting used by the benchmark harness.
+
+Quickstart::
+
+    from repro.circuits.library import qaoa_circuit
+    from repro.noise import depolarizing_channel, NoiseModel
+    from repro.core import ApproximateNoisySimulator
+    from repro.simulators import TNSimulator
+
+    ideal = qaoa_circuit(9)
+    noisy = NoiseModel(depolarizing_channel(0.001), seed=1).insert_random(ideal, 10)
+
+    exact = TNSimulator().fidelity(noisy)
+    approx = ApproximateNoisySimulator(level=1).fidelity(noisy)
+    print(exact, approx.value, approx.error_bound)
+"""
+
+from repro.circuits import Circuit, Gate
+from repro.core import ApproximateNoisySimulator, ApproximationResult
+from repro.noise import KrausChannel, NoiseModel, depolarizing_channel, noise_rate
+from repro.simulators import (
+    DensityMatrixSimulator,
+    MPSSimulator,
+    StatevectorSimulator,
+    TDDSimulator,
+    TNSimulator,
+    TrajectorySimulator,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "KrausChannel",
+    "NoiseModel",
+    "depolarizing_channel",
+    "noise_rate",
+    "ApproximateNoisySimulator",
+    "ApproximationResult",
+    "StatevectorSimulator",
+    "DensityMatrixSimulator",
+    "TNSimulator",
+    "TDDSimulator",
+    "TrajectorySimulator",
+    "MPSSimulator",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Analysis helpers: error metrics, sample-count formulas and report formatting."""
+
+from repro.analysis.equivalence import (
+    EquivalenceReport,
+    approximate_equivalence,
+    process_distance_small,
+)
+from repro.analysis.fidelity import (
+    absolute_error,
+    density_matrix_fidelity,
+    pure_state_fidelity,
+    relative_error,
+    trace_distance,
+)
+from repro.analysis.reporting import format_series, format_table, format_seconds, format_value
+from repro.analysis.sampling import (
+    DEFAULT_TRAJECTORY_CONSTANT,
+    SampleCountComparison,
+    approximation_sample_count,
+    calibrate_trajectory_constant,
+    compare_sample_counts,
+    crossover_noise_count,
+    trajectories_sample_count,
+)
+
+__all__ = [
+    "EquivalenceReport",
+    "approximate_equivalence",
+    "process_distance_small",
+    "absolute_error",
+    "relative_error",
+    "pure_state_fidelity",
+    "density_matrix_fidelity",
+    "trace_distance",
+    "format_table",
+    "format_series",
+    "format_seconds",
+    "format_value",
+    "approximation_sample_count",
+    "trajectories_sample_count",
+    "crossover_noise_count",
+    "compare_sample_counts",
+    "calibrate_trajectory_constant",
+    "SampleCountComparison",
+    "DEFAULT_TRAJECTORY_CONSTANT",
+]

@@ -1,0 +1,64 @@
+"""Fidelity and error metrics shared by the benchmark harness and examples."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.linalg import is_density_matrix
+from repro.utils.validation import ValidationError, check_square, check_statevector
+
+__all__ = [
+    "absolute_error",
+    "relative_error",
+    "pure_state_fidelity",
+    "density_matrix_fidelity",
+    "trace_distance",
+]
+
+
+def absolute_error(estimate: float, reference: float) -> float:
+    """``|estimate − reference|`` (the "Error" columns of Tables III/IV)."""
+    return float(abs(float(estimate) - float(reference)))
+
+
+def relative_error(estimate: float, reference: float) -> float:
+    """Relative error with a guard against a zero reference."""
+    reference = float(reference)
+    if reference == 0.0:
+        return float("inf") if float(estimate) != 0.0 else 0.0
+    return abs(float(estimate) - reference) / abs(reference)
+
+
+def pure_state_fidelity(state: np.ndarray, rho: np.ndarray) -> float:
+    """``⟨v| rho |v⟩`` for a pure state ``v`` and density matrix ``rho``."""
+    v = check_statevector(state)
+    rho = check_square(rho, name="rho")
+    if rho.shape[0] != v.size:
+        raise ValidationError("dimension mismatch between state and density matrix")
+    return float(np.real(np.vdot(v, rho @ v)))
+
+
+def density_matrix_fidelity(rho: np.ndarray, sigma: np.ndarray) -> float:
+    """Uhlmann fidelity ``(tr √(√ρ σ √ρ))²`` between two density matrices."""
+    rho = check_square(rho, name="rho")
+    sigma = check_square(sigma, name="sigma")
+    if rho.shape != sigma.shape:
+        raise ValidationError("density matrices have different dimensions")
+    if not (is_density_matrix(rho, atol=1e-6) and is_density_matrix(sigma, atol=1e-6)):
+        raise ValidationError("inputs must be valid density matrices")
+    eigenvalues, eigenvectors = np.linalg.eigh(rho)
+    eigenvalues = np.clip(eigenvalues, 0.0, None)
+    sqrt_rho = eigenvectors @ np.diag(np.sqrt(eigenvalues)) @ eigenvectors.conj().T
+    inner = sqrt_rho @ sigma @ sqrt_rho
+    inner_eigenvalues = np.clip(np.linalg.eigvalsh(inner), 0.0, None)
+    return float(np.sum(np.sqrt(inner_eigenvalues)) ** 2)
+
+
+def trace_distance(rho: np.ndarray, sigma: np.ndarray) -> float:
+    """Trace distance ``½ ‖ρ − σ‖₁``."""
+    rho = check_square(rho, name="rho")
+    sigma = check_square(sigma, name="sigma")
+    if rho.shape != sigma.shape:
+        raise ValidationError("density matrices have different dimensions")
+    eigenvalues = np.linalg.eigvalsh(rho - sigma)
+    return float(0.5 * np.sum(np.abs(eigenvalues)))

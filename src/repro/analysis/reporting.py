@@ -1,0 +1,72 @@
+"""Plain-text reporting helpers used by the benchmark harness.
+
+The benchmarks print the same row/series structure as the paper's tables and
+figures; these helpers keep that formatting in one place (monospace tables
+and simple ASCII series, no plotting dependency).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_series", "format_seconds", "format_value"]
+
+
+def format_seconds(value: float | None) -> str:
+    """Format a runtime like the paper's Time(s) columns (``MO``/``TO`` pass through)."""
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    if value >= 100:
+        return f"{value:.0f}"
+    if value >= 1:
+        return f"{value:.2f}"
+    return f"{value:.3f}"
+
+
+def format_value(value, precision: int = 3) -> str:
+    """Format a table cell: floats in scientific/fixed notation, the rest via str()."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) < 1e-2 or abs(value) >= 1e4:
+            return f"{value:.{precision}E}"
+        return f"{value:.{precision + 2}g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence], title: str | None = None) -> str:
+    """Render a monospace table with aligned columns."""
+    rendered_rows: List[List[str]] = [[format_value(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence,
+    series: dict,
+    title: str | None = None,
+) -> str:
+    """Render one or more y-series against a shared x axis (a textual "figure")."""
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for i, x in enumerate(x_values):
+        row = [x]
+        for values in series.values():
+            row.append(values[i] if i < len(values) else None)
+        rows.append(row)
+    return format_table(headers, rows, title=title)

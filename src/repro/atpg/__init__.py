@@ -1,0 +1,35 @@
+"""ATPG-style fault injection and detection for quantum circuits.
+
+The paper's conclusion anticipates the approximation algorithm "as an
+integrated feature in the currently developed ATPG programs … for verifying
+and detecting manufacturing defects, effected by quantum noises, of
+large-size quantum circuits".  This subpackage provides that integration
+surface: fault models, test patterns and a detection/selection flow driven by
+any of the repository's fidelity estimators.
+"""
+
+from repro.atpg.detection import FaultDetectionResult, FaultDetector
+from repro.atpg.faults import (
+    Fault,
+    MissingGateFault,
+    OverRotationFault,
+    StuckNoiseFault,
+    WrongGateFault,
+    enumerate_single_gate_faults,
+)
+from repro.atpg.patterns import TestPattern, basis_patterns, ideal_output_pattern, random_patterns
+
+__all__ = [
+    "Fault",
+    "MissingGateFault",
+    "WrongGateFault",
+    "OverRotationFault",
+    "StuckNoiseFault",
+    "enumerate_single_gate_faults",
+    "TestPattern",
+    "random_patterns",
+    "basis_patterns",
+    "ideal_output_pattern",
+    "FaultDetector",
+    "FaultDetectionResult",
+]

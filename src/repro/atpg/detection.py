@@ -1,0 +1,153 @@
+"""Fault detection and test-pattern selection.
+
+The flow mirrors classical ATPG: enumerate candidate faults, compute each
+pattern's fault-free signature and its signature under every fault, call a
+fault *detected* by a pattern when the two differ by more than a threshold
+(chosen above the simulator's accuracy), and greedily select a small pattern
+set covering all detectable faults.
+
+Any estimator exposing ``fidelity(circuit, input_state, output_state)`` can
+drive the flow; the intended one is
+:class:`repro.core.approximation.ApproximateNoisySimulator`, whose Theorem-1
+bound tells the user how to pick the detection threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.atpg.faults import Fault
+from repro.atpg.patterns import TestPattern
+from repro.circuits.circuit import Circuit
+from repro.utils.validation import ValidationError
+
+__all__ = ["FaultDetectionResult", "FaultDetector"]
+
+
+def _as_float(value) -> float:
+    if hasattr(value, "value"):
+        return float(value.value)
+    if hasattr(value, "estimate"):
+        return float(value.estimate)
+    return float(value)
+
+
+@dataclass
+class FaultDetectionResult:
+    """Outcome of a full detection run."""
+
+    threshold: float
+    fault_free_signatures: Dict[str, float]
+    detectability: Dict[Tuple[int, str], float]
+    detected_faults: List[int]
+    undetected_faults: List[int]
+    selected_patterns: List[str]
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of faults detected by at least one pattern."""
+        total = len(self.detected_faults) + len(self.undetected_faults)
+        return len(self.detected_faults) / total if total else 1.0
+
+    def best_pattern_for(self, fault_index: int) -> str | None:
+        """Name of the pattern with the largest signature deviation for a fault."""
+        candidates = {
+            pattern: value
+            for (index, pattern), value in self.detectability.items()
+            if index == fault_index
+        }
+        if not candidates:
+            return None
+        return max(candidates, key=candidates.get)
+
+
+class FaultDetector:
+    """Runs the detection flow for a circuit under test."""
+
+    def __init__(self, estimator, threshold: float = 1e-3) -> None:
+        if not hasattr(estimator, "fidelity"):
+            raise ValidationError("estimator must expose fidelity(circuit, input, output)")
+        if threshold <= 0:
+            raise ValidationError("threshold must be positive")
+        self.estimator = estimator
+        self.threshold = float(threshold)
+
+    # ------------------------------------------------------------------
+    def signature(self, circuit: Circuit, pattern: TestPattern) -> float:
+        """Fidelity of ``circuit`` on one pattern."""
+        if pattern.num_qubits != circuit.num_qubits:
+            raise ValidationError("pattern width does not match the circuit")
+        return _as_float(
+            self.estimator.fidelity(circuit, pattern.input_state, pattern.output_state)
+        )
+
+    def fault_free_signatures(
+        self, circuit: Circuit, patterns: Sequence[TestPattern]
+    ) -> Dict[str, float]:
+        """Signatures of the fault-free circuit on every pattern."""
+        return {pattern.name: self.signature(circuit, pattern) for pattern in patterns}
+
+    def detectability(
+        self, circuit: Circuit, fault: Fault, pattern: TestPattern, reference: float | None = None
+    ) -> float:
+        """|fault-free signature − faulty signature| for one (fault, pattern) pair."""
+        if reference is None:
+            reference = self.signature(circuit, pattern)
+        faulty = fault.apply(circuit)
+        return abs(self.signature(faulty, pattern) - reference)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        circuit: Circuit,
+        faults: Sequence[Fault],
+        patterns: Sequence[TestPattern],
+    ) -> FaultDetectionResult:
+        """Evaluate every (fault, pattern) pair and select a covering pattern set."""
+        if not patterns:
+            raise ValidationError("at least one test pattern is required")
+        references = self.fault_free_signatures(circuit, patterns)
+
+        detectability: Dict[Tuple[int, str], float] = {}
+        detected_by: Dict[int, List[str]] = {index: [] for index in range(len(faults))}
+        for fault_index, fault in enumerate(faults):
+            faulty = fault.apply(circuit)
+            for pattern in patterns:
+                deviation = abs(self.signature(faulty, pattern) - references[pattern.name])
+                detectability[(fault_index, pattern.name)] = deviation
+                if deviation > self.threshold:
+                    detected_by[fault_index].append(pattern.name)
+
+        detected = [index for index, names in detected_by.items() if names]
+        undetected = [index for index, names in detected_by.items() if not names]
+        selected = self._greedy_cover(detected_by, [p.name for p in patterns])
+        return FaultDetectionResult(
+            threshold=self.threshold,
+            fault_free_signatures=references,
+            detectability=detectability,
+            detected_faults=detected,
+            undetected_faults=undetected,
+            selected_patterns=selected,
+        )
+
+    @staticmethod
+    def _greedy_cover(detected_by: Dict[int, List[str]], pattern_names: Sequence[str]) -> List[str]:
+        """Greedy set cover: smallest pattern set detecting every detectable fault."""
+        remaining = {index for index, names in detected_by.items() if names}
+        selected: List[str] = []
+        while remaining:
+            best_pattern = None
+            best_covered: set = set()
+            for name in pattern_names:
+                covered = {index for index in remaining if name in detected_by[index]}
+                if len(covered) > len(best_covered):
+                    best_covered = covered
+                    best_pattern = name
+            if best_pattern is None:  # pragma: no cover - defensive
+                break
+            selected.append(best_pattern)
+            remaining -= best_covered
+        return selected

@@ -1,0 +1,189 @@
+"""Circuit-level fault models for test-pattern generation.
+
+The paper's conclusion positions the approximation algorithm as the simulation
+engine inside ATPG (automatic test pattern generation) flows for quantum
+circuits — detecting manufacturing defects of large circuits under realistic
+noise (their references [34]-[36]).  This module provides the standard fault
+models those works use, expressed as circuit transformations:
+
+* :class:`MissingGateFault` — a gate is dropped (single missing-gate fault);
+* :class:`WrongGateFault` — a gate is replaced by a different unitary;
+* :class:`OverRotationFault` — a rotation gate is applied with an angle offset
+  (calibration defect);
+* :class:`StuckNoiseFault` — a strong noise channel appears after a gate
+  (a decoherence hot spot, e.g. a defective junction).
+
+A fault applied to an ideal (or already noisy) circuit yields the faulty
+circuit; the detection machinery in :mod:`repro.atpg.detection` then asks
+whether any test pattern distinguishes the two within the simulator's
+accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import Gate
+from repro.circuits import gates as glib
+from repro.noise.kraus import KrausChannel
+from repro.utils.validation import ValidationError
+
+__all__ = [
+    "Fault",
+    "MissingGateFault",
+    "WrongGateFault",
+    "OverRotationFault",
+    "StuckNoiseFault",
+    "enumerate_single_gate_faults",
+]
+
+
+@dataclass(frozen=True)
+class Fault:
+    """Base class: a named, deterministic transformation of a circuit."""
+
+    position: int
+
+    def apply(self, circuit: Circuit) -> Circuit:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def describe(self) -> str:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _check_position(self, circuit: Circuit) -> None:
+        if not 0 <= self.position < len(circuit):
+            raise ValidationError(
+                f"fault position {self.position} out of range for a circuit of length {len(circuit)}"
+            )
+        if not circuit[self.position].is_gate:
+            raise ValidationError("gate faults must target gate instructions")
+
+
+@dataclass(frozen=True)
+class MissingGateFault(Fault):
+    """The gate at ``position`` is never applied."""
+
+    def apply(self, circuit: Circuit) -> Circuit:
+        self._check_position(circuit)
+        faulty = Circuit(circuit.num_qubits, name=f"{circuit.name}_missing@{self.position}")
+        for index, inst in enumerate(circuit):
+            if index != self.position:
+                faulty.append(inst.operation, inst.qubits)
+        return faulty
+
+    def describe(self) -> str:
+        return f"missing-gate fault at instruction {self.position}"
+
+
+@dataclass(frozen=True)
+class WrongGateFault(Fault):
+    """The gate at ``position`` is replaced by ``replacement``."""
+
+    replacement: Gate = None
+
+    def apply(self, circuit: Circuit) -> Circuit:
+        self._check_position(circuit)
+        target = circuit[self.position]
+        if self.replacement is None:
+            raise ValidationError("WrongGateFault needs a replacement gate")
+        if self.replacement.num_qubits != len(target.qubits):
+            raise ValidationError("replacement gate arity does not match the faulted gate")
+        faulty = Circuit(circuit.num_qubits, name=f"{circuit.name}_wrong@{self.position}")
+        for index, inst in enumerate(circuit):
+            if index == self.position:
+                faulty.append(self.replacement, inst.qubits)
+            else:
+                faulty.append(inst.operation, inst.qubits)
+        return faulty
+
+    def describe(self) -> str:
+        return f"wrong-gate fault at instruction {self.position} (-> {self.replacement.name})"
+
+
+@dataclass(frozen=True)
+class OverRotationFault(Fault):
+    """A rotation gate at ``position`` is applied with an extra angle ``delta``."""
+
+    delta: float = 0.1
+
+    def apply(self, circuit: Circuit) -> Circuit:
+        self._check_position(circuit)
+        target = circuit[self.position]
+        gate = target.operation
+        if not isinstance(gate, Gate) or not gate.params:
+            raise ValidationError("over-rotation faults require a parameterised gate")
+        factory = glib.GATE_FACTORIES.get(gate.name)
+        if factory is None:
+            raise ValidationError(f"cannot re-parameterise gate {gate.name!r}")
+        params = list(gate.params)
+        params[0] += self.delta
+        replacement = factory(*params)
+        return WrongGateFault(self.position, replacement).apply(circuit).copy(
+            name=f"{circuit.name}_overrot@{self.position}"
+        )
+
+    def describe(self) -> str:
+        return f"over-rotation fault at instruction {self.position} (Δθ = {self.delta:g})"
+
+
+@dataclass(frozen=True)
+class StuckNoiseFault(Fault):
+    """A strong noise channel fires after the gate at ``position``."""
+
+    channel: KrausChannel = None
+    qubit: int | None = None
+
+    def apply(self, circuit: Circuit) -> Circuit:
+        self._check_position(circuit)
+        if self.channel is None:
+            raise ValidationError("StuckNoiseFault needs a channel")
+        target = circuit[self.position]
+        qubit = target.qubits[0] if self.qubit is None else int(self.qubit)
+        if qubit not in target.qubits and self.channel.num_qubits == 1:
+            raise ValidationError("stuck-noise qubit must belong to the faulted gate")
+        faulty = Circuit(circuit.num_qubits, name=f"{circuit.name}_stuck@{self.position}")
+        for index, inst in enumerate(circuit):
+            faulty.append(inst.operation, inst.qubits)
+            if index == self.position:
+                if self.channel.num_qubits == 1:
+                    faulty.append(self.channel, (qubit,))
+                else:
+                    faulty.append(self.channel, inst.qubits)
+        return faulty
+
+    def describe(self) -> str:
+        return f"stuck-noise fault ({self.channel.name}) after instruction {self.position}"
+
+
+def enumerate_single_gate_faults(
+    circuit: Circuit,
+    kinds: Sequence[str] = ("missing", "overrotation"),
+    delta: float = 0.2,
+    max_faults: int | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> List[Fault]:
+    """Enumerate single-gate faults of the requested kinds over a circuit.
+
+    ``kinds`` may include ``"missing"`` and ``"overrotation"``; over-rotation
+    faults are only generated for parameterised gates.  When ``max_faults`` is
+    given, a random subset of that size is returned (useful for large
+    circuits).
+    """
+    faults: List[Fault] = []
+    for index, inst in enumerate(circuit):
+        if not inst.is_gate:
+            continue
+        if "missing" in kinds:
+            faults.append(MissingGateFault(index))
+        if "overrotation" in kinds and getattr(inst.operation, "params", ()):
+            if inst.operation.name in glib.GATE_FACTORIES:
+                faults.append(OverRotationFault(index, delta))
+    if max_faults is not None and len(faults) > max_faults:
+        rng = np.random.default_rng(rng)
+        chosen = rng.choice(len(faults), size=max_faults, replace=False)
+        faults = [faults[int(i)] for i in sorted(chosen)]
+    return faults

@@ -1,0 +1,103 @@
+"""Test patterns for fault detection.
+
+A *test pattern* is an (input state, output state) pair of product states.
+Running the circuit under test on the input and estimating the fidelity with
+the expected output — with the approximation algorithm when the circuit is
+large — gives a signature that a fault perturbs.  Patterns built from the
+``{|0⟩, |1⟩, |+⟩, |−⟩}`` alphabet are cheap to prepare and keep every boundary
+tensor rank-1, which is exactly what the tensor-network evaluation needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.simulators.statevector import StatevectorSimulator
+from repro.utils.validation import ValidationError
+
+__all__ = ["TestPattern", "random_patterns", "ideal_output_pattern", "basis_patterns"]
+
+_ALPHABET = "01+-"
+
+
+@dataclass(frozen=True)
+class TestPattern:
+    """An (input, expected output) pair used to exercise a circuit."""
+
+    # Tell pytest this is not a test class despite the name.
+    __test__ = False
+
+    input_state: str
+    output_state: object  # str (product alphabet) or dense np.ndarray
+    name: str = "pattern"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.input_state, str) or any(
+            c not in _ALPHABET for c in self.input_state
+        ):
+            raise ValidationError(
+                f"pattern input must be a string over {_ALPHABET!r}, got {self.input_state!r}"
+            )
+
+    @property
+    def num_qubits(self) -> int:
+        """Register width of the pattern."""
+        return len(self.input_state)
+
+
+def random_patterns(
+    num_qubits: int,
+    num_patterns: int,
+    rng: np.random.Generator | int | None = None,
+    identical_output: bool = True,
+) -> List[TestPattern]:
+    """Random product-state patterns over the ``0/1/+/-`` alphabet.
+
+    With ``identical_output=True`` the expected output equals the input, which
+    is the natural pattern style for *inverse-pair* testing (run ``C`` then
+    ``C⁻¹``); otherwise input and output are drawn independently.
+    """
+    if num_patterns <= 0:
+        raise ValidationError("num_patterns must be positive")
+    rng = np.random.default_rng(rng)
+    patterns = []
+    for index in range(num_patterns):
+        input_state = "".join(rng.choice(list(_ALPHABET), size=num_qubits))
+        output_state = (
+            input_state
+            if identical_output
+            else "".join(rng.choice(list(_ALPHABET), size=num_qubits))
+        )
+        patterns.append(TestPattern(input_state, output_state, name=f"random_{index}"))
+    return patterns
+
+
+def basis_patterns(num_qubits: int, max_patterns: int | None = None) -> List[TestPattern]:
+    """Single-excitation computational-basis patterns: ``|0…010…0⟩ → |0…010…0⟩``."""
+    patterns = [TestPattern("0" * num_qubits, "0" * num_qubits, name="all_zero")]
+    for qubit in range(num_qubits):
+        bits = "".join("1" if q == qubit else "0" for q in range(num_qubits))
+        patterns.append(TestPattern(bits, bits, name=f"excite_{qubit}"))
+    if max_patterns is not None:
+        patterns = patterns[:max_patterns]
+    return patterns
+
+
+def ideal_output_pattern(circuit: Circuit, max_qubits: int = 20) -> TestPattern:
+    """The pattern ``|0…0⟩ → U|0…0⟩`` with the fault-free circuit's own output.
+
+    This is the most discriminating single pattern for unitary faults (its
+    fault-free fidelity is exactly 1) but requires a statevector of the ideal
+    circuit, so it is limited to ``max_qubits``.
+    """
+    ideal = circuit.without_noise()
+    if ideal.num_qubits > max_qubits:
+        raise ValidationError(
+            f"ideal-output pattern limited to {max_qubits} qubits (got {ideal.num_qubits})"
+        )
+    output = StatevectorSimulator(max_qubits=max_qubits).run(ideal)
+    return TestPattern("0" * circuit.num_qubits, output, name="ideal_output")

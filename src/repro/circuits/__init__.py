@@ -1,0 +1,33 @@
+"""Quantum circuit IR: gates, circuits and benchmark circuit generators."""
+
+from repro.circuits import gates
+from repro.circuits.circuit import Circuit, Instruction
+from repro.circuits.gates import Gate, controlled, gate_from_matrix
+from repro.circuits.observables import PauliObservable, PauliTerm, ising_cost_observable
+from repro.circuits.pauli import pauli_exponential_circuit, pauli_string_matrix
+from repro.circuits.qasm import QasmError, from_qasm, to_qasm
+from repro.circuits.transpile import (
+    count_two_qubit_gates,
+    decompose_to_native,
+    merge_single_qubit_gates,
+)
+
+__all__ = [
+    "gates",
+    "Gate",
+    "Circuit",
+    "Instruction",
+    "controlled",
+    "gate_from_matrix",
+    "to_qasm",
+    "from_qasm",
+    "QasmError",
+    "PauliObservable",
+    "PauliTerm",
+    "ising_cost_observable",
+    "pauli_exponential_circuit",
+    "pauli_string_matrix",
+    "decompose_to_native",
+    "merge_single_qubit_gates",
+    "count_two_qubit_gates",
+]

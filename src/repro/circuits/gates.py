@@ -1,0 +1,414 @@
+"""Quantum gate library.
+
+Contains the 1-qubit gates listed in Table I of the paper, the standard
+2-qubit entangling gates used by the benchmark circuits (CZ, CNOT, CPhase,
+iSWAP, fSim, Givens rotations) and a generic mechanism for building
+controlled and parameterised gates.
+
+A :class:`Gate` is an immutable description: a name, a number of qubits, the
+parameter values and the unitary matrix.  Circuits store :class:`Gate`
+instances together with the qubit indices they act on (see
+:mod:`repro.circuits.circuit`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.linalg import is_unitary
+from repro.utils.validation import ValidationError, check_power_of_two
+
+__all__ = [
+    "Gate",
+    "I",
+    "H",
+    "X",
+    "Y",
+    "Z",
+    "S",
+    "SDG",
+    "T",
+    "TDG",
+    "SX",
+    "SY",
+    "SW",
+    "Rx",
+    "Ry",
+    "Rz",
+    "Phase",
+    "U3",
+    "CX",
+    "CZ",
+    "CY",
+    "SWAP",
+    "ISWAP",
+    "CPhase",
+    "CRz",
+    "FSim",
+    "Givens",
+    "XXPhase",
+    "ZZPhase",
+    "controlled",
+    "gate_from_matrix",
+    "GATE_FACTORIES",
+]
+
+_SQRT2 = math.sqrt(2.0)
+
+
+@dataclass(frozen=True)
+class Gate:
+    """An immutable quantum gate.
+
+    Attributes
+    ----------
+    name:
+        Canonical gate name (e.g. ``"rz"``, ``"cz"``).
+    num_qubits:
+        Number of qubits the unitary acts on.
+    matrix:
+        Dense ``2**num_qubits x 2**num_qubits`` unitary.
+    params:
+        Tuple of real parameters (rotation angles), possibly empty.
+    """
+
+    name: str
+    num_qubits: int
+    matrix: np.ndarray = field(repr=False, compare=False)
+    params: Tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        matrix = np.asarray(self.matrix, dtype=complex)
+        n = check_power_of_two(matrix.shape[0], name="gate dimension")
+        if matrix.shape[0] != matrix.shape[1]:
+            raise ValidationError(f"gate matrix must be square, got {matrix.shape}")
+        if n != self.num_qubits:
+            raise ValidationError(
+                f"gate {self.name!r}: matrix acts on {n} qubits, declared {self.num_qubits}"
+            )
+        object.__setattr__(self, "matrix", matrix)
+        object.__setattr__(self, "params", tuple(float(p) for p in self.params))
+
+    # -- convenience -----------------------------------------------------
+    @property
+    def dim(self) -> int:
+        """Hilbert-space dimension the gate acts on."""
+        return 2**self.num_qubits
+
+    def inverse(self) -> "Gate":
+        """Return the inverse (adjoint) gate."""
+        return Gate(
+            name=f"{self.name}_dg" if not self.name.endswith("_dg") else self.name[:-3],
+            num_qubits=self.num_qubits,
+            matrix=self.matrix.conj().T,
+            params=tuple(-p for p in self.params),
+        )
+
+    def conjugate(self) -> "Gate":
+        """Return the entry-wise complex conjugate gate (used in the doubled diagram)."""
+        return Gate(
+            name=f"{self.name}*",
+            num_qubits=self.num_qubits,
+            matrix=self.matrix.conj(),
+            params=self.params,
+        )
+
+    def is_unitary(self, atol: float = 1e-9) -> bool:
+        """Check unitarity of the stored matrix."""
+        return is_unitary(self.matrix, atol=atol)
+
+    def tensor(self) -> np.ndarray:
+        """Return the matrix reshaped into a rank-``2k`` tensor (outputs then inputs)."""
+        k = self.num_qubits
+        return self.matrix.reshape([2] * (2 * k))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.params:
+            args = ", ".join(f"{p:.4g}" for p in self.params)
+            return f"{self.name}({args})"
+        return self.name
+
+
+# ---------------------------------------------------------------------------
+# Fixed 1-qubit gates (Table I of the paper)
+# ---------------------------------------------------------------------------
+
+def I() -> Gate:
+    """Identity gate."""
+    return Gate("id", 1, np.eye(2, dtype=complex))
+
+
+def H() -> Gate:
+    """Hadamard gate."""
+    return Gate("h", 1, np.array([[1, 1], [1, -1]], dtype=complex) / _SQRT2)
+
+
+def X() -> Gate:
+    """Pauli-X gate."""
+    return Gate("x", 1, np.array([[0, 1], [1, 0]], dtype=complex))
+
+
+def Y() -> Gate:
+    """Pauli-Y gate."""
+    return Gate("y", 1, np.array([[0, -1j], [1j, 0]], dtype=complex))
+
+
+def Z() -> Gate:
+    """Pauli-Z gate."""
+    return Gate("z", 1, np.array([[1, 0], [0, -1]], dtype=complex))
+
+
+def S() -> Gate:
+    """Phase gate ``S = diag(1, i)``."""
+    return Gate("s", 1, np.array([[1, 0], [0, 1j]], dtype=complex))
+
+
+def SDG() -> Gate:
+    """Adjoint of the S gate."""
+    return Gate("sdg", 1, np.array([[1, 0], [0, -1j]], dtype=complex))
+
+
+def T() -> Gate:
+    """T gate ``diag(1, e^{iπ/4})``."""
+    return Gate("t", 1, np.array([[1, 0], [0, np.exp(1j * np.pi / 4)]], dtype=complex))
+
+
+def TDG() -> Gate:
+    """Adjoint of the T gate."""
+    return Gate("tdg", 1, np.array([[1, 0], [0, np.exp(-1j * np.pi / 4)]], dtype=complex))
+
+
+def SX() -> Gate:
+    """Square root of X (used by the supremacy circuit layer pattern)."""
+    return Gate(
+        "sx",
+        1,
+        0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex),
+    )
+
+
+def SY() -> Gate:
+    """Square root of Y (used by the supremacy circuit layer pattern)."""
+    return Gate(
+        "sy",
+        1,
+        0.5 * np.array([[1 + 1j, -1 - 1j], [1 + 1j, 1 + 1j]], dtype=complex),
+    )
+
+
+def SW() -> Gate:
+    """Square root of W = (X + Y)/√2, the third Sycamore 1-qubit layer gate."""
+    return Gate(
+        "sw",
+        1,
+        0.5 * np.array(
+            [[1 + 1j, -np.sqrt(2) * 1j], [np.sqrt(2), 1 + 1j]], dtype=complex
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Parameterised 1-qubit gates
+# ---------------------------------------------------------------------------
+
+def Rx(theta: float) -> Gate:
+    """Rotation about the X axis by ``theta``."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return Gate("rx", 1, np.array([[c, -1j * s], [-1j * s, c]], dtype=complex), (theta,))
+
+
+def Ry(theta: float) -> Gate:
+    """Rotation about the Y axis by ``theta``."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return Gate("ry", 1, np.array([[c, -s], [s, c]], dtype=complex), (theta,))
+
+
+def Rz(theta: float) -> Gate:
+    """Rotation about the Z axis by ``theta``."""
+    phase = np.exp(1j * theta / 2)
+    return Gate("rz", 1, np.array([[1 / phase, 0], [0, phase]], dtype=complex), (theta,))
+
+
+def Phase(theta: float) -> Gate:
+    """Phase gate ``diag(1, e^{iθ})``."""
+    return Gate("p", 1, np.array([[1, 0], [0, np.exp(1j * theta)]], dtype=complex), (theta,))
+
+
+def U3(theta: float, phi: float, lam: float) -> Gate:
+    """General 1-qubit unitary in the standard ``U3`` parameterisation."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    matrix = np.array(
+        [
+            [c, -np.exp(1j * lam) * s],
+            [np.exp(1j * phi) * s, np.exp(1j * (phi + lam)) * c],
+        ],
+        dtype=complex,
+    )
+    return Gate("u3", 1, matrix, (theta, phi, lam))
+
+
+# ---------------------------------------------------------------------------
+# 2-qubit gates
+# ---------------------------------------------------------------------------
+
+def CX() -> Gate:
+    """Controlled-X (CNOT) with qubit 0 as control."""
+    matrix = np.eye(4, dtype=complex)
+    matrix[2:, 2:] = np.array([[0, 1], [1, 0]])
+    return Gate("cx", 2, matrix)
+
+
+def CY() -> Gate:
+    """Controlled-Y with qubit 0 as control."""
+    matrix = np.eye(4, dtype=complex)
+    matrix[2:, 2:] = np.array([[0, -1j], [1j, 0]])
+    return Gate("cy", 2, matrix)
+
+
+def CZ() -> Gate:
+    """Controlled-Z gate (symmetric; common on superconducting hardware)."""
+    return Gate("cz", 2, np.diag([1, 1, 1, -1]).astype(complex))
+
+
+def SWAP() -> Gate:
+    """SWAP gate."""
+    matrix = np.eye(4, dtype=complex)[[0, 2, 1, 3]]
+    return Gate("swap", 2, matrix)
+
+
+def ISWAP() -> Gate:
+    """iSWAP gate."""
+    matrix = np.array(
+        [[1, 0, 0, 0], [0, 0, 1j, 0], [0, 1j, 0, 0], [0, 0, 0, 1]], dtype=complex
+    )
+    return Gate("iswap", 2, matrix)
+
+
+def CPhase(theta: float) -> Gate:
+    """Controlled-phase gate ``diag(1, 1, 1, e^{iθ})``."""
+    return Gate("cp", 2, np.diag([1, 1, 1, np.exp(1j * theta)]).astype(complex), (theta,))
+
+
+def CRz(theta: float) -> Gate:
+    """Controlled-Rz gate."""
+    phase = np.exp(1j * theta / 2)
+    matrix = np.diag([1, 1, 1 / phase, phase]).astype(complex)
+    return Gate("crz", 2, matrix, (theta,))
+
+
+def FSim(theta: float, phi: float) -> Gate:
+    """fSim gate used by Google's Sycamore processor.
+
+    ``FSim(θ, φ)`` swaps with amplitude ``sin θ`` and applies a conditional
+    phase ``e^{-iφ}`` on ``|11⟩``.
+    """
+    c, s = math.cos(theta), math.sin(theta)
+    matrix = np.array(
+        [
+            [1, 0, 0, 0],
+            [0, c, -1j * s, 0],
+            [0, -1j * s, c, 0],
+            [0, 0, 0, np.exp(-1j * phi)],
+        ],
+        dtype=complex,
+    )
+    return Gate("fsim", 2, matrix, (theta, phi))
+
+
+def Givens(theta: float) -> Gate:
+    """Givens rotation used by the Hartree-Fock VQE ansatz.
+
+    Rotates within the single-excitation subspace ``span{|01⟩, |10⟩}``.
+    """
+    c, s = math.cos(theta), math.sin(theta)
+    matrix = np.array(
+        [[1, 0, 0, 0], [0, c, -s, 0], [0, s, c, 0], [0, 0, 0, 1]], dtype=complex
+    )
+    return Gate("givens", 2, matrix, (theta,))
+
+
+def XXPhase(theta: float) -> Gate:
+    """Two-qubit XX interaction ``exp(-i θ/2 X⊗X)``."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    matrix = np.array(
+        [[c, 0, 0, -1j * s], [0, c, -1j * s, 0], [0, -1j * s, c, 0], [-1j * s, 0, 0, c]],
+        dtype=complex,
+    )
+    return Gate("xxphase", 2, matrix, (theta,))
+
+
+def ZZPhase(theta: float) -> Gate:
+    """Two-qubit ZZ interaction ``exp(-i θ/2 Z⊗Z)`` (the QAOA cost-layer gate)."""
+    phase = np.exp(1j * theta / 2)
+    matrix = np.diag([1 / phase, phase, phase, 1 / phase]).astype(complex)
+    return Gate("zzphase", 2, matrix, (theta,))
+
+
+# ---------------------------------------------------------------------------
+# Generic constructions
+# ---------------------------------------------------------------------------
+
+def controlled(gate: Gate, num_controls: int = 1) -> Gate:
+    """Return the controlled version of ``gate`` with ``num_controls`` controls.
+
+    Control qubits come first (most significant); the gate applies to the
+    remaining qubits only when every control is ``|1⟩``.
+    """
+    if num_controls < 1:
+        raise ValidationError(f"num_controls must be >= 1, got {num_controls}")
+    dim = gate.dim
+    total = 2**num_controls * dim
+    matrix = np.eye(total, dtype=complex)
+    matrix[total - dim :, total - dim :] = gate.matrix
+    return Gate(
+        name=("c" * num_controls) + gate.name,
+        num_qubits=gate.num_qubits + num_controls,
+        matrix=matrix,
+        params=gate.params,
+    )
+
+
+def gate_from_matrix(matrix: np.ndarray, name: str = "unitary") -> Gate:
+    """Wrap an arbitrary unitary matrix as a :class:`Gate`."""
+    matrix = np.asarray(matrix, dtype=complex)
+    n = check_power_of_two(matrix.shape[0], name="gate dimension")
+    if not is_unitary(matrix, atol=1e-7):
+        raise ValidationError(f"matrix for gate {name!r} is not unitary")
+    return Gate(name, n, matrix)
+
+
+#: Registry mapping gate names to factories; used by the QASM reader and tests.
+GATE_FACTORIES: Dict[str, Callable[..., Gate]] = {
+    "id": I,
+    "h": H,
+    "x": X,
+    "y": Y,
+    "z": Z,
+    "s": S,
+    "sdg": SDG,
+    "t": T,
+    "tdg": TDG,
+    "sx": SX,
+    "sy": SY,
+    "sw": SW,
+    "rx": Rx,
+    "ry": Ry,
+    "rz": Rz,
+    "p": Phase,
+    "u3": U3,
+    "cx": CX,
+    "cy": CY,
+    "cz": CZ,
+    "swap": SWAP,
+    "iswap": ISWAP,
+    "cp": CPhase,
+    "crz": CRz,
+    "fsim": FSim,
+    "givens": Givens,
+    "xxphase": XXPhase,
+    "zzphase": ZZPhase,
+}

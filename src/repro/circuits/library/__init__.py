@@ -1,0 +1,79 @@
+"""Benchmark circuit generators used by the paper's evaluation.
+
+``qaoa_circuit``, ``hf_circuit`` and ``supremacy_circuit`` reproduce the
+three circuit families of the paper (qaoa_N, hf_N, inst_RxC_D); the standard
+circuits (GHZ, QFT, Grover, random) are used by tests and examples.
+
+``benchmark_circuit(name)`` resolves a paper-style benchmark name such as
+``"qaoa_16"``, ``"hf_8"`` or ``"inst_3x3_10"``.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.library.hf_vqe import givens_layer_pattern, hf_circuit
+from repro.circuits.library.qaoa import (
+    QAOAProblem,
+    cost_expectation_bruteforce,
+    grid_graph,
+    maxcut_value,
+    qaoa_circuit,
+    qaoa_problem_circuit,
+    ring_graph,
+    sk_graph,
+)
+from repro.circuits.library.standard import (
+    ghz_circuit,
+    grover_circuit,
+    qft_circuit,
+    random_circuit,
+)
+from repro.circuits.library.supremacy import (
+    coupler_patterns,
+    parse_inst_name,
+    supremacy_circuit,
+)
+from repro.utils.validation import ValidationError
+
+__all__ = [
+    "qaoa_circuit",
+    "qaoa_problem_circuit",
+    "QAOAProblem",
+    "grid_graph",
+    "ring_graph",
+    "sk_graph",
+    "maxcut_value",
+    "cost_expectation_bruteforce",
+    "hf_circuit",
+    "givens_layer_pattern",
+    "supremacy_circuit",
+    "coupler_patterns",
+    "parse_inst_name",
+    "ghz_circuit",
+    "qft_circuit",
+    "grover_circuit",
+    "random_circuit",
+    "benchmark_circuit",
+]
+
+
+def benchmark_circuit(name: str, seed: int | None = 7, native_gates: bool = True) -> Circuit:
+    """Resolve a paper-style benchmark name into a circuit.
+
+    Supported forms: ``qaoa_N``, ``hf_N``, ``inst_RxC_D``, ``ghz_N``,
+    ``qft_N``.
+    """
+    parts = name.split("_")
+    family = parts[0].lower()
+    if family == "qaoa" and len(parts) == 2:
+        return qaoa_circuit(int(parts[1]), seed=seed, native_gates=native_gates)
+    if family == "hf" and len(parts) == 2:
+        return hf_circuit(int(parts[1]), seed=seed, native_gates=native_gates)
+    if family == "inst":
+        rows, cols, depth = parse_inst_name(name)
+        return supremacy_circuit(rows, cols, depth, seed=seed)
+    if family == "ghz" and len(parts) == 2:
+        return ghz_circuit(int(parts[1]))
+    if family == "qft" and len(parts) == 2:
+        return qft_circuit(int(parts[1]))
+    raise ValidationError(f"unknown benchmark circuit name {name!r}")

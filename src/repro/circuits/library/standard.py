@@ -1,0 +1,113 @@
+"""Standard textbook circuits used in tests, examples and extended experiments."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.circuits import gates as glib
+from repro.utils.validation import ValidationError
+
+__all__ = ["ghz_circuit", "qft_circuit", "grover_circuit", "random_circuit"]
+
+
+def ghz_circuit(num_qubits: int) -> Circuit:
+    """Prepare the ``num_qubits``-qubit GHZ state from ``|0…0⟩``."""
+    if num_qubits < 1:
+        raise ValidationError("GHZ circuit needs at least one qubit")
+    circuit = Circuit(num_qubits, name=f"ghz_{num_qubits}")
+    circuit.h(0)
+    for qubit in range(1, num_qubits):
+        circuit.cx(qubit - 1, qubit)
+    return circuit
+
+
+def qft_circuit(num_qubits: int, include_swaps: bool = True) -> Circuit:
+    """Quantum Fourier transform on ``num_qubits`` qubits."""
+    if num_qubits < 1:
+        raise ValidationError("QFT circuit needs at least one qubit")
+    circuit = Circuit(num_qubits, name=f"qft_{num_qubits}")
+    for target in range(num_qubits):
+        circuit.h(target)
+        for offset, control in enumerate(range(target + 1, num_qubits), start=2):
+            circuit.append(glib.CPhase(2.0 * math.pi / (2**offset)), (control, target))
+    if include_swaps:
+        for qubit in range(num_qubits // 2):
+            circuit.swap(qubit, num_qubits - 1 - qubit)
+    return circuit
+
+
+def grover_circuit(num_qubits: int, marked: int = 0, iterations: int | None = None) -> Circuit:
+    """Grover search over ``num_qubits`` qubits with a single marked element.
+
+    Uses a phase oracle built from a multi-controlled Z and the standard
+    diffusion operator.  The default iteration count is the optimal
+    ``⌊π/4 · √N⌋``.
+    """
+    if num_qubits < 2:
+        raise ValidationError("Grover circuit needs at least two qubits")
+    dim = 2**num_qubits
+    if not 0 <= marked < dim:
+        raise ValidationError(f"marked element {marked} out of range for {num_qubits} qubits")
+    if iterations is None:
+        iterations = max(1, int(math.floor(math.pi / 4.0 * math.sqrt(dim))))
+
+    mcz = glib.controlled(glib.Z(), num_controls=num_qubits - 1)
+    bits = format(marked, f"0{num_qubits}b")
+
+    circuit = Circuit(num_qubits, name=f"grover_{num_qubits}_{marked}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for _ in range(iterations):
+        # Oracle: flip the phase of |marked⟩.
+        for qubit, bit in enumerate(bits):
+            if bit == "0":
+                circuit.x(qubit)
+        circuit.append(mcz, tuple(range(num_qubits)))
+        for qubit, bit in enumerate(bits):
+            if bit == "0":
+                circuit.x(qubit)
+        # Diffusion operator.
+        for qubit in range(num_qubits):
+            circuit.h(qubit)
+            circuit.x(qubit)
+        circuit.append(mcz, tuple(range(num_qubits)))
+        for qubit in range(num_qubits):
+            circuit.x(qubit)
+            circuit.h(qubit)
+    return circuit
+
+
+def random_circuit(
+    num_qubits: int,
+    depth: int,
+    rng: np.random.Generator | int | None = None,
+    two_qubit_probability: float = 0.4,
+) -> Circuit:
+    """A generic random circuit of rotation and CZ/CX gates (used by property tests)."""
+    if num_qubits < 1 or depth < 1:
+        raise ValidationError("random_circuit needs at least one qubit and depth >= 1")
+    rng = np.random.default_rng(rng)
+    circuit = Circuit(num_qubits, name=f"random_{num_qubits}x{depth}")
+    for _ in range(depth):
+        qubit = int(rng.integers(num_qubits))
+        if num_qubits >= 2 and rng.random() < two_qubit_probability:
+            other = int(rng.integers(num_qubits - 1))
+            if other >= qubit:
+                other += 1
+            gate = glib.CZ() if rng.random() < 0.5 else glib.CX()
+            circuit.append(gate, (qubit, other))
+        else:
+            angle = float(rng.uniform(0.0, 2.0 * math.pi))
+            gate = rng.choice(["rx", "ry", "rz", "h"])
+            if gate == "h":
+                circuit.h(qubit)
+            elif gate == "rx":
+                circuit.rx(angle, qubit)
+            elif gate == "ry":
+                circuit.ry(angle, qubit)
+            else:
+                circuit.rz(angle, qubit)
+    return circuit

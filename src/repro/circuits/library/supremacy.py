@@ -1,0 +1,109 @@
+"""Random quantum-supremacy benchmark circuits (``inst_RxC_D``).
+
+These follow the structure of the Boixo et al. / Arute et al. random circuits
+that the ``inst_{R}x{C}_{D}`` benchmarks in the paper are drawn from:
+
+* qubits on an ``R × C`` grid;
+* an initial layer of Hadamards;
+* ``D - 1`` cycles, each consisting of a CZ layer following one of eight
+  coupler activation patterns, plus random single-qubit gates from
+  ``{T, √X, √Y}`` applied to the qubits that interacted in the previous cycle
+  (never repeating the gate a qubit received last);
+* the qubit count is ``R*C`` and the reported depth is ``D`` (initial layer
+  plus ``D − 1`` cycles), matching the naming convention of the benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.circuits import gates as glib
+from repro.utils.validation import ValidationError
+
+__all__ = ["coupler_patterns", "supremacy_circuit", "parse_inst_name"]
+
+
+def coupler_patterns(rows: int, cols: int) -> List[List[Tuple[int, int]]]:
+    """Return the eight CZ activation patterns of the grid.
+
+    Patterns 0–3 activate alternating horizontal couplers, 4–7 alternating
+    vertical couplers, so consecutive cycles touch different qubit pairs as in
+    the Google random-circuit schedule.
+    """
+    if rows < 1 or cols < 1:
+        raise ValidationError("grid dimensions must be positive")
+
+    def index(r: int, c: int) -> int:
+        return r * cols + c
+
+    horizontal = [[], [], [], []]
+    for r in range(rows):
+        for c in range(cols - 1):
+            slot = (c % 2) + 2 * (r % 2)
+            horizontal[slot].append((index(r, c), index(r, c + 1)))
+    vertical = [[], [], [], []]
+    for r in range(rows - 1):
+        for c in range(cols):
+            slot = (r % 2) + 2 * (c % 2)
+            vertical[slot].append((index(r, c), index(r + 1, c)))
+    patterns = horizontal + vertical
+    return [p for p in patterns if p] or [[]]
+
+
+def supremacy_circuit(
+    rows: int,
+    cols: int,
+    depth: int,
+    seed: int | None = 23,
+    final_hadamards: bool = False,
+) -> Circuit:
+    """Build the ``inst_{rows}x{cols}_{depth}`` random supremacy circuit."""
+    if depth < 1:
+        raise ValidationError("depth must be at least 1")
+    rng = np.random.default_rng(seed)
+    num_qubits = rows * cols
+    circuit = Circuit(num_qubits, name=f"inst_{rows}x{cols}_{depth}")
+
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+
+    single_qubit_gates = {
+        "t": glib.T,
+        "sx": glib.SX,
+        "sy": glib.SY,
+    }
+    last_gate: Dict[int, str] = {}
+    touched_last_cycle: set[int] = set()
+    patterns = coupler_patterns(rows, cols)
+
+    for cycle in range(depth - 1):
+        # Random single-qubit gates on qubits that interacted last cycle.
+        for qubit in sorted(touched_last_cycle):
+            choices = [name for name in single_qubit_gates if name != last_gate.get(qubit)]
+            name = str(rng.choice(choices))
+            circuit.append(single_qubit_gates[name](), (qubit,))
+            last_gate[qubit] = name
+        # CZ layer for this cycle's coupler pattern.
+        pattern = patterns[cycle % len(patterns)]
+        touched_last_cycle = set()
+        for a, b in pattern:
+            circuit.cz(a, b)
+            touched_last_cycle.update((a, b))
+
+    if final_hadamards:
+        for qubit in range(num_qubits):
+            circuit.h(qubit)
+    return circuit
+
+
+def parse_inst_name(name: str) -> Tuple[int, int, int]:
+    """Parse an ``inst_RxC_D`` benchmark name into ``(rows, cols, depth)``."""
+    try:
+        _, grid, depth = name.split("_")
+        rows, cols = grid.split("x")
+        return int(rows), int(cols), int(depth)
+    except (ValueError, AttributeError) as exc:
+        raise ValidationError(f"invalid supremacy benchmark name {name!r}") from exc

@@ -1,0 +1,134 @@
+"""Pauli-sum observables.
+
+Used by the noisy-expectation extension (``TNSimulator.expectation``), the
+QAOA/VQE examples and the ATPG utilities.  An observable is a weighted sum of
+Pauli strings ``O = Σ_m c_m P_m`` with real coefficients; each Pauli string is
+stored sparsely as ``{qubit: 'X'|'Y'|'Z'}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.pauli import pauli_matrix
+from repro.utils.linalg import kron_all
+from repro.utils.validation import ValidationError
+
+__all__ = ["PauliTerm", "PauliObservable", "ising_cost_observable"]
+
+
+@dataclass(frozen=True)
+class PauliTerm:
+    """A single weighted Pauli string, stored sparsely."""
+
+    coefficient: float
+    paulis: Tuple[Tuple[int, str], ...]
+
+    def __post_init__(self) -> None:
+        seen = set()
+        cleaned: List[Tuple[int, str]] = []
+        for qubit, label in self.paulis:
+            qubit = int(qubit)
+            label = label.upper()
+            if label not in ("X", "Y", "Z"):
+                raise ValidationError(f"invalid Pauli label {label!r} (identity factors are implicit)")
+            if qubit in seen:
+                raise ValidationError(f"qubit {qubit} appears twice in a Pauli term")
+            seen.add(qubit)
+            cleaned.append((qubit, label))
+        object.__setattr__(self, "paulis", tuple(sorted(cleaned)))
+        object.__setattr__(self, "coefficient", float(self.coefficient))
+
+    @property
+    def support(self) -> Tuple[int, ...]:
+        """Qubits the term acts on non-trivially."""
+        return tuple(q for q, _ in self.paulis)
+
+    @property
+    def weight(self) -> int:
+        """Number of non-identity factors (Pauli weight)."""
+        return len(self.paulis)
+
+    def operator_map(self) -> Dict[int, np.ndarray]:
+        """Return ``{qubit: 2x2 matrix}`` for the non-identity factors."""
+        return {qubit: pauli_matrix(label) for qubit, label in self.paulis}
+
+    def label(self, num_qubits: int) -> str:
+        """Dense string label such as ``"IZZI"``."""
+        chars = ["I"] * num_qubits
+        for qubit, pauli in self.paulis:
+            if qubit >= num_qubits:
+                raise ValidationError(f"term touches qubit {qubit} outside a {num_qubits}-qubit register")
+            chars[qubit] = pauli
+        return "".join(chars)
+
+
+class PauliObservable:
+    """A real-weighted sum of Pauli strings ``Σ_m c_m P_m``."""
+
+    def __init__(self, terms: Iterable[PauliTerm] = (), constant: float = 0.0) -> None:
+        self.terms: List[PauliTerm] = list(terms)
+        self.constant = float(constant)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_strings(
+        cls, weighted_strings: Sequence[Tuple[float, str]], constant: float = 0.0
+    ) -> "PauliObservable":
+        """Build from dense labels, e.g. ``[(0.5, "ZZI"), (-1.0, "IXX")]``."""
+        terms = []
+        for coefficient, label in weighted_strings:
+            paulis = tuple(
+                (qubit, char) for qubit, char in enumerate(label.upper()) if char != "I"
+            )
+            if any(char not in "IXYZ" for char in label.upper()):
+                raise ValidationError(f"invalid Pauli string {label!r}")
+            terms.append(PauliTerm(coefficient, paulis))
+        return cls(terms, constant=constant)
+
+    def add_term(self, coefficient: float, paulis: Mapping[int, str]) -> "PauliObservable":
+        """Append a term given as ``{qubit: label}`` and return ``self``."""
+        self.terms.append(PauliTerm(coefficient, tuple(paulis.items())))
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def num_terms(self) -> int:
+        """Number of Pauli terms (excluding the constant)."""
+        return len(self.terms)
+
+    def support(self) -> Tuple[int, ...]:
+        """All qubits touched by any term."""
+        qubits = sorted({q for term in self.terms for q in term.support})
+        return tuple(qubits)
+
+    def matrix(self, num_qubits: int) -> np.ndarray:
+        """Dense matrix (small registers only; used for validation)."""
+        if num_qubits > 12:
+            raise ValidationError("dense observable construction limited to 12 qubits")
+        dim = 2**num_qubits
+        total = self.constant * np.eye(dim, dtype=complex)
+        for term in self.terms:
+            factors = []
+            op_map = term.operator_map()
+            for qubit in range(num_qubits):
+                factors.append(op_map.get(qubit, np.eye(2, dtype=complex)))
+            total += term.coefficient * kron_all(factors)
+        return total
+
+    def __iter__(self):
+        return iter(self.terms)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<PauliObservable terms={self.num_terms} constant={self.constant:g}>"
+
+
+def ising_cost_observable(edges: Sequence[Tuple[int, int, float]]) -> PauliObservable:
+    """The Ising cost Hamiltonian ``Σ w_ij Z_i Z_j`` of a QAOA problem."""
+    observable = PauliObservable()
+    for u, v, weight in edges:
+        observable.add_term(float(weight), {int(u): "Z", int(v): "Z"})
+    return observable

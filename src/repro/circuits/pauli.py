@@ -1,0 +1,109 @@
+"""Pauli-string utilities: operators and exponentials.
+
+Used by the QAOA and Hartree-Fock circuit generators to decompose
+interaction terms (``ZZ``, Givens rotations) into the native gate set
+(CZ/CNOT + single-qubit rotations), and by tests/examples that compute
+cost-Hamiltonian expectation values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.circuits import gates as glib
+from repro.circuits.circuit import Circuit
+from repro.utils.linalg import kron_all
+from repro.utils.validation import ValidationError
+
+__all__ = ["pauli_matrix", "pauli_string_matrix", "pauli_exponential_circuit"]
+
+_PAULI: Dict[str, np.ndarray] = {
+    "I": np.eye(2, dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+}
+
+
+def pauli_matrix(label: str) -> np.ndarray:
+    """Return the 2x2 matrix of a single Pauli label (I, X, Y or Z)."""
+    label = label.upper()
+    if label not in _PAULI:
+        raise ValidationError(f"unknown Pauli label {label!r}")
+    return _PAULI[label].copy()
+
+
+def pauli_string_matrix(pauli: str) -> np.ndarray:
+    """Return the dense matrix of a Pauli string such as ``"XIZY"`` (qubit 0 first)."""
+    if not pauli:
+        raise ValidationError("Pauli string must be non-empty")
+    return kron_all(pauli_matrix(c) for c in pauli.upper())
+
+
+def pauli_exponential_circuit(
+    pauli: str,
+    angle: float,
+    qubits: Sequence[int] | None = None,
+    num_qubits: int | None = None,
+) -> Circuit:
+    """Return a circuit implementing ``exp(-i * angle/2 * P)`` for a Pauli string ``P``.
+
+    The construction is the textbook one: basis-change each non-identity
+    factor to ``Z``, accumulate parity with a CNOT ladder, apply ``Rz(angle)``
+    on the last active qubit, then undo the ladder and basis changes.
+
+    Parameters
+    ----------
+    pauli:
+        Pauli string, e.g. ``"ZZ"`` or ``"XY"``; the character at position
+        ``i`` acts on ``qubits[i]``.
+    angle:
+        Rotation angle; the circuit implements ``exp(-i * angle/2 * P)``.
+    qubits:
+        Register qubits the string acts on (defaults to ``0..len(pauli)-1``).
+    num_qubits:
+        Register size (defaults to ``max(qubits) + 1``).
+    """
+    pauli = pauli.upper()
+    if not pauli or any(c not in "IXYZ" for c in pauli):
+        raise ValidationError(f"invalid Pauli string {pauli!r}")
+    if qubits is None:
+        qubits = list(range(len(pauli)))
+    qubits = [int(q) for q in qubits]
+    if len(qubits) != len(pauli):
+        raise ValidationError("qubits must have the same length as the Pauli string")
+    if num_qubits is None:
+        num_qubits = max(qubits) + 1
+
+    circuit = Circuit(num_qubits, name=f"exp({pauli})")
+    active = [(q, c) for q, c in zip(qubits, pauli) if c != "I"]
+    if not active:
+        # exp(-i angle/2 I) is a global phase; represent it on qubit 0 so the
+        # circuit still reproduces the exact matrix.
+        circuit.append(glib.Gate("gphase", 1, np.exp(-1j * angle / 2) * np.eye(2)), (qubits[0],))
+        return circuit
+
+    # Basis changes so that B Z B† = P with B = H for X and B = S·H for Y.
+    # The pre-rotation block applies B† (circuit order: S† then H for Y).
+    for q, c in active:
+        if c == "X":
+            circuit.h(q)
+        elif c == "Y":
+            circuit.append(glib.SDG(), (q,))
+            circuit.h(q)
+    # CNOT ladder accumulating parity onto the last active qubit.
+    chain = [q for q, _ in active]
+    for a, b in zip(chain[:-1], chain[1:]):
+        circuit.cx(a, b)
+    circuit.rz(angle, chain[-1])
+    for a, b in reversed(list(zip(chain[:-1], chain[1:]))):
+        circuit.cx(a, b)
+    for q, c in active:
+        if c == "X":
+            circuit.h(q)
+        elif c == "Y":
+            circuit.h(q)
+            circuit.append(glib.S(), (q,))
+    return circuit

@@ -1,0 +1,131 @@
+"""Minimal OpenQASM 2.0 export/import.
+
+Only the gate subset used by this library is supported (the gates in
+:data:`repro.circuits.gates.GATE_FACTORIES` that have a direct OpenQASM
+spelling).  Noise channels cannot be expressed in OpenQASM 2.0 and are
+rejected on export.
+
+The goal is interoperability for the *ideal* benchmark circuits — e.g. dumping
+a generated QAOA circuit so it can be cross-checked in another simulator —
+not a full QASM toolchain.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import List
+
+from repro.circuits import gates as glib
+from repro.circuits.circuit import Circuit
+from repro.utils.validation import ValidationError
+
+__all__ = ["to_qasm", "from_qasm", "QasmError"]
+
+
+class QasmError(ValidationError):
+    """Raised when a circuit cannot be converted to or from OpenQASM."""
+
+
+#: Gates with a native OpenQASM 2.0 spelling.  Everything else is decomposed
+#: or rejected.
+_NATIVE = {
+    "id", "h", "x", "y", "z", "s", "sdg", "t", "tdg",
+    "rx", "ry", "rz", "p", "u3", "cx", "cy", "cz", "swap", "cp", "crz",
+}
+
+_QASM_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+def _format_params(params) -> str:
+    if not params:
+        return ""
+    return "(" + ",".join(f"{p:.12g}" for p in params) + ")"
+
+
+def to_qasm(circuit: Circuit) -> str:
+    """Serialise a noiseless circuit as OpenQASM 2.0 text."""
+    if not circuit.is_noiseless():
+        raise QasmError("OpenQASM 2.0 cannot represent noise channels; export the ideal circuit")
+    lines: List[str] = [_QASM_HEADER + f"qreg q[{circuit.num_qubits}];"]
+    for inst in circuit:
+        name = inst.operation.name
+        params = inst.operation.params
+        if name not in _NATIVE:
+            # Decompose unsupported 2-qubit diagonal/rotation gates into native ones.
+            if name == "zzphase":
+                (theta,) = params
+                a, b = inst.qubits
+                lines.append(f"cx q[{a}],q[{b}];")
+                lines.append(f"rz({theta:.12g}) q[{b}];")
+                lines.append(f"cx q[{a}],q[{b}];")
+                continue
+            if name == "sx":
+                (q,) = inst.qubits
+                lines.append(f"rx({math.pi / 2:.12g}) q[{q}];")
+                continue
+            if name == "sy":
+                (q,) = inst.qubits
+                lines.append(f"ry({math.pi / 2:.12g}) q[{q}];")
+                continue
+            raise QasmError(f"gate {name!r} has no OpenQASM 2.0 spelling")
+        args = ",".join(f"q[{q}]" for q in inst.qubits)
+        lines.append(f"{name}{_format_params(params)} {args};")
+    return "\n".join(lines) + "\n"
+
+
+_INSTR_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)\s*(?:\((?P<params>[^)]*)\))?\s+(?P<args>.+);$"
+)
+_QREG_RE = re.compile(r"^qreg\s+(?P<name>\w+)\[(?P<size>\d+)\];$")
+
+
+def _eval_param(text: str) -> float:
+    """Evaluate a numeric QASM parameter expression (numbers, pi, + - * /)."""
+    allowed = set("0123456789.+-*/() epi")
+    expr = text.strip().replace("pi", str(math.pi))
+    if not set(expr) <= allowed:
+        raise QasmError(f"unsupported parameter expression {text!r}")
+    try:
+        return float(eval(expr, {"__builtins__": {}}, {}))  # noqa: S307 - sanitised above
+    except Exception as exc:  # pragma: no cover - defensive
+        raise QasmError(f"could not evaluate parameter {text!r}") from exc
+
+
+def from_qasm(text: str) -> Circuit:
+    """Parse OpenQASM 2.0 text produced by :func:`to_qasm` (or a compatible subset)."""
+    num_qubits = None
+    body: List[tuple] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("//")[0].strip()
+        if not line or line.startswith(("OPENQASM", "include", "creg", "barrier", "measure")):
+            continue
+        qreg = _QREG_RE.match(line)
+        if qreg:
+            num_qubits = int(qreg.group("size"))
+            continue
+        match = _INSTR_RE.match(line)
+        if not match:
+            raise QasmError(f"cannot parse line {line!r}")
+        name = match.group("name").lower()
+        params = (
+            tuple(_eval_param(p) for p in match.group("params").split(","))
+            if match.group("params")
+            else ()
+        )
+        qubits = tuple(
+            int(re.search(r"\[(\d+)\]", arg).group(1))
+            for arg in match.group("args").split(",")
+        )
+        body.append((name, params, qubits))
+
+    if num_qubits is None:
+        raise QasmError("no qreg declaration found")
+    circuit = Circuit(num_qubits, name="from_qasm")
+    for name, params, qubits in body:
+        factory = glib.GATE_FACTORIES.get(name)
+        if factory is None:
+            raise QasmError(f"unknown gate {name!r}")
+        gate = factory(*params) if params else factory()
+        circuit.append(gate, qubits)
+    return circuit

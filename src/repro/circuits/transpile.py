@@ -1,0 +1,166 @@
+"""Circuit transpilation utilities.
+
+Two passes are provided:
+
+* :func:`decompose_to_native` — rewrite composite two-qubit gates (``ZZPhase``,
+  ``XXPhase``, ``Givens``, ``FSim``, ``iSWAP``, ``SWAP``, ``CPhase``, ``CRz``)
+  into the superconducting-native set {CX/CZ + single-qubit rotations}, using
+  exact Pauli-exponential identities.  This is how the hardware-style
+  benchmark circuits are produced and is useful before handing circuits to
+  backends that only understand elementary gates.
+* :func:`merge_single_qubit_gates` — fuse runs of consecutive single-qubit
+  gates on the same qubit into a single unitary, which shrinks tensor networks
+  and statevector simulations alike.
+
+Both passes preserve the circuit's unitary exactly (up to global phase the
+passes introduce explicit ``gphase`` gates, so even the global phase is kept).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.circuits import gates as glib
+from repro.circuits.circuit import Circuit, Instruction
+from repro.circuits.gates import Gate
+from repro.circuits.pauli import pauli_exponential_circuit
+from repro.utils.validation import ValidationError
+
+__all__ = ["decompose_to_native", "merge_single_qubit_gates", "count_two_qubit_gates"]
+
+#: Gates considered native to superconducting hardware (plus anything 1-qubit).
+NATIVE_TWO_QUBIT = {"cx", "cz"}
+
+
+def _global_phase_gate(phase: float) -> Gate:
+    """A single-qubit gate implementing a global phase ``e^{i·phase}``."""
+    return Gate("gphase", 1, np.exp(1j * phase) * np.eye(2), (phase,))
+
+
+def _extend_with(circuit: Circuit, fragment: Circuit, qubit_map: dict) -> None:
+    """Append ``fragment`` to ``circuit`` after relabelling its qubits."""
+    for inst in fragment:
+        circuit.append(inst.operation, tuple(qubit_map[q] for q in inst.qubits))
+
+
+def _decompose_two_qubit(inst: Instruction, target: Circuit) -> None:
+    """Append a native decomposition of a composite two-qubit gate to ``target``."""
+    gate = inst.operation
+    a, b = inst.qubits
+    qubit_map = {0: a, 1: b}
+    name = gate.name
+    params = gate.params
+
+    if name == "zzphase":
+        (theta,) = params
+        target.cx(a, b)
+        target.rz(theta, b)
+        target.cx(a, b)
+        return
+    if name == "xxphase":
+        (theta,) = params
+        _extend_with(target, pauli_exponential_circuit("XX", theta), qubit_map)
+        return
+    if name == "givens":
+        (theta,) = params
+        _extend_with(target, pauli_exponential_circuit("XY", -theta), qubit_map)
+        _extend_with(target, pauli_exponential_circuit("YX", theta), qubit_map)
+        return
+    if name == "cp":
+        (theta,) = params
+        target.append(_global_phase_gate(theta / 4.0), (a,))
+        target.rz(theta / 2.0, a)
+        target.rz(theta / 2.0, b)
+        # exp(+iθ/4 Z⊗Z) = ZZPhase(-θ/2), decomposed natively.
+        target.cx(a, b)
+        target.rz(-theta / 2.0, b)
+        target.cx(a, b)
+        return
+    if name == "crz":
+        (theta,) = params
+        target.rz(theta / 2.0, b)
+        target.cx(a, b)
+        target.rz(-theta / 2.0, b)
+        target.cx(a, b)
+        return
+    if name == "swap":
+        target.cx(a, b)
+        target.cx(b, a)
+        target.cx(a, b)
+        return
+    if name == "iswap":
+        # iSWAP = exp(+iπ/4 (XX + YY)) · … ; equivalently fsim(-π/2, 0).
+        _extend_with(target, pauli_exponential_circuit("XX", -math.pi / 2.0), qubit_map)
+        _extend_with(target, pauli_exponential_circuit("YY", -math.pi / 2.0), qubit_map)
+        return
+    if name == "fsim":
+        theta, phi = params
+        _extend_with(target, pauli_exponential_circuit("XX", theta), qubit_map)
+        _extend_with(target, pauli_exponential_circuit("YY", theta), qubit_map)
+        # The conditional phase e^{-iφ} on |11⟩ is a CPhase(-φ).
+        _decompose_two_qubit(Instruction(glib.CPhase(-phi), (a, b)), target)
+        return
+    raise ValidationError(f"no native decomposition known for two-qubit gate {name!r}")
+
+
+def decompose_to_native(circuit: Circuit) -> Circuit:
+    """Rewrite composite two-qubit gates into the native CX/CZ + rotation set.
+
+    Single-qubit gates, native two-qubit gates and noise channels pass through
+    unchanged; gates on three or more qubits are rejected (decompose them by
+    hand or avoid them for hardware-style circuits).
+    """
+    native = Circuit(circuit.num_qubits, name=f"{circuit.name}_native")
+    for inst in circuit:
+        if inst.is_noise or len(inst.qubits) == 1:
+            native.append(inst.operation, inst.qubits)
+            continue
+        if len(inst.qubits) != 2:
+            raise ValidationError(
+                "decompose_to_native handles 1- and 2-qubit gates only "
+                f"(got {len(inst.qubits)}-qubit gate {inst.name!r})"
+            )
+        if inst.operation.name in NATIVE_TWO_QUBIT:
+            native.append(inst.operation, inst.qubits)
+        else:
+            _decompose_two_qubit(inst, native)
+    return native
+
+
+def merge_single_qubit_gates(circuit: Circuit) -> Circuit:
+    """Fuse consecutive single-qubit gates on the same qubit into one unitary.
+
+    Noise channels and multi-qubit gates act as barriers on the qubits they
+    touch.  The merged gates are emitted as ``u`` gates carrying the fused
+    matrix.
+    """
+    merged = Circuit(circuit.num_qubits, name=f"{circuit.name}_merged")
+    pending: dict[int, np.ndarray] = {}
+
+    def flush(qubits) -> None:
+        for qubit in qubits:
+            matrix = pending.pop(qubit, None)
+            if matrix is None:
+                continue
+            if np.allclose(matrix, np.eye(2), atol=1e-12):
+                continue
+            merged.append(Gate("u", 1, matrix), (qubit,))
+
+    for inst in circuit:
+        if inst.is_gate and len(inst.qubits) == 1:
+            qubit = inst.qubits[0]
+            current = pending.get(qubit, np.eye(2, dtype=complex))
+            pending[qubit] = inst.operation.matrix @ current
+            continue
+        flush(inst.qubits)
+        merged.append(inst.operation, inst.qubits)
+    flush(list(pending.keys()))
+    return merged
+
+
+def count_two_qubit_gates(circuit: Circuit) -> int:
+    """Number of two-qubit gate instructions (a common hardware cost metric)."""
+    return sum(1 for inst in circuit if inst.is_gate and len(inst.qubits) == 2)

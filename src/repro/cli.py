@@ -1,0 +1,189 @@
+"""Command-line interface.
+
+Provides a small reproducibility tool around the library's main entry points::
+
+    python -m repro.cli simulate  --circuit qaoa_9 --noises 6 --level 1
+    python -m repro.cli compare   --circuit hf_6   --noises 4
+    python -m repro.cli decompose --channel depolarizing --parameter 0.01
+    python -m repro.cli bound     --noises 20 --rate 0.001 --level 1
+
+``simulate`` runs the approximation algorithm on a benchmark circuit with the
+paper's fault model, ``compare`` runs every applicable simulator on the same
+instance, ``decompose`` prints the SVD decomposition of a noise channel and
+``bound`` evaluates the Theorem-1 formulas without any simulation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.circuits.library import benchmark_circuit
+from repro.core import (
+    ApproximateNoisySimulator,
+    contraction_count,
+    decompose_noise,
+    theorem1_error_bound,
+)
+from repro.noise import (
+    NoiseModel,
+    SYCAMORE_LIKE_SPEC,
+    amplitude_damping_channel,
+    depolarizing_channel,
+    noise_rate,
+    phase_damping_channel,
+)
+from repro.simulators import DensityMatrixSimulator, TDDSimulator, TNSimulator
+from repro.utils import zero_state
+
+__all__ = ["main", "build_parser"]
+
+_CHANNEL_FACTORIES: Dict[str, Callable[[float], object]] = {
+    "depolarizing": depolarizing_channel,
+    "amplitude_damping": amplitude_damping_channel,
+    "phase_damping": phase_damping_channel,
+}
+
+
+def _make_noisy_circuit(args) -> object:
+    circuit = benchmark_circuit(args.circuit, seed=args.seed, native_gates=not args.composite_gates)
+    if args.noises <= 0:
+        return circuit
+    if args.channel == "superconducting":
+        model = NoiseModel(
+            lambda arity, rng: SYCAMORE_LIKE_SPEC.gate_noise(arity, rng), seed=args.seed
+        )
+    else:
+        factory = _CHANNEL_FACTORIES[args.channel]
+        model = NoiseModel(factory(args.parameter), seed=args.seed)
+    return model.insert_random(circuit, args.noises)
+
+
+def _cmd_simulate(args) -> int:
+    circuit = _make_noisy_circuit(args)
+    print(circuit.summary())
+    simulator = ApproximateNoisySimulator(level=args.level)
+    result = simulator.fidelity(circuit)
+    print(f"A({result.level})            = {result.value:.10f}")
+    print(f"Theorem-1 bound  = {result.error_bound:.3e}")
+    print(f"contractions     = {result.num_contractions}")
+    print(f"elapsed          = {result.elapsed_seconds:.3f} s")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    circuit = _make_noisy_circuit(args)
+    print(circuit.summary())
+    rows = []
+    methods = [
+        ("Ours (level %d)" % args.level, lambda: ApproximateNoisySimulator(level=args.level).fidelity(circuit).value),
+        ("TN exact", lambda: TNSimulator().fidelity(circuit)),
+        ("MM (density matrix)", lambda: DensityMatrixSimulator().fidelity(circuit, zero_state(circuit.num_qubits))),
+        ("TDD", lambda: TDDSimulator().fidelity(circuit)),
+    ]
+    for name, runner in methods:
+        start = time.perf_counter()
+        try:
+            value = runner()
+            elapsed = time.perf_counter() - start
+            rows.append([name, value, elapsed])
+        except (MemoryError, Exception) as exc:  # noqa: BLE001 - report and continue
+            rows.append([name, f"failed ({type(exc).__name__})", None])
+    print(format_table(["Method", "Fidelity", "Time (s)"], rows, title="Method comparison"))
+    return 0
+
+
+def _cmd_decompose(args) -> int:
+    if args.channel == "superconducting":
+        channel = SYCAMORE_LIKE_SPEC.gate_noise(1, rng=args.seed)
+    else:
+        channel = _CHANNEL_FACTORIES[args.channel](args.parameter)
+    decomposition = decompose_noise(channel)
+    print(f"channel          : {channel.name}")
+    print(f"noise rate       : {decomposition.noise_rate:.6e}")
+    print(f"singular values  : {[f'{v:.6f}' for v in decomposition.singular_values]}")
+    print(f"dominant error   : {decomposition.dominant_error():.6e}  (Lemma-2 bound "
+          f"{4 * decomposition.noise_rate:.6e})")
+    if args.verbose:
+        for index, (u, v) in enumerate(decomposition.terms):
+            print(f"-- term {index}: U =\n{np.round(u, 6)}\nV =\n{np.round(v, 6)}")
+    return 0
+
+
+def _cmd_bound(args) -> int:
+    rows = []
+    for level in range(args.max_level + 1):
+        rows.append(
+            [
+                level,
+                theorem1_error_bound(args.noises, args.rate, level),
+                contraction_count(args.noises, level),
+            ]
+        )
+    print(
+        format_table(
+            ["Level", "Theorem-1 bound", "Contractions"],
+            rows,
+            title=f"N = {args.noises} noises, rate p = {args.rate:g}",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_circuit_options(sub):
+        sub.add_argument("--circuit", default="qaoa_9",
+                         help="benchmark name: qaoa_N, hf_N, inst_RxC_D, ghz_N, qft_N")
+        sub.add_argument("--noises", type=int, default=6, help="number of injected noises")
+        sub.add_argument("--channel", default="superconducting",
+                         choices=sorted(_CHANNEL_FACTORIES) + ["superconducting"])
+        sub.add_argument("--parameter", type=float, default=0.001,
+                         help="channel parameter (ignored for the superconducting model)")
+        sub.add_argument("--seed", type=int, default=7)
+        sub.add_argument("--composite-gates", action="store_true",
+                         help="use composite gates (ZZ/Givens) instead of the native decomposition")
+
+    simulate = subparsers.add_parser("simulate", help="run the approximation algorithm")
+    add_circuit_options(simulate)
+    simulate.add_argument("--level", type=int, default=1)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    compare = subparsers.add_parser("compare", help="run every applicable simulator")
+    add_circuit_options(compare)
+    compare.add_argument("--level", type=int, default=1)
+    compare.set_defaults(func=_cmd_compare)
+
+    decompose = subparsers.add_parser("decompose", help="SVD-decompose a noise channel")
+    decompose.add_argument("--channel", default="depolarizing",
+                           choices=sorted(_CHANNEL_FACTORIES) + ["superconducting"])
+    decompose.add_argument("--parameter", type=float, default=0.01)
+    decompose.add_argument("--seed", type=int, default=7)
+    decompose.add_argument("--verbose", action="store_true")
+    decompose.set_defaults(func=_cmd_decompose)
+
+    bound = subparsers.add_parser("bound", help="evaluate the Theorem-1 bound")
+    bound.add_argument("--noises", type=int, required=True)
+    bound.add_argument("--rate", type=float, required=True)
+    bound.add_argument("--max-level", type=int, default=3)
+    bound.set_defaults(func=_cmd_bound)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

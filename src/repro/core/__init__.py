@@ -1,0 +1,60 @@
+"""The paper's core contribution: SVD-based approximate noisy simulation.
+
+* :mod:`repro.core.matrix_rep` — matrix representation ``M_E`` and the tensor
+  permutation (Section III / Fig. 3a).
+* :mod:`repro.core.svd_decomposition` — ``M_E = Σ_i U_i ⊗ V_i`` (Fig. 3b-c).
+* :mod:`repro.core.approximation` — Algorithm 1 (level-``l`` approximation).
+* :mod:`repro.core.error_bounds` — Lemmas 1-2 and Theorem 1.
+* :mod:`repro.core.elements` — arbitrary density-matrix elements via the
+  polarisation identity.
+"""
+
+from repro.core.approximation import ApproximateNoisySimulator, ApproximationResult
+from repro.core.elements import estimate_density_matrix, estimate_matrix_element
+from repro.core.error_bounds import (
+    contraction_count,
+    lemma1_bound,
+    lemma2_bound,
+    level1_error_bound_simplified,
+    terms_per_level,
+    theorem1_error_bound,
+)
+from repro.core.path_truncation import (
+    PathTruncatedSimulator,
+    PathTruncationResult,
+    enumerate_paths_by_weight,
+)
+from repro.core.matrix_rep import (
+    matrix_representation,
+    noise_rate_from_matrix,
+    tensor_permutation,
+    unitary_matrix_representation,
+)
+from repro.core.svd_decomposition import (
+    NoiseTermDecomposition,
+    decompose_matrix_representation,
+    decompose_noise,
+)
+
+__all__ = [
+    "ApproximateNoisySimulator",
+    "ApproximationResult",
+    "PathTruncatedSimulator",
+    "PathTruncationResult",
+    "enumerate_paths_by_weight",
+    "estimate_matrix_element",
+    "estimate_density_matrix",
+    "matrix_representation",
+    "unitary_matrix_representation",
+    "tensor_permutation",
+    "noise_rate_from_matrix",
+    "NoiseTermDecomposition",
+    "decompose_noise",
+    "decompose_matrix_representation",
+    "theorem1_error_bound",
+    "level1_error_bound_simplified",
+    "lemma1_bound",
+    "lemma2_bound",
+    "contraction_count",
+    "terms_per_level",
+]

@@ -1,0 +1,76 @@
+"""Matrix (superoperator) representation of channels and the tensor permutation.
+
+These are the two primitives of the paper's Section III/IV:
+
+* ``matrix_representation(E) = M_E = Σ_k E_k ⊗ E_k*`` satisfies
+  ``M_E · vec_row(rho) = vec_row(E(rho))`` and, applied to doubled boundary
+  states, ``(⟨v| ⊗ ⟨v*|) M_E (|ψ⟩ ⊗ |ψ*⟩) = ⟨v| E(|ψ⟩⟨ψ|) |v⟩``.
+* ``tensor_permutation(M)`` is the reshuffle that turns the 4-index tensor
+  ``M[(i1 i2), (j1 j2)]`` into ``~M[(i1 j1), (i2 j2)]`` (the paper's Fig. 3a).
+  For the matrix representation of a CP map this equals the Choi matrix built
+  with row-major vectorisation, which is why its SVD recovers a canonical
+  Kraus-like decomposition.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.noise.kraus import KrausChannel
+from repro.utils.linalg import operator_norm
+from repro.utils.validation import ValidationError, check_power_of_two, check_square
+
+__all__ = [
+    "matrix_representation",
+    "unitary_matrix_representation",
+    "tensor_permutation",
+    "noise_rate_from_matrix",
+]
+
+
+def matrix_representation(channel: KrausChannel | Sequence[np.ndarray]) -> np.ndarray:
+    """Return ``M_E = Σ_k E_k ⊗ E_k*`` for a channel or a list of Kraus matrices."""
+    if isinstance(channel, KrausChannel):
+        operators = channel.kraus_operators
+    else:
+        operators = [check_square(op, name="Kraus operator") for op in channel]
+        if not operators:
+            raise ValidationError("need at least one Kraus operator")
+    dim = operators[0].shape[0]
+    result = np.zeros((dim * dim, dim * dim), dtype=complex)
+    for op in operators:
+        result += np.kron(op, op.conj())
+    return result
+
+
+def unitary_matrix_representation(unitary: np.ndarray) -> np.ndarray:
+    """Return ``M_U = U ⊗ U*`` for a unitary gate."""
+    unitary = check_square(unitary, name="unitary")
+    return np.kron(unitary, unitary.conj())
+
+
+def tensor_permutation(matrix: np.ndarray) -> np.ndarray:
+    """Return the tensor permutation ``~M`` of a ``d² x d²`` matrix ``M``.
+
+    Treating ``M`` as a rank-4 tensor ``M[i1, i2, j1, j2]`` with row index
+    ``(i1, i2)`` and column index ``(j1, j2)``, the permutation returns the
+    matrix with row ``(i1, j1)`` and column ``(i2, j2)``.  It is an involution
+    (``tensor_permutation(tensor_permutation(M)) == M``), which Lemma 2 uses.
+    """
+    matrix = check_square(matrix, name="matrix")
+    total = matrix.shape[0]
+    dim = int(round(np.sqrt(total)))
+    if dim * dim != total:
+        raise ValidationError(
+            f"matrix of dimension {total} is not of the form d² x d² required by the permutation"
+        )
+    tensor = matrix.reshape(dim, dim, dim, dim)
+    return tensor.transpose(0, 2, 1, 3).reshape(total, total)
+
+
+def noise_rate_from_matrix(matrix_rep: np.ndarray) -> float:
+    """Return ``‖M_E − I‖`` given the matrix representation of a channel."""
+    matrix_rep = check_square(matrix_rep, name="matrix representation")
+    return operator_norm(matrix_rep - np.eye(matrix_rep.shape[0]))

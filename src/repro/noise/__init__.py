@@ -1,0 +1,54 @@
+"""Quantum noise: Kraus channels, standard noise models and metrics."""
+
+from repro.noise.channels import (
+    amplitude_damping_channel,
+    bit_flip_channel,
+    bit_phase_flip_channel,
+    coherent_overrotation_channel,
+    depolarizing_channel,
+    generalized_amplitude_damping_channel,
+    pauli_channel,
+    phase_damping_channel,
+    phase_flip_channel,
+    two_qubit_depolarizing_channel,
+)
+from repro.noise.kraus import KrausChannel
+from repro.noise.metrics import (
+    average_gate_fidelity,
+    channel_distance,
+    diamond_norm_upper_bound,
+    noise_rate,
+    process_fidelity,
+)
+from repro.noise.noise_model import NoiseModel, insert_noise_after_gates
+from repro.noise.readout import ReadoutErrorModel
+from repro.noise.superconducting import (
+    SYCAMORE_LIKE_SPEC,
+    SuperconductingNoiseSpec,
+    thermal_relaxation_channel,
+)
+
+__all__ = [
+    "KrausChannel",
+    "NoiseModel",
+    "insert_noise_after_gates",
+    "depolarizing_channel",
+    "bit_flip_channel",
+    "phase_flip_channel",
+    "bit_phase_flip_channel",
+    "pauli_channel",
+    "amplitude_damping_channel",
+    "generalized_amplitude_damping_channel",
+    "phase_damping_channel",
+    "two_qubit_depolarizing_channel",
+    "coherent_overrotation_channel",
+    "noise_rate",
+    "channel_distance",
+    "process_fidelity",
+    "average_gate_fidelity",
+    "diamond_norm_upper_bound",
+    "thermal_relaxation_channel",
+    "SuperconductingNoiseSpec",
+    "SYCAMORE_LIKE_SPEC",
+    "ReadoutErrorModel",
+]

@@ -1,0 +1,173 @@
+"""Kraus-operator representation of quantum channels.
+
+A quantum channel (super-operator) ``E`` acts on density matrices as
+
+``E(rho) = Σ_k E_k rho E_k†``  with the completeness condition ``Σ_k E_k† E_k = I``.
+
+:class:`KrausChannel` stores the Kraus matrices, validates the completeness
+condition, and provides the operations the rest of the library needs:
+applying the channel to density matrices, composing and tensoring channels,
+and converting to the superoperator (matrix) representation used by the
+paper's doubled tensor-network diagram.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.linalg import dagger, kron_all, operator_norm
+from repro.utils.validation import ValidationError, check_power_of_two, check_square
+
+__all__ = ["KrausChannel"]
+
+
+class KrausChannel:
+    """A completely-positive trace-preserving (CPTP) map in Kraus form."""
+
+    def __init__(
+        self,
+        kraus_operators: Sequence[np.ndarray],
+        name: str = "channel",
+        atol: float = 1e-7,
+        validate: bool = True,
+    ) -> None:
+        operators = [check_square(op, name=f"Kraus operator of {name}") for op in kraus_operators]
+        if not operators:
+            raise ValidationError(f"channel {name!r} needs at least one Kraus operator")
+        dim = operators[0].shape[0]
+        for op in operators:
+            if op.shape[0] != dim:
+                raise ValidationError(f"channel {name!r} has Kraus operators of mixed dimension")
+        num_qubits = check_power_of_two(dim, name=f"dimension of {name}")
+
+        self.name = str(name)
+        self.num_qubits = num_qubits
+        self._kraus: Tuple[np.ndarray, ...] = tuple(operators)
+        if validate:
+            total = sum(dagger(op) @ op for op in operators)
+            if not np.allclose(total, np.eye(dim), atol=atol):
+                raise ValidationError(
+                    f"channel {self.name!r} is not trace preserving: "
+                    f"Σ E_k† E_k deviates from identity by {operator_norm(total - np.eye(dim)):.3e}"
+                )
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def kraus_operators(self) -> Tuple[np.ndarray, ...]:
+        """The Kraus matrices ``(E_k)``."""
+        return self._kraus
+
+    @property
+    def num_kraus(self) -> int:
+        """Number of Kraus operators."""
+        return len(self._kraus)
+
+    @property
+    def dim(self) -> int:
+        """Hilbert-space dimension the channel acts on."""
+        return 2**self.num_qubits
+
+    def __iter__(self):
+        return iter(self._kraus)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<KrausChannel {self.name!r} qubits={self.num_qubits} kraus={self.num_kraus}>"
+
+    # ------------------------------------------------------------------
+    # Channel actions and representations
+    # ------------------------------------------------------------------
+    def apply(self, rho: np.ndarray) -> np.ndarray:
+        """Apply the channel to a density matrix ``rho`` of matching dimension."""
+        rho = check_square(rho, name="rho")
+        if rho.shape[0] != self.dim:
+            raise ValidationError(
+                f"channel acts on dimension {self.dim}, state has dimension {rho.shape[0]}"
+            )
+        return sum(op @ rho @ dagger(op) for op in self._kraus)
+
+    def __call__(self, rho: np.ndarray) -> np.ndarray:
+        return self.apply(rho)
+
+    def matrix_representation(self) -> np.ndarray:
+        """Return ``M_E = Σ_k E_k ⊗ E_k*`` (the paper's matrix representation)."""
+        return sum(np.kron(op, op.conj()) for op in self._kraus)
+
+    def choi_matrix(self) -> np.ndarray:
+        """Return the Choi matrix ``Σ_k vec(E_k) vec(E_k)†`` (row-major vec).
+
+        This equals the *tensor permutation* of the matrix representation used
+        in the paper's SVD step, and is Hermitian positive semidefinite for
+        any CP map.
+        """
+        vecs = [op.reshape(-1) for op in self._kraus]
+        dim2 = self.dim**2
+        choi = np.zeros((dim2, dim2), dtype=complex)
+        for vec in vecs:
+            choi += np.outer(vec, vec.conj())
+        return choi
+
+    def is_unital(self, atol: float = 1e-8) -> bool:
+        """True when the channel maps the identity to itself (``Σ E_k E_k† = I``)."""
+        total = sum(op @ dagger(op) for op in self._kraus)
+        return bool(np.allclose(total, np.eye(self.dim), atol=atol))
+
+    def is_unitary_channel(self, atol: float = 1e-8) -> bool:
+        """True when the channel is (equivalent to) conjugation by a single unitary."""
+        if self.num_kraus == 1:
+            return True
+        # More than one Kraus operator may still represent a unitary channel if
+        # all but one are numerically zero.
+        norms = [operator_norm(op) for op in self._kraus]
+        return sum(n > atol for n in norms) <= 1
+
+    # ------------------------------------------------------------------
+    # Constructions
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_unitary(matrix: np.ndarray, name: str = "unitary") -> "KrausChannel":
+        """Wrap a unitary matrix as a single-Kraus channel."""
+        return KrausChannel([np.asarray(matrix, dtype=complex)], name=name)
+
+    def compose(self, other: "KrausChannel", name: str | None = None) -> "KrausChannel":
+        """Return the composition ``other ∘ self`` (``self`` applied first)."""
+        if other.dim != self.dim:
+            raise ValidationError("cannot compose channels of different dimension")
+        operators = [b @ a for a in self._kraus for b in other._kraus]
+        return KrausChannel(operators, name=name or f"{other.name}∘{self.name}")
+
+    def tensor(self, other: "KrausChannel", name: str | None = None) -> "KrausChannel":
+        """Return the tensor product channel ``self ⊗ other``."""
+        operators = [np.kron(a, b) for a in self._kraus for b in other._kraus]
+        return KrausChannel(operators, name=name or f"{self.name}⊗{other.name}")
+
+    def conjugate(self) -> "KrausChannel":
+        """Return the channel with entry-wise conjugated Kraus operators."""
+        return KrausChannel([op.conj() for op in self._kraus], name=f"{self.name}*")
+
+    def canonical_kraus(self, atol: float = 1e-12) -> "KrausChannel":
+        """Return an equivalent channel with canonical (orthogonal) Kraus operators.
+
+        The canonical form is obtained from the eigendecomposition of the Choi
+        matrix; operators are sorted by decreasing weight and numerically-zero
+        operators are dropped.  The dominant canonical Kraus operator is
+        exactly the paper's ``U_0`` (up to the √d₀ scale split).
+        """
+        choi = self.choi_matrix()
+        eigenvalues, eigenvectors = np.linalg.eigh(choi)
+        operators: List[np.ndarray] = []
+        order = np.argsort(eigenvalues)[::-1]
+        for idx in order:
+            value = eigenvalues[idx]
+            if value <= atol:
+                continue
+            operators.append(np.sqrt(value) * eigenvectors[:, idx].reshape(self.dim, self.dim))
+        return KrausChannel(operators, name=f"{self.name}_canonical")
+
+    @staticmethod
+    def identity(num_qubits: int = 1) -> "KrausChannel":
+        """The identity channel on ``num_qubits`` qubits."""
+        return KrausChannel([np.eye(2**num_qubits, dtype=complex)], name="identity")

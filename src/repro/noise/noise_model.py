@@ -1,0 +1,180 @@
+"""Noise models: attaching Kraus channels to ideal circuits.
+
+The paper's fault-injection methodology is: *"Each decoherence noise is
+appended after a randomly chosen gate in the circuit."*  :class:`NoiseModel`
+implements exactly that (``insert_random``), plus two standard alternatives
+used by the extended experiments: noise after every gate, and noise at
+explicitly chosen positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.noise.kraus import KrausChannel
+from repro.utils.validation import ValidationError
+
+__all__ = ["NoiseModel", "insert_noise_after_gates"]
+
+#: A factory mapping (gate arity, rng) -> channel.  Allows calibration-style
+#: models where every injected noise is slightly different.
+ChannelFactory = Callable[[int, np.random.Generator], KrausChannel]
+
+
+def _constant_factory(channel: KrausChannel) -> ChannelFactory:
+    def factory(_arity: int, _rng: np.random.Generator) -> KrausChannel:
+        return channel
+
+    return factory
+
+
+@dataclass
+class NoiseModel:
+    """Describes how noise channels are injected into an ideal circuit.
+
+    Parameters
+    ----------
+    channel:
+        Either a fixed :class:`KrausChannel` applied at every injection point,
+        or a callable ``(gate_arity, rng) -> KrausChannel``.
+    seed:
+        Seed for the injection-point selection (and channel sampling).
+    """
+
+    channel: KrausChannel | ChannelFactory
+    seed: int | None = None
+
+    def _factory(self) -> ChannelFactory:
+        if isinstance(self.channel, KrausChannel):
+            return _constant_factory(self.channel)
+        if callable(self.channel):
+            return self.channel
+        raise ValidationError("channel must be a KrausChannel or a callable factory")
+
+    # ------------------------------------------------------------------
+    # Injection strategies
+    # ------------------------------------------------------------------
+    def insert_random(
+        self,
+        circuit: Circuit,
+        num_noises: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> Circuit:
+        """Append ``num_noises`` noise channels after randomly chosen gates.
+
+        Each selected gate gets one single-qubit noise channel on one of its
+        qubits (chosen uniformly), reproducing the paper's fault model.  Gates
+        are chosen without replacement while possible; if ``num_noises``
+        exceeds the gate count, selection continues with replacement.
+        """
+        if num_noises < 0:
+            raise ValidationError("num_noises must be non-negative")
+        if circuit.gate_count() == 0 and num_noises > 0:
+            raise ValidationError("cannot inject noise into a circuit with no gates")
+        rng = np.random.default_rng(self.seed if rng is None else rng)
+        factory = self._factory()
+
+        gate_indices = [i for i, inst in enumerate(circuit) if inst.is_gate]
+        if num_noises <= len(gate_indices):
+            chosen = rng.choice(len(gate_indices), size=num_noises, replace=False)
+        else:
+            chosen = rng.choice(len(gate_indices), size=num_noises, replace=True)
+        chosen_positions = sorted(gate_indices[int(c)] for c in chosen)
+
+        noisy = Circuit(circuit.num_qubits, name=f"{circuit.name}_noisy{num_noises}")
+        insertion_map: dict[int, List[int]] = {}
+        for pos in chosen_positions:
+            insertion_map.setdefault(pos, []).append(pos)
+
+        for index, inst in enumerate(circuit):
+            noisy.append(inst.operation, inst.qubits)
+            for _ in insertion_map.get(index, []):
+                channel = factory(len(inst.qubits), rng)
+                if channel.num_qubits == 1:
+                    qubit = int(rng.choice(inst.qubits))
+                    noisy.append(channel, (qubit,))
+                elif channel.num_qubits == len(inst.qubits):
+                    noisy.append(channel, inst.qubits)
+                else:
+                    raise ValidationError(
+                        f"channel acts on {channel.num_qubits} qubits but the gate has "
+                        f"{len(inst.qubits)}"
+                    )
+        return noisy
+
+    def insert_after_every_gate(
+        self,
+        circuit: Circuit,
+        rng: np.random.Generator | int | None = None,
+        only_two_qubit_gates: bool = False,
+    ) -> Circuit:
+        """Append one noise channel after every gate (or every 2-qubit gate)."""
+        rng = np.random.default_rng(self.seed if rng is None else rng)
+        factory = self._factory()
+        noisy = Circuit(circuit.num_qubits, name=f"{circuit.name}_full_noise")
+        for inst in circuit:
+            noisy.append(inst.operation, inst.qubits)
+            if not inst.is_gate:
+                continue
+            if only_two_qubit_gates and len(inst.qubits) < 2:
+                continue
+            channel = factory(len(inst.qubits), rng)
+            if channel.num_qubits == 1:
+                for qubit in inst.qubits:
+                    noisy.append(channel, (qubit,))
+            else:
+                noisy.append(channel, inst.qubits)
+        return noisy
+
+    def insert_at(
+        self,
+        circuit: Circuit,
+        positions: Sequence[int],
+        qubits: Sequence[int] | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> Circuit:
+        """Insert noise immediately after the instructions at the given positions.
+
+        ``positions`` index instructions of the *input* circuit; ``qubits``
+        optionally pins the target qubit of each injected single-qubit noise
+        (defaults to the first qubit of the preceding instruction).
+        """
+        rng = np.random.default_rng(self.seed if rng is None else rng)
+        factory = self._factory()
+        positions = [int(p) for p in positions]
+        for pos in positions:
+            if not 0 <= pos < len(circuit):
+                raise ValidationError(f"position {pos} out of range for circuit of length {len(circuit)}")
+        if qubits is not None and len(qubits) != len(positions):
+            raise ValidationError("qubits must have the same length as positions")
+
+        insertion_map: dict[int, List[int | None]] = {}
+        for i, pos in enumerate(positions):
+            insertion_map.setdefault(pos, []).append(None if qubits is None else int(qubits[i]))
+
+        noisy = Circuit(circuit.num_qubits, name=f"{circuit.name}_noisy")
+        for index, inst in enumerate(circuit):
+            noisy.append(inst.operation, inst.qubits)
+            for target in insertion_map.get(index, []):
+                channel = factory(len(inst.qubits), rng)
+                if channel.num_qubits == 1:
+                    qubit = inst.qubits[0] if target is None else target
+                    noisy.append(channel, (qubit,))
+                else:
+                    noisy.append(channel, inst.qubits)
+        return noisy
+
+
+def insert_noise_after_gates(
+    circuit: Circuit,
+    channel: KrausChannel,
+    num_noises: int,
+    seed: int | None = None,
+) -> Circuit:
+    """Convenience wrapper for the paper's fault model with a fixed channel."""
+    model = NoiseModel(channel=channel, seed=seed)
+    return model.insert_random(circuit, num_noises)

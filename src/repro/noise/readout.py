@@ -1,0 +1,115 @@
+"""Classical readout (measurement) error model.
+
+Superconducting devices mis-assign measurement outcomes with per-qubit
+probabilities ``P(read 1 | state 0)`` and ``P(read 0 | state 1)`` of a few
+percent — often a larger effect than a single gate's decoherence.  The model
+here is the standard tensor-product confusion matrix: it post-processes ideal
+measurement probabilities or sampled counts, and can also be *applied in
+reverse* (readout mitigation by inverting the confusion matrix), which the
+examples use to show how much of the noisy-simulation signal measurement
+errors would additionally eat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.utils.validation import ValidationError, check_probability
+
+__all__ = ["ReadoutErrorModel"]
+
+
+@dataclass(frozen=True)
+class ReadoutErrorModel:
+    """Tensor-product readout confusion model.
+
+    ``p01`` is the probability of reading ``1`` when the qubit is in ``|0⟩``,
+    ``p10`` of reading ``0`` when it is in ``|1⟩``; either a scalar (same for
+    every qubit) or one value per qubit.
+    """
+
+    num_qubits: int
+    p01: Sequence[float] | float = 0.01
+    p10: Sequence[float] | float = 0.03
+
+    def __post_init__(self) -> None:
+        if self.num_qubits <= 0:
+            raise ValidationError("num_qubits must be positive")
+        object.__setattr__(self, "p01", self._normalise(self.p01, "p01"))
+        object.__setattr__(self, "p10", self._normalise(self.p10, "p10"))
+
+    def _normalise(self, values, name: str):
+        if np.isscalar(values):
+            values = [float(values)] * self.num_qubits
+        values = [check_probability(v, name) for v in values]
+        if len(values) != self.num_qubits:
+            raise ValidationError(f"{name} must have one entry per qubit")
+        return tuple(values)
+
+    # ------------------------------------------------------------------
+    def confusion_matrix(self, qubit: int) -> np.ndarray:
+        """The 2x2 column-stochastic confusion matrix of one qubit."""
+        if not 0 <= qubit < self.num_qubits:
+            raise ValidationError(f"qubit {qubit} out of range")
+        p01, p10 = self.p01[qubit], self.p10[qubit]
+        return np.array([[1.0 - p01, p10], [p01, 1.0 - p10]])
+
+    def full_confusion_matrix(self) -> np.ndarray:
+        """The ``2**n x 2**n`` confusion matrix (small registers only)."""
+        if self.num_qubits > 12:
+            raise ValidationError("dense confusion matrix limited to 12 qubits")
+        matrix = np.array([[1.0]])
+        for qubit in range(self.num_qubits):
+            matrix = np.kron(matrix, self.confusion_matrix(qubit))
+        return matrix
+
+    # ------------------------------------------------------------------
+    def apply_to_probabilities(self, probabilities: np.ndarray) -> np.ndarray:
+        """Return the distribution actually observed after readout errors."""
+        probabilities = np.asarray(probabilities, dtype=float).ravel()
+        if probabilities.size != 2**self.num_qubits:
+            raise ValidationError("probability vector size does not match the register")
+        return self.full_confusion_matrix() @ probabilities
+
+    def mitigate_probabilities(self, observed: np.ndarray, clip: bool = True) -> np.ndarray:
+        """Invert the confusion matrix (simple readout-error mitigation)."""
+        observed = np.asarray(observed, dtype=float).ravel()
+        if observed.size != 2**self.num_qubits:
+            raise ValidationError("probability vector size does not match the register")
+        mitigated = np.linalg.solve(self.full_confusion_matrix(), observed)
+        if clip:
+            mitigated = np.clip(mitigated, 0.0, None)
+            total = mitigated.sum()
+            if total > 0:
+                mitigated = mitigated / total
+        return mitigated
+
+    def apply_to_counts(
+        self, counts: Dict[str, int], rng: np.random.Generator | int | None = None
+    ) -> Dict[str, int]:
+        """Flip sampled outcome bits according to the per-qubit error rates."""
+        rng = np.random.default_rng(rng)
+        noisy_counts: Dict[str, int] = {}
+        for bitstring, count in counts.items():
+            if len(bitstring) != self.num_qubits:
+                raise ValidationError("bitstring width does not match the register")
+            for _ in range(int(count)):
+                flipped = []
+                for qubit, bit in enumerate(bitstring):
+                    if bit == "0":
+                        flipped.append("1" if rng.random() < self.p01[qubit] else "0")
+                    else:
+                        flipped.append("0" if rng.random() < self.p10[qubit] else "1")
+                key = "".join(flipped)
+                noisy_counts[key] = noisy_counts.get(key, 0) + 1
+        return noisy_counts
+
+    def assignment_fidelity(self) -> float:
+        """Average probability of reading out the prepared basis state correctly."""
+        total = 0.0
+        for qubit in range(self.num_qubits):
+            total += 1.0 - 0.5 * (self.p01[qubit] + self.p10[qubit])
+        return total / self.num_qubits

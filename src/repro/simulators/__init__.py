@@ -1,0 +1,44 @@
+"""Simulation backends.
+
+Accurate methods (the paper's Table II baselines):
+
+* :class:`StatevectorSimulator` — dense noiseless simulation.
+* :class:`DensityMatrixSimulator` — MM-based noisy simulation.
+* :class:`TNSimulator` — tensor-network noisy simulation (Section III diagram).
+* :class:`TDDSimulator` — decision-diagram noisy simulation.
+
+Approximate methods:
+
+* :class:`TrajectorySimulator` — quantum trajectories (MM and TN backends).
+* :class:`MPSSimulator` — matrix-product-state simulation with bond truncation.
+
+The paper's own approximation algorithm lives in :mod:`repro.core`.
+"""
+
+from repro.simulators.density_matrix import (
+    DensityMatrixSimulator,
+    apply_channel_to_density,
+    apply_matrix_to_density,
+)
+from repro.simulators.mpdo import MatrixProductDensityOperator, MPDOSimulator
+from repro.simulators.mps import MatrixProductState, MPSSimulator
+from repro.simulators.statevector import StatevectorSimulator, apply_matrix
+from repro.simulators.tdd import TDDSimulator
+from repro.simulators.tn_simulator import TNSimulator
+from repro.simulators.trajectories import TrajectoryResult, TrajectorySimulator
+
+__all__ = [
+    "StatevectorSimulator",
+    "apply_matrix",
+    "DensityMatrixSimulator",
+    "apply_matrix_to_density",
+    "apply_channel_to_density",
+    "TNSimulator",
+    "TDDSimulator",
+    "TrajectorySimulator",
+    "TrajectoryResult",
+    "MPSSimulator",
+    "MatrixProductState",
+    "MPDOSimulator",
+    "MatrixProductDensityOperator",
+]

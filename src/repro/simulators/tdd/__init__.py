@@ -1,0 +1,15 @@
+"""Decision-diagram (TDD/QMDD style) simulation backend."""
+
+from repro.simulators.tdd.diagram import DDContext, MatrixDD
+from repro.simulators.tdd.node import DDEdge, DDNode, TERMINAL, UniqueTable
+from repro.simulators.tdd.simulator import TDDSimulator
+
+__all__ = [
+    "DDContext",
+    "MatrixDD",
+    "DDEdge",
+    "DDNode",
+    "TERMINAL",
+    "UniqueTable",
+    "TDDSimulator",
+]

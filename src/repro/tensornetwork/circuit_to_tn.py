@@ -1,0 +1,333 @@
+"""Builders turning circuits into tensor networks.
+
+Three diagrams are needed by the library:
+
+1. ``circuit_amplitude_network`` — the ordinary (noiseless) amplitude
+   ``⟨v| U_d … U_1 |ψ⟩`` as an ``n``-rail network.
+2. ``noisy_doubled_network`` — the paper's Section-III diagram: a ``2n``-rail
+   network in which every gate ``U`` appears twice (``U`` on the upper rails
+   and ``U*`` on the mirrored lower rails) and every noise channel appears as
+   its matrix representation ``M_E = Σ_k E_k ⊗ E_k*`` coupling upper and
+   lower rails.  Contracting it yields ``⟨v| E_N(|ψ⟩⟨ψ|) |v⟩`` exactly.
+3. ``substituted_split_networks`` — the diagrams used by Algorithm 1: when
+   every noise is substituted by a Kronecker product ``U_i ⊗ V_i`` the doubled
+   network falls apart into two independent ``n``-rail networks which are
+   contracted separately and multiplied.
+
+States are given either as bitstrings (``"0100"``), per-qubit vectors, or a
+dense statevector.  Product-state forms keep every boundary tensor rank-1 so
+the contraction stays cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.tensornetwork.network import TensorNetwork
+from repro.utils.validation import ValidationError
+
+__all__ = [
+    "StateLike",
+    "resolve_product_state",
+    "operator_amplitude_network",
+    "circuit_amplitude_network",
+    "noisy_doubled_network",
+    "noisy_observable_network",
+    "substituted_split_networks",
+]
+
+#: Accepted state descriptions: bitstring, per-qubit vectors, or a dense vector.
+StateLike = Union[str, Sequence[np.ndarray], np.ndarray]
+
+
+def resolve_product_state(state: StateLike, num_qubits: int) -> List[np.ndarray] | np.ndarray:
+    """Normalise a state description.
+
+    Returns a list of per-qubit 2-vectors when the state is a product state
+    (bitstring or explicit factor list) and a dense ``2**n`` vector otherwise.
+    """
+    if isinstance(state, str):
+        if len(state) != num_qubits or any(c not in "01+-" for c in state):
+            raise ValidationError(
+                f"bitstring {state!r} is not a valid {num_qubits}-qubit product state "
+                "(characters 0, 1, +, - allowed)"
+            )
+        lookup = {
+            "0": np.array([1.0, 0.0], dtype=complex),
+            "1": np.array([0.0, 1.0], dtype=complex),
+            "+": np.array([1.0, 1.0], dtype=complex) / np.sqrt(2.0),
+            "-": np.array([1.0, -1.0], dtype=complex) / np.sqrt(2.0),
+        }
+        return [lookup[c] for c in state]
+
+    if isinstance(state, (list, tuple)) and len(state) == num_qubits and all(
+        np.asarray(factor).size == 2 for factor in state
+    ):
+        return [np.asarray(factor, dtype=complex).ravel() for factor in state]
+
+    dense = np.asarray(state, dtype=complex).ravel()
+    if dense.size != 2**num_qubits:
+        raise ValidationError(
+            f"state of length {dense.size} does not match {num_qubits} qubits"
+        )
+    return dense
+
+
+def _add_boundary(
+    network: TensorNetwork,
+    state: StateLike,
+    num_qubits: int,
+    conjugate: bool,
+    label: str,
+) -> List:
+    """Add input/output boundary nodes and return one dangling edge per qubit."""
+    resolved = resolve_product_state(state, num_qubits)
+    edges = []
+    if isinstance(resolved, list):
+        for qubit, factor in enumerate(resolved):
+            vec = factor.conj() if conjugate else factor
+            node = network.add_node(vec, name=f"{label}{qubit}")
+            edges.append(node.edges[0])
+    else:
+        vec = resolved.conj() if conjugate else resolved
+        node = network.add_node(vec.reshape([2] * num_qubits), name=label)
+        edges.extend(node.edges)
+    return edges
+
+
+def operator_amplitude_network(
+    num_qubits: int,
+    operations: Sequence[Tuple[np.ndarray, Sequence[int]]],
+    input_state: StateLike,
+    output_state: StateLike,
+    name: str = "amplitude",
+    max_intermediate_size: int | None = None,
+) -> TensorNetwork:
+    """Build the network for ``⟨v| O_d … O_1 |ψ⟩`` with arbitrary matrices ``O_i``.
+
+    ``operations`` lists ``(matrix, qubits)`` pairs in application order; the
+    matrices need not be unitary (the approximation algorithm inserts the SVD
+    factors ``U_i``/``V_i`` here).
+    """
+    network = TensorNetwork(name=name, max_intermediate_size=max_intermediate_size)
+    open_edges = _add_boundary(network, input_state, num_qubits, conjugate=False, label="in")
+
+    for op_index, (matrix, qubits) in enumerate(operations):
+        qubits = [int(q) for q in qubits]
+        k = len(qubits)
+        matrix = np.asarray(matrix, dtype=complex)
+        if matrix.shape != (2**k, 2**k):
+            raise ValidationError(
+                f"operation {op_index} has shape {matrix.shape}, expected {(2**k, 2**k)}"
+            )
+        for q in qubits:
+            if not 0 <= q < num_qubits:
+                raise ValidationError(f"operation {op_index} touches invalid qubit {q}")
+        node = network.add_node(matrix.reshape([2] * (2 * k)), name=f"op{op_index}")
+        for j, qubit in enumerate(qubits):
+            network.connect(node.edges[k + j], open_edges[qubit])
+            open_edges[qubit] = node.edges[j]
+
+    output_edges = _add_boundary(network, output_state, num_qubits, conjugate=True, label="out")
+    for qubit in range(num_qubits):
+        network.connect(output_edges[qubit], open_edges[qubit])
+    return network
+
+
+def circuit_amplitude_network(
+    circuit: Circuit,
+    input_state: StateLike,
+    output_state: StateLike,
+    max_intermediate_size: int | None = None,
+) -> TensorNetwork:
+    """Amplitude network ``⟨v| C |ψ⟩`` for a noiseless circuit ``C``."""
+    if not circuit.is_noiseless():
+        raise ValidationError(
+            "circuit_amplitude_network only handles noiseless circuits; "
+            "use noisy_doubled_network for noisy ones"
+        )
+    operations = [(inst.operation.matrix, inst.qubits) for inst in circuit]
+    return operator_amplitude_network(
+        circuit.num_qubits,
+        operations,
+        input_state,
+        output_state,
+        name=f"{circuit.name}_amplitude",
+        max_intermediate_size=max_intermediate_size,
+    )
+
+
+def noisy_doubled_network(
+    circuit: Circuit,
+    input_state: StateLike,
+    output_state: StateLike,
+    max_intermediate_size: int | None = None,
+) -> TensorNetwork:
+    """The paper's doubled (``2n``-qubit) diagram for ``⟨v| E_N(|ψ⟩⟨ψ|) |v⟩``.
+
+    Upper rails ``0..n-1`` carry the original circuit, lower rails ``n..2n-1``
+    carry the conjugated circuit, and each noise channel becomes a single
+    ``M_E`` node straddling the corresponding upper/lower rails.
+    """
+    n = circuit.num_qubits
+    operations: List[Tuple[np.ndarray, List[int]]] = []
+    for inst in circuit:
+        qubits = list(inst.qubits)
+        mirrored = [q + n for q in qubits]
+        if inst.is_gate:
+            matrix = inst.operation.matrix
+            operations.append((matrix, qubits))
+            operations.append((matrix.conj(), mirrored))
+        else:
+            m_e = inst.operation.matrix_representation()
+            operations.append((m_e, qubits + mirrored))
+
+    doubled_input = _double_state(input_state, n)
+    doubled_output = _double_state(output_state, n)
+    return operator_amplitude_network(
+        2 * n,
+        operations,
+        doubled_input,
+        doubled_output,
+        name=f"{circuit.name}_doubled",
+        max_intermediate_size=max_intermediate_size,
+    )
+
+
+def noisy_observable_network(
+    circuit: Circuit,
+    input_state: StateLike,
+    observable_ops: Dict[int, np.ndarray] | None = None,
+    max_intermediate_size: int | None = None,
+) -> TensorNetwork:
+    """Doubled diagram evaluating ``tr(O · E_N(|ψ⟩⟨ψ|))`` for a product observable.
+
+    ``observable_ops`` maps qubits to single-qubit operators; unlisted qubits
+    carry the identity (i.e. they are traced out).  The output boundary of
+    each qubit is a single rank-2 node ``B_i[r, c] = O_i[c, r]`` connecting
+    the qubit's upper (row) and lower (column) rails, which closes the trace.
+
+    This extends the paper's diagram from fidelities ``⟨v|E_N(ρ)|v⟩`` to
+    expectation values of local observables (e.g. the QAOA cost Hamiltonian
+    under noise) without reconstructing any density matrix.
+    """
+    observable_ops = observable_ops or {}
+    n = circuit.num_qubits
+    for qubit, op in observable_ops.items():
+        if not 0 <= int(qubit) < n:
+            raise ValidationError(f"observable touches invalid qubit {qubit}")
+        if np.asarray(op).shape != (2, 2):
+            raise ValidationError("observable factors must be single-qubit (2x2) operators")
+
+    network = TensorNetwork(
+        name=f"{circuit.name}_observable", max_intermediate_size=max_intermediate_size
+    )
+    resolved = resolve_product_state(input_state, n)
+    if isinstance(resolved, list):
+        doubled_input: StateLike = resolved + [factor.conj() for factor in resolved]
+    else:
+        doubled_input = np.kron(resolved, resolved.conj())
+
+    open_edges = _add_boundary(network, doubled_input, 2 * n, conjugate=False, label="in")
+
+    op_index = 0
+    for inst in circuit:
+        qubits = list(inst.qubits)
+        mirrored = [q + n for q in qubits]
+        if inst.is_gate:
+            matrices = [(inst.operation.matrix, qubits), (inst.operation.matrix.conj(), mirrored)]
+        else:
+            matrices = [(inst.operation.matrix_representation(), qubits + mirrored)]
+        for matrix, target_qubits in matrices:
+            k = len(target_qubits)
+            node = network.add_node(
+                np.asarray(matrix, dtype=complex).reshape([2] * (2 * k)), name=f"op{op_index}"
+            )
+            op_index += 1
+            for j, qubit in enumerate(target_qubits):
+                network.connect(node.edges[k + j], open_edges[qubit])
+                open_edges[qubit] = node.edges[j]
+
+    for qubit in range(n):
+        operator = np.asarray(observable_ops.get(qubit, np.eye(2)), dtype=complex)
+        boundary = network.add_node(operator.T, name=f"obs{qubit}")
+        network.connect(boundary.edges[0], open_edges[qubit])
+        network.connect(boundary.edges[1], open_edges[qubit + n])
+    return network
+
+
+def _double_state(state: StateLike, num_qubits: int) -> StateLike:
+    """Return the doubled boundary state ``|ψ⟩ ⊗ |ψ*⟩`` in the cheapest representation."""
+    resolved = resolve_product_state(state, num_qubits)
+    if isinstance(resolved, list):
+        return resolved + [factor.conj() for factor in resolved]
+    return np.kron(resolved, resolved.conj())
+
+
+def substituted_split_networks(
+    circuit: Circuit,
+    substitution: Dict[int, Tuple[np.ndarray, np.ndarray]],
+    input_state: StateLike,
+    output_state: StateLike,
+    max_intermediate_size: int | None = None,
+) -> Tuple[TensorNetwork, TensorNetwork]:
+    """Build the two independent ``n``-rail networks of a fully substituted term.
+
+    ``substitution`` maps the *noise occurrence index* (0-based position among
+    the circuit's noise instructions, in order) to a pair ``(U, V)`` so that
+    the noise's matrix representation is replaced by ``U ⊗ V``.  Every noise
+    occurrence must be substituted — that is what makes the doubled diagram
+    factorise into the upper network (⟨v| … U … |ψ⟩) and the lower network
+    (⟨v*| … V … |ψ*⟩).
+    """
+    upper_ops: List[Tuple[np.ndarray, Tuple[int, ...]]] = []
+    lower_ops: List[Tuple[np.ndarray, Tuple[int, ...]]] = []
+    noise_index = 0
+    for inst in circuit:
+        if inst.is_gate:
+            upper_ops.append((inst.operation.matrix, inst.qubits))
+            lower_ops.append((inst.operation.matrix.conj(), inst.qubits))
+        else:
+            if noise_index not in substitution:
+                raise ValidationError(
+                    f"noise occurrence {noise_index} has no substitution; "
+                    "all noises must be substituted to split the diagram"
+                )
+            upper_matrix, lower_matrix = substitution[noise_index]
+            upper_ops.append((np.asarray(upper_matrix, dtype=complex), inst.qubits))
+            lower_ops.append((np.asarray(lower_matrix, dtype=complex), inst.qubits))
+            noise_index += 1
+    if noise_index != len(substitution):
+        raise ValidationError(
+            f"substitution has {len(substitution)} entries but the circuit has "
+            f"{noise_index} noise occurrences"
+        )
+
+    upper = operator_amplitude_network(
+        circuit.num_qubits,
+        upper_ops,
+        input_state,
+        output_state,
+        name=f"{circuit.name}_upper",
+        max_intermediate_size=max_intermediate_size,
+    )
+    resolved_in = resolve_product_state(input_state, circuit.num_qubits)
+    resolved_out = resolve_product_state(output_state, circuit.num_qubits)
+    conj_in = (
+        [f.conj() for f in resolved_in] if isinstance(resolved_in, list) else resolved_in.conj()
+    )
+    conj_out = (
+        [f.conj() for f in resolved_out] if isinstance(resolved_out, list) else resolved_out.conj()
+    )
+    lower = operator_amplitude_network(
+        circuit.num_qubits,
+        lower_ops,
+        conj_in,
+        conj_out,
+        name=f"{circuit.name}_lower",
+        max_intermediate_size=max_intermediate_size,
+    )
+    return upper, lower

@@ -1,0 +1,70 @@
+"""Low-level linear-algebra and quantum-state helpers.
+
+This subpackage contains the numerical utilities shared by the circuit IR,
+the noise channels, the simulators and the core approximation algorithm.
+Everything is plain numpy; no quantum framework is required.
+"""
+
+from repro.utils.linalg import (
+    dagger,
+    is_density_matrix,
+    is_hermitian,
+    is_identity,
+    is_unitary,
+    kron_all,
+    operator_norm,
+    partial_trace,
+    projector,
+    unvec_row,
+    vec_row,
+)
+from repro.utils.states import (
+    basis_state,
+    bell_state,
+    computational_basis_index,
+    ghz_state,
+    plus_state,
+    random_density_matrix,
+    random_statevector,
+    random_unitary,
+    state_fidelity,
+    zero_state,
+)
+from repro.utils.validation import (
+    ValidationError,
+    check_power_of_two,
+    check_probability,
+    check_qubit_index,
+    check_square,
+    check_statevector,
+)
+
+__all__ = [
+    "dagger",
+    "is_density_matrix",
+    "is_hermitian",
+    "is_identity",
+    "is_unitary",
+    "kron_all",
+    "operator_norm",
+    "partial_trace",
+    "projector",
+    "unvec_row",
+    "vec_row",
+    "basis_state",
+    "bell_state",
+    "computational_basis_index",
+    "ghz_state",
+    "plus_state",
+    "random_density_matrix",
+    "random_statevector",
+    "random_unitary",
+    "state_fidelity",
+    "zero_state",
+    "ValidationError",
+    "check_power_of_two",
+    "check_probability",
+    "check_qubit_index",
+    "check_square",
+    "check_statevector",
+]

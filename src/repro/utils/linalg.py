@@ -1,0 +1,225 @@
+"""Linear-algebra primitives for quantum operators.
+
+The conventions used throughout the library:
+
+* Statevectors are 1-D complex numpy arrays of length ``2**n`` with qubit 0
+  being the most significant bit of the computational-basis index (the usual
+  "big-endian" circuit-diagram convention: ``|q0 q1 ... q_{n-1}⟩``).
+* Operators are dense ``2**n x 2**n`` complex matrices.
+* ``vec_row`` vectorises a matrix row-by-row so that
+  ``(A ⊗ B*) vec_row(rho) = vec_row(A rho B†)``, which is exactly the identity
+  the paper's matrix representation ``M_E = Σ_k E_k ⊗ E_k*`` relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.utils.validation import ValidationError, check_power_of_two, check_square
+
+__all__ = [
+    "dagger",
+    "is_hermitian",
+    "is_identity",
+    "is_unitary",
+    "is_density_matrix",
+    "kron_all",
+    "operator_norm",
+    "frobenius_norm",
+    "trace_norm",
+    "partial_trace",
+    "projector",
+    "vec_row",
+    "unvec_row",
+    "embed_operator",
+    "commutator",
+]
+
+#: Default absolute tolerance for structural checks (unitarity, hermiticity...).
+DEFAULT_ATOL = 1e-9
+
+
+def dagger(matrix: np.ndarray) -> np.ndarray:
+    """Return the conjugate transpose of ``matrix``."""
+    return np.asarray(matrix, dtype=complex).conj().T
+
+
+def is_hermitian(matrix: np.ndarray, atol: float = DEFAULT_ATOL) -> bool:
+    """Return ``True`` when ``matrix`` equals its conjugate transpose."""
+    arr = check_square(matrix)
+    return bool(np.allclose(arr, arr.conj().T, atol=atol))
+
+
+def is_identity(matrix: np.ndarray, atol: float = DEFAULT_ATOL) -> bool:
+    """Return ``True`` when ``matrix`` is the identity."""
+    arr = check_square(matrix)
+    return bool(np.allclose(arr, np.eye(arr.shape[0]), atol=atol))
+
+
+def is_unitary(matrix: np.ndarray, atol: float = DEFAULT_ATOL) -> bool:
+    """Return ``True`` when ``matrix`` is unitary (``U† U = I``)."""
+    arr = check_square(matrix)
+    return bool(np.allclose(arr.conj().T @ arr, np.eye(arr.shape[0]), atol=atol))
+
+
+def is_density_matrix(matrix: np.ndarray, atol: float = 1e-7) -> bool:
+    """Return ``True`` when ``matrix`` is a valid density matrix.
+
+    A density matrix is Hermitian, positive semidefinite and has unit trace.
+    """
+    arr = check_square(matrix)
+    if not np.isclose(np.trace(arr).real, 1.0, atol=atol):
+        return False
+    if not np.allclose(arr, arr.conj().T, atol=atol):
+        return False
+    eigenvalues = np.linalg.eigvalsh((arr + arr.conj().T) / 2)
+    return bool(np.all(eigenvalues > -atol))
+
+
+def kron_all(matrices: Iterable[np.ndarray]) -> np.ndarray:
+    """Return the Kronecker product of ``matrices`` in order.
+
+    An empty iterable yields the 1x1 identity, which is the neutral element
+    of the Kronecker product.
+    """
+    result = np.array([[1.0 + 0.0j]])
+    for matrix in matrices:
+        result = np.kron(result, np.asarray(matrix, dtype=complex))
+    return result
+
+
+def operator_norm(matrix: np.ndarray) -> float:
+    """Return the spectral (2-)norm of ``matrix``.
+
+    This is the norm the paper uses for the noise rate ``‖M_E − I‖``.
+    """
+    return float(np.linalg.norm(np.asarray(matrix, dtype=complex), ord=2))
+
+
+def frobenius_norm(matrix: np.ndarray) -> float:
+    """Return the Frobenius norm of ``matrix`` (used in Lemma 1)."""
+    return float(np.linalg.norm(np.asarray(matrix, dtype=complex), ord="fro"))
+
+
+def trace_norm(matrix: np.ndarray) -> float:
+    """Return the trace (nuclear) norm of ``matrix``."""
+    return float(np.sum(np.linalg.svd(np.asarray(matrix, dtype=complex), compute_uv=False)))
+
+
+def projector(state: np.ndarray) -> np.ndarray:
+    """Return the rank-1 projector ``|ψ⟩⟨ψ|`` of a statevector ``state``."""
+    vec = np.asarray(state, dtype=complex).ravel()
+    return np.outer(vec, vec.conj())
+
+
+def vec_row(matrix: np.ndarray) -> np.ndarray:
+    """Vectorise ``matrix`` row-by-row.
+
+    With this convention ``(A ⊗ B*) @ vec_row(rho) == vec_row(A @ rho @ B†)``,
+    which is the identity underpinning the doubled tensor-network diagram.
+    """
+    return np.asarray(matrix, dtype=complex).reshape(-1)
+
+
+def unvec_row(vector: np.ndarray, dim: int | None = None) -> np.ndarray:
+    """Invert :func:`vec_row`, reshaping ``vector`` back into a square matrix."""
+    vec = np.asarray(vector, dtype=complex).ravel()
+    if dim is None:
+        dim = int(round(np.sqrt(vec.shape[0])))
+    if dim * dim != vec.shape[0]:
+        raise ValidationError(
+            f"vector of length {vec.shape[0]} cannot be reshaped to a {dim}x{dim} matrix"
+        )
+    return vec.reshape(dim, dim)
+
+
+def partial_trace(matrix: np.ndarray, keep: Sequence[int], num_qubits: int | None = None) -> np.ndarray:
+    """Trace out all qubits not listed in ``keep`` from a multi-qubit operator.
+
+    Parameters
+    ----------
+    matrix:
+        A ``2**n x 2**n`` operator.
+    keep:
+        Indices (big-endian) of the qubits to keep, in increasing order of
+        significance in the returned operator.
+    num_qubits:
+        Total number of qubits; inferred from the matrix dimension if omitted.
+    """
+    arr = check_square(matrix)
+    n = check_power_of_two(arr.shape[0]) if num_qubits is None else int(num_qubits)
+    keep = [int(q) for q in keep]
+    for qubit in keep:
+        if not 0 <= qubit < n:
+            raise ValidationError(f"cannot keep qubit {qubit} of a {n}-qubit operator")
+    if len(set(keep)) != len(keep):
+        raise ValidationError("duplicate qubit indices in keep")
+
+    reshaped = arr.reshape([2] * (2 * n))
+    traced = list(sorted(set(range(n)) - set(keep)))
+    # Trace the discarded qubits one by one, keeping track of shifted axes.
+    for count, qubit in enumerate(traced):
+        axis_row = qubit - count
+        axis_col = axis_row + (n - count)
+        reshaped = np.trace(reshaped, axis1=axis_row, axis2=axis_col)
+    k = len(keep)
+    result = reshaped.reshape(2**k, 2**k)
+    # Reorder kept qubits so that the output ordering follows ``keep``.
+    order = np.argsort(np.argsort(keep))
+    if not np.array_equal(order, np.arange(k)):
+        perm = list(np.argsort(keep))
+        tensor = result.reshape([2] * (2 * k))
+        tensor = np.transpose(tensor, perm + [p + k for p in perm])
+        result = tensor.reshape(2**k, 2**k)
+    return result
+
+
+def embed_operator(operator: np.ndarray, qubits: Sequence[int], num_qubits: int) -> np.ndarray:
+    """Embed an operator acting on ``qubits`` into the full ``num_qubits`` register.
+
+    ``qubits`` gives, in order, which register qubit each operator qubit acts
+    on (big-endian).  The returned matrix acts as ``operator`` on those qubits
+    and as the identity elsewhere.
+    """
+    op = np.asarray(operator, dtype=complex)
+    k = check_power_of_two(op.shape[0], name="operator dimension")
+    if len(qubits) != k:
+        raise ValidationError(f"operator acts on {k} qubits but {len(qubits)} indices given")
+    qubits = [int(q) for q in qubits]
+    if len(set(qubits)) != len(qubits):
+        raise ValidationError("duplicate qubit indices")
+    for qubit in qubits:
+        if not 0 <= qubit < num_qubits:
+            raise ValidationError(f"qubit {qubit} out of range for {num_qubits} qubits")
+
+    n = int(num_qubits)
+    tensor = op.reshape([2] * (2 * k))
+    # Build the full operator as an identity and apply the small operator via
+    # tensordot on the relevant axes.  This is O(4^n) but only used for small
+    # registers (dense simulators and tests).
+    full = np.eye(2**n, dtype=complex).reshape([2] * (2 * n))
+    # Axes of ``full`` corresponding to the *output* (row) indices of the
+    # embedded qubits are simply ``qubits``; contract the operator's input
+    # indices with them.
+    contracted = np.tensordot(tensor, full, axes=(list(range(k, 2 * k)), qubits))
+    # ``contracted`` has axes: [op outputs (k)] + [remaining full axes].
+    # The remaining full axes are all original axes except ``qubits``.
+    remaining = [ax for ax in range(2 * n) if ax not in qubits]
+    # Build the permutation that restores the original axis order, with op
+    # outputs taking the positions of ``qubits``.
+    current_positions: dict[int, int] = {}
+    for i, qubit in enumerate(qubits):
+        current_positions[qubit] = i
+    for i, axis in enumerate(remaining):
+        current_positions[axis] = k + i
+    perm = [current_positions[axis] for axis in range(2 * n)]
+    return np.transpose(contracted, perm).reshape(2**n, 2**n)
+
+
+def commutator(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Return the commutator ``[A, B] = AB − BA``."""
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    return a @ b - b @ a

@@ -1,0 +1,133 @@
+"""Construction of common quantum states and random test fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import ValidationError, check_qubit_index
+
+__all__ = [
+    "zero_state",
+    "basis_state",
+    "plus_state",
+    "bell_state",
+    "ghz_state",
+    "computational_basis_index",
+    "random_statevector",
+    "random_density_matrix",
+    "random_unitary",
+    "state_fidelity",
+]
+
+
+def zero_state(num_qubits: int) -> np.ndarray:
+    """Return ``|0...0⟩`` on ``num_qubits`` qubits."""
+    if num_qubits <= 0:
+        raise ValidationError(f"num_qubits must be positive, got {num_qubits}")
+    state = np.zeros(2**num_qubits, dtype=complex)
+    state[0] = 1.0
+    return state
+
+
+def basis_state(bitstring: str | int, num_qubits: int | None = None) -> np.ndarray:
+    """Return the computational-basis state ``|bitstring⟩``.
+
+    ``bitstring`` may be a string of ``0``/``1`` characters (big-endian, qubit
+    0 first) or an integer index, in which case ``num_qubits`` is required.
+    """
+    if isinstance(bitstring, str):
+        if not bitstring or any(c not in "01" for c in bitstring):
+            raise ValidationError(f"invalid bitstring {bitstring!r}")
+        num_qubits = len(bitstring)
+        index = int(bitstring, 2)
+    else:
+        if num_qubits is None:
+            raise ValidationError("num_qubits is required when passing an integer index")
+        index = int(bitstring)
+        if not 0 <= index < 2**num_qubits:
+            raise ValidationError(f"index {index} out of range for {num_qubits} qubits")
+    state = np.zeros(2**num_qubits, dtype=complex)
+    state[index] = 1.0
+    return state
+
+
+def computational_basis_index(bitstring: str) -> int:
+    """Return the integer index of a computational-basis bitstring."""
+    if not bitstring or any(c not in "01" for c in bitstring):
+        raise ValidationError(f"invalid bitstring {bitstring!r}")
+    return int(bitstring, 2)
+
+
+def plus_state(num_qubits: int) -> np.ndarray:
+    """Return the uniform superposition ``|+...+⟩``."""
+    if num_qubits <= 0:
+        raise ValidationError(f"num_qubits must be positive, got {num_qubits}")
+    dim = 2**num_qubits
+    return np.full(dim, 1.0 / np.sqrt(dim), dtype=complex)
+
+
+def bell_state(kind: int = 0) -> np.ndarray:
+    """Return one of the four Bell states.
+
+    ``kind`` selects ``|Φ+⟩, |Φ-⟩, |Ψ+⟩, |Ψ-⟩`` for 0..3 respectively.
+    """
+    sqrt2 = np.sqrt(2.0)
+    states = {
+        0: np.array([1, 0, 0, 1], dtype=complex) / sqrt2,
+        1: np.array([1, 0, 0, -1], dtype=complex) / sqrt2,
+        2: np.array([0, 1, 1, 0], dtype=complex) / sqrt2,
+        3: np.array([0, 1, -1, 0], dtype=complex) / sqrt2,
+    }
+    if kind not in states:
+        raise ValidationError(f"Bell state kind must be 0..3, got {kind}")
+    return states[kind]
+
+
+def ghz_state(num_qubits: int) -> np.ndarray:
+    """Return the ``num_qubits``-qubit GHZ state ``(|0..0⟩ + |1..1⟩)/√2``."""
+    if num_qubits <= 0:
+        raise ValidationError(f"num_qubits must be positive, got {num_qubits}")
+    state = np.zeros(2**num_qubits, dtype=complex)
+    state[0] = state[-1] = 1.0 / np.sqrt(2.0)
+    return state
+
+
+def random_statevector(num_qubits: int, rng: np.random.Generator | int | None = None) -> np.ndarray:
+    """Return a Haar-random pure state on ``num_qubits`` qubits."""
+    rng = np.random.default_rng(rng)
+    dim = 2**num_qubits
+    vec = rng.normal(size=dim) + 1j * rng.normal(size=dim)
+    return vec / np.linalg.norm(vec)
+
+
+def random_density_matrix(
+    num_qubits: int, rank: int | None = None, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """Return a random density matrix with the given ``rank`` (full rank by default)."""
+    rng = np.random.default_rng(rng)
+    dim = 2**num_qubits
+    rank = dim if rank is None else int(rank)
+    if not 1 <= rank <= dim:
+        raise ValidationError(f"rank must be in [1, {dim}], got {rank}")
+    mat = rng.normal(size=(dim, rank)) + 1j * rng.normal(size=(dim, rank))
+    rho = mat @ mat.conj().T
+    return rho / np.trace(rho)
+
+
+def random_unitary(num_qubits: int, rng: np.random.Generator | int | None = None) -> np.ndarray:
+    """Return a Haar-random unitary on ``num_qubits`` qubits (QR of a Ginibre matrix)."""
+    rng = np.random.default_rng(rng)
+    dim = 2**num_qubits
+    mat = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    q, r = np.linalg.qr(mat)
+    phases = np.diag(r) / np.abs(np.diag(r))
+    return q * phases
+
+
+def state_fidelity(state_a: np.ndarray, state_b: np.ndarray) -> float:
+    """Return the fidelity ``|⟨a|b⟩|^2`` between two pure statevectors."""
+    a = np.asarray(state_a, dtype=complex).ravel()
+    b = np.asarray(state_b, dtype=complex).ravel()
+    if a.shape != b.shape:
+        raise ValidationError(f"states have mismatched shapes {a.shape} vs {b.shape}")
+    return float(np.abs(np.vdot(a, b)) ** 2)

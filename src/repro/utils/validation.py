@@ -1,0 +1,66 @@
+"""Input validation helpers used across the library.
+
+All public entry points validate their inputs with these helpers so that
+mis-use produces a clear :class:`ValidationError` rather than a cryptic numpy
+broadcasting failure deep inside a contraction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "ValidationError",
+    "check_power_of_two",
+    "check_probability",
+    "check_qubit_index",
+    "check_square",
+    "check_statevector",
+]
+
+
+class ValidationError(ValueError):
+    """Raised when a user-supplied argument is malformed."""
+
+
+def check_probability(value: float, name: str = "probability") -> float:
+    """Validate that ``value`` is a probability in ``[0, 1]`` and return it."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValidationError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def check_qubit_index(qubit: int, num_qubits: int) -> int:
+    """Validate that ``qubit`` is a legal index for ``num_qubits`` qubits."""
+    qubit = int(qubit)
+    if num_qubits <= 0:
+        raise ValidationError(f"num_qubits must be positive, got {num_qubits}")
+    if not 0 <= qubit < num_qubits:
+        raise ValidationError(
+            f"qubit index {qubit} out of range for a {num_qubits}-qubit register"
+        )
+    return qubit
+
+
+def check_square(matrix: np.ndarray, name: str = "matrix") -> np.ndarray:
+    """Validate that ``matrix`` is a square 2-D array and return it as complex."""
+    arr = np.asarray(matrix, dtype=complex)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ValidationError(f"{name} must be a square matrix, got shape {arr.shape}")
+    return arr
+
+
+def check_power_of_two(dim: int, name: str = "dimension") -> int:
+    """Validate that ``dim`` is a positive power of two and return ``log2(dim)``."""
+    dim = int(dim)
+    if dim <= 0 or dim & (dim - 1) != 0:
+        raise ValidationError(f"{name} must be a positive power of two, got {dim}")
+    return dim.bit_length() - 1
+
+
+def check_statevector(state: np.ndarray, name: str = "state") -> np.ndarray:
+    """Validate that ``state`` is a 1-D amplitude vector of power-of-two length."""
+    arr = np.asarray(state, dtype=complex).ravel()
+    check_power_of_two(arr.shape[0], name=f"len({name})")
+    return arr

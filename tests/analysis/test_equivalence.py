@@ -1,0 +1,102 @@
+"""Tests for approximate equivalence checking."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import approximate_equivalence, process_distance_small
+from repro.atpg import random_patterns
+from repro.circuits import Circuit
+from repro.circuits.library import ghz_circuit, qaoa_circuit
+from repro.core import ApproximateNoisySimulator
+from repro.noise import NoiseModel, depolarizing_channel
+from repro.simulators import TNSimulator
+from repro.utils.validation import ValidationError
+
+
+class TestProcessDistance:
+    def test_identical_circuits(self):
+        circuit = ghz_circuit(2)
+        assert process_distance_small(circuit, circuit) == pytest.approx(0.0, abs=1e-10)
+
+    def test_equivalent_decompositions(self):
+        """ZZ interaction built from CX/Rz equals the composite ZZPhase gate."""
+        composite = Circuit(2).zz(0.7, 0, 1)
+        decomposed = Circuit(2).cx(0, 1).rz(0.7, 1).cx(0, 1)
+        assert process_distance_small(composite, decomposed) == pytest.approx(0.0, abs=1e-9)
+
+    def test_different_circuits(self):
+        a = Circuit(1).x(0)
+        b = Circuit(1).z(0)
+        assert process_distance_small(a, b) > 1.0
+
+    def test_noise_changes_the_process(self):
+        ideal = ghz_circuit(2)
+        noisy = NoiseModel(depolarizing_channel(0.1), seed=0).insert_random(ideal, 2)
+        assert process_distance_small(ideal, noisy) > 0.01
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValidationError):
+            process_distance_small(ghz_circuit(2), ghz_circuit(3))
+
+    def test_qubit_guard(self):
+        with pytest.raises(ValidationError):
+            process_distance_small(ghz_circuit(7), ghz_circuit(7))
+
+
+class TestApproximateEquivalence:
+    def test_equivalent_noiseless_circuits(self):
+        composite = Circuit(3).h(0).zz(0.4, 0, 1).zz(-0.2, 1, 2)
+        decomposed = Circuit(3).h(0)
+        decomposed.cx(0, 1).rz(0.4, 1).cx(0, 1)
+        decomposed.cx(1, 2).rz(-0.2, 2).cx(1, 2)
+        report = approximate_equivalence(composite, decomposed, TNSimulator(), tolerance=1e-6)
+        assert report.equivalent
+        assert report.max_deviation < 1e-9
+
+    def test_detects_non_equivalence(self):
+        a = ghz_circuit(3)
+        b = ghz_circuit(3).x(2)
+        report = approximate_equivalence(a, b, TNSimulator(), tolerance=1e-3, rng=1)
+        assert not report.equivalent
+        assert report.max_deviation > 0.1
+
+    def test_noisy_vs_ideal_circuit(self):
+        ideal = qaoa_circuit(4, seed=2, native_gates=False)
+        noisy = NoiseModel(depolarizing_channel(0.2), seed=2).insert_random(ideal, 4)
+        report = approximate_equivalence(ideal, noisy, TNSimulator(), tolerance=1e-4, rng=2)
+        assert not report.equivalent
+
+    def test_weak_noise_passes_loose_tolerance(self):
+        ideal = qaoa_circuit(4, seed=3, native_gates=False)
+        noisy = NoiseModel(depolarizing_channel(1e-5), seed=3).insert_random(ideal, 2)
+        report = approximate_equivalence(ideal, noisy, TNSimulator(), tolerance=1e-2, rng=3)
+        assert report.equivalent
+
+    def test_with_approximation_estimator(self):
+        ideal = qaoa_circuit(4, seed=4, native_gates=False)
+        noisy = NoiseModel(depolarizing_channel(0.001), seed=4).insert_random(ideal, 3)
+        estimator = ApproximateNoisySimulator(level=1)
+        report = approximate_equivalence(noisy, noisy.copy(), estimator, tolerance=1e-6, rng=4)
+        assert report.equivalent
+
+    def test_custom_patterns(self):
+        patterns = random_patterns(2, 3, rng=5)
+        report = approximate_equivalence(
+            ghz_circuit(2), ghz_circuit(2), TNSimulator(), patterns=patterns
+        )
+        assert len(report.deviations) == 3
+
+    def test_default_patterns_include_basis_probes(self):
+        """The default probe set contains n+1 basis patterns plus the random ones."""
+        report = approximate_equivalence(
+            ghz_circuit(2), ghz_circuit(2), TNSimulator(), num_patterns=2, rng=6
+        )
+        assert len(report.deviations) == 3 + 2
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValidationError):
+            approximate_equivalence(ghz_circuit(2), ghz_circuit(2), TNSimulator(), tolerance=0.0)
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValidationError):
+            approximate_equivalence(ghz_circuit(2), ghz_circuit(3), TNSimulator())

@@ -1,0 +1,108 @@
+"""Tests for analysis metrics and report formatting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    absolute_error,
+    density_matrix_fidelity,
+    format_seconds,
+    format_series,
+    format_table,
+    format_value,
+    pure_state_fidelity,
+    relative_error,
+    trace_distance,
+)
+from repro.utils import random_density_matrix, random_statevector
+from repro.utils.linalg import projector
+from repro.utils.validation import ValidationError
+
+
+class TestErrorMetrics:
+    def test_absolute_error(self):
+        assert absolute_error(1.5, 1.2) == pytest.approx(0.3)
+
+    def test_relative_error(self):
+        assert relative_error(1.1, 1.0) == pytest.approx(0.1)
+
+    def test_relative_error_zero_reference(self):
+        assert relative_error(0.0, 0.0) == 0.0
+        assert relative_error(1.0, 0.0) == float("inf")
+
+
+class TestStateMetrics:
+    def test_pure_state_fidelity_matches_overlap(self):
+        psi = random_statevector(2, rng=0)
+        phi = random_statevector(2, rng=1)
+        assert pure_state_fidelity(psi, projector(phi)) == pytest.approx(
+            abs(np.vdot(psi, phi)) ** 2
+        )
+
+    def test_pure_state_fidelity_dimension_mismatch(self):
+        with pytest.raises(ValidationError):
+            pure_state_fidelity(random_statevector(1), np.eye(4) / 4)
+
+    def test_density_fidelity_identical_states(self):
+        rho = random_density_matrix(2, rng=2)
+        assert density_matrix_fidelity(rho, rho) == pytest.approx(1.0, abs=1e-8)
+
+    def test_density_fidelity_orthogonal_pure_states(self):
+        rho = np.diag([1.0, 0.0]).astype(complex)
+        sigma = np.diag([0.0, 1.0]).astype(complex)
+        assert density_matrix_fidelity(rho, sigma) == pytest.approx(0.0, abs=1e-10)
+
+    def test_density_fidelity_pure_vs_mixed(self):
+        rho = np.diag([1.0, 0.0]).astype(complex)
+        sigma = np.eye(2, dtype=complex) / 2
+        assert density_matrix_fidelity(rho, sigma) == pytest.approx(0.5)
+
+    def test_density_fidelity_rejects_invalid(self):
+        with pytest.raises(ValidationError):
+            density_matrix_fidelity(np.eye(2), np.eye(2) / 2)
+
+    def test_trace_distance_bounds(self):
+        rho = random_density_matrix(2, rng=3)
+        sigma = random_density_matrix(2, rng=4)
+        d = trace_distance(rho, sigma)
+        assert 0.0 <= d <= 1.0 + 1e-9
+
+    def test_trace_distance_orthogonal(self):
+        rho = np.diag([1.0, 0.0]).astype(complex)
+        sigma = np.diag([0.0, 1.0]).astype(complex)
+        assert trace_distance(rho, sigma) == pytest.approx(1.0)
+
+    def test_fidelity_trace_distance_inequality(self):
+        """1 − F ≤ D for density matrices (Fuchs-van de Graaf)."""
+        rho = random_density_matrix(2, rng=5)
+        sigma = random_density_matrix(2, rng=6)
+        f = density_matrix_fidelity(rho, sigma)
+        d = trace_distance(rho, sigma)
+        assert 1 - f <= d + 1e-8
+
+
+class TestReporting:
+    def test_format_seconds(self):
+        assert format_seconds(None) == "-"
+        assert format_seconds("MO") == "MO"
+        assert format_seconds(0.1234) == "0.123"
+        assert format_seconds(12.3) == "12.30"
+        assert format_seconds(1234.5) == "1234"
+
+    def test_format_value(self):
+        assert format_value(None) == "-"
+        assert format_value(0.0) == "0"
+        assert "E" in format_value(1.23e-5)
+        assert format_value(42) == "42"
+
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bbb"], [[1, 2.5], ["x", None]], title="demo")
+        lines = table.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "bbb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_series(self):
+        text = format_series("n", [1, 2], {"ours": [10, 20], "theirs": [5, 50]})
+        assert "ours" in text and "theirs" in text
+        assert len(text.splitlines()) == 4

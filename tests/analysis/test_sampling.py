@@ -1,0 +1,91 @@
+"""Tests for the sample-count comparison (Fig. 5 analytics)."""
+
+import pytest
+
+from repro.analysis import (
+    DEFAULT_TRAJECTORY_CONSTANT,
+    approximation_sample_count,
+    calibrate_trajectory_constant,
+    compare_sample_counts,
+    crossover_noise_count,
+    trajectories_sample_count,
+)
+from repro.utils.validation import ValidationError
+
+
+class TestApproximationCount:
+    def test_level1_formula(self):
+        assert approximation_sample_count(10, 1) == 2 * (1 + 30)
+
+    def test_level0(self):
+        assert approximation_sample_count(10, 0) == 2
+
+    def test_linear_in_n(self):
+        counts = [approximation_sample_count(n, 1) for n in (10, 20, 40)]
+        assert counts[1] - counts[0] == pytest.approx(60)
+        assert counts[2] - counts[1] == pytest.approx(120)
+
+
+class TestTrajectoriesCount:
+    def test_decreases_with_noise_count(self):
+        a = trajectories_sample_count(10, 1e-3)
+        b = trajectories_sample_count(40, 1e-3)
+        assert b < a
+
+    def test_increases_as_noise_rate_drops(self):
+        a = trajectories_sample_count(20, 1e-3)
+        b = trajectories_sample_count(20, 1e-4)
+        assert b > a
+
+    def test_scaling_exponent(self):
+        """Doubling N divides the requirement by 16 (the N⁻⁴ law)."""
+        a = trajectories_sample_count(10, 1e-3, max_samples=10**15)
+        b = trajectories_sample_count(20, 1e-3, max_samples=10**15)
+        assert a / b == pytest.approx(16, rel=0.01)
+
+    def test_capped_at_max_samples(self):
+        assert trajectories_sample_count(1, 1e-6, max_samples=1000) == 1000
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValidationError):
+            trajectories_sample_count(0, 1e-3)
+        with pytest.raises(ValidationError):
+            trajectories_sample_count(10, 0.0)
+
+
+class TestCrossover:
+    def test_calibrated_crossover_at_paper_point(self):
+        """The default constant reproduces the paper's crossover: N ≈ 26 at p = 1e-3."""
+        crossover = crossover_noise_count(1e-3)
+        assert crossover == pytest.approx(26, abs=1)
+
+    def test_no_crossover_at_low_rate_within_plotted_range(self):
+        """At p = 1e-4 our algorithm wins for every N ≤ 40 (Fig. 5 right panel)."""
+        crossover = crossover_noise_count(1e-4, max_noises=40)
+        assert crossover is None
+
+    def test_calibration_roundtrip(self):
+        constant = calibrate_trajectory_constant(crossover_noises=30, noise_rate=1e-3)
+        assert crossover_noise_count(1e-3, constant=constant) == pytest.approx(30, abs=1)
+
+    def test_calibration_invalid(self):
+        with pytest.raises(ValidationError):
+            calibrate_trajectory_constant(crossover_noises=0)
+
+
+class TestComparisonTable:
+    def test_fig5_series_shape(self):
+        rows = compare_sample_counts(range(10, 41, 2), 1e-3)
+        assert len(rows) == 16
+        # Ours wins for small N, trajectories for large N at p = 1e-3.
+        assert rows[0].ours_wins
+        assert not rows[-1].ours_wins
+        # Target error grows with N.
+        assert rows[-1].target_error > rows[0].target_error
+
+    def test_fig5_low_rate_ours_always_wins(self):
+        rows = compare_sample_counts(range(10, 41, 5), 1e-4)
+        assert all(row.ours_wins for row in rows)
+
+    def test_constant_is_positive(self):
+        assert DEFAULT_TRAJECTORY_CONSTANT > 0

@@ -1,0 +1,136 @@
+"""Unit tests for the gate library."""
+
+import inspect
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import gates as glib
+from repro.utils.linalg import is_unitary
+from repro.utils.validation import ValidationError
+
+
+def _instantiate(name, factory, angle=0.37):
+    params = [
+        p
+        for p in inspect.signature(factory).parameters.values()
+        if p.default is inspect.Parameter.empty
+    ]
+    return factory(*([angle] * len(params)))
+
+
+class TestGateLibrary:
+    @pytest.mark.parametrize("name", sorted(glib.GATE_FACTORIES))
+    def test_every_gate_is_unitary(self, name):
+        gate = _instantiate(name, glib.GATE_FACTORIES[name])
+        assert gate.is_unitary(), name
+
+    @pytest.mark.parametrize("name", sorted(glib.GATE_FACTORIES))
+    def test_inverse_is_inverse(self, name):
+        gate = _instantiate(name, glib.GATE_FACTORIES[name])
+        product = gate.matrix @ gate.inverse().matrix
+        assert np.allclose(product, np.eye(gate.dim)), name
+
+    def test_table_i_hadamard(self):
+        h = glib.H().matrix
+        assert np.allclose(h, np.array([[1, 1], [1, -1]]) / np.sqrt(2))
+
+    def test_pauli_algebra(self):
+        x, y, z = glib.X().matrix, glib.Y().matrix, glib.Z().matrix
+        assert np.allclose(x @ y, 1j * z)
+        assert np.allclose(y @ z, 1j * x)
+        assert np.allclose(z @ x, 1j * y)
+
+    def test_t_squared_is_s(self):
+        assert np.allclose(glib.T().matrix @ glib.T().matrix, glib.S().matrix)
+
+    def test_sx_squared_is_x(self):
+        assert np.allclose(glib.SX().matrix @ glib.SX().matrix, glib.X().matrix)
+
+    def test_sy_squared_is_y(self):
+        assert np.allclose(glib.SY().matrix @ glib.SY().matrix, glib.Y().matrix)
+
+    def test_rotation_composition(self):
+        a, b = 0.4, 1.1
+        assert np.allclose(
+            glib.Rz(a).matrix @ glib.Rz(b).matrix, glib.Rz(a + b).matrix
+        )
+
+    def test_rotation_2pi_is_minus_identity(self):
+        assert np.allclose(glib.Rx(2 * np.pi).matrix, -np.eye(2))
+
+    def test_u3_reduces_to_ry(self):
+        theta = 0.77
+        assert np.allclose(glib.U3(theta, 0.0, 0.0).matrix, glib.Ry(theta).matrix)
+
+    def test_cz_diagonal(self):
+        assert np.allclose(glib.CZ().matrix, np.diag([1, 1, 1, -1]))
+
+    def test_cx_action_on_basis(self):
+        cx = glib.CX().matrix
+        assert np.allclose(cx @ np.eye(4)[:, 2], np.eye(4)[:, 3])
+        assert np.allclose(cx @ np.eye(4)[:, 0], np.eye(4)[:, 0])
+
+    def test_swap(self):
+        swap = glib.SWAP().matrix
+        assert np.allclose(swap @ np.eye(4)[:, 1], np.eye(4)[:, 2])
+
+    def test_zzphase_diagonal(self):
+        theta = 0.9
+        zz = glib.ZZPhase(theta).matrix
+        assert np.allclose(np.diag(np.diag(zz)), zz)
+        expected = np.exp(-1j * theta / 2 * np.array([1, -1, -1, 1]))
+        assert np.allclose(np.diag(zz), expected)
+
+    def test_givens_rotates_single_excitation_subspace(self):
+        theta = 0.5
+        g = glib.Givens(theta).matrix
+        assert g[0, 0] == 1.0 and g[3, 3] == 1.0
+        assert g[1, 1] == pytest.approx(np.cos(theta))
+        assert g[2, 1] == pytest.approx(np.sin(theta))
+
+    def test_fsim_zero_is_identity(self):
+        assert np.allclose(glib.FSim(0.0, 0.0).matrix, np.eye(4))
+
+    def test_controlled_gate_structure(self):
+        crx = glib.controlled(glib.Rx(0.3))
+        assert crx.num_qubits == 2
+        assert np.allclose(crx.matrix[:2, :2], np.eye(2))
+        assert np.allclose(crx.matrix[2:, 2:], glib.Rx(0.3).matrix)
+
+    def test_double_controlled(self):
+        ccx = glib.controlled(glib.X(), num_controls=2)
+        assert ccx.num_qubits == 3
+        assert np.allclose(ccx.matrix[:6, :6], np.eye(6))
+
+    def test_controlled_invalid(self):
+        with pytest.raises(ValidationError):
+            glib.controlled(glib.X(), num_controls=0)
+
+    def test_gate_from_matrix_rejects_non_unitary(self):
+        with pytest.raises(ValidationError):
+            glib.gate_from_matrix(np.array([[1, 1], [0, 1]]))
+
+    def test_gate_from_matrix_accepts_unitary(self):
+        gate = glib.gate_from_matrix(glib.H().matrix, name="my_h")
+        assert gate.name == "my_h"
+        assert gate.num_qubits == 1
+
+    def test_gate_dimension_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            glib.Gate("bad", 2, np.eye(2))
+
+    def test_conjugate_gate(self):
+        gate = glib.Rz(0.7)
+        assert np.allclose(gate.conjugate().matrix, gate.matrix.conj())
+
+    def test_tensor_shape(self):
+        assert glib.CX().tensor().shape == (2, 2, 2, 2)
+
+    @given(st.floats(min_value=-6.0, max_value=6.0, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_parameterised_gates_unitary_for_any_angle(self, theta):
+        for factory in (glib.Rx, glib.Ry, glib.Rz, glib.Phase, glib.CPhase, glib.ZZPhase, glib.Givens):
+            assert is_unitary(factory(theta).matrix)

@@ -1,0 +1,217 @@
+"""Tests for the benchmark circuit generators (QAOA, HF-VQE, supremacy, standard)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.library import (
+    benchmark_circuit,
+    coupler_patterns,
+    cost_expectation_bruteforce,
+    ghz_circuit,
+    givens_layer_pattern,
+    grid_graph,
+    grover_circuit,
+    hf_circuit,
+    maxcut_value,
+    parse_inst_name,
+    qaoa_circuit,
+    qft_circuit,
+    random_circuit,
+    sk_graph,
+    supremacy_circuit,
+)
+from repro.circuits.library.qaoa import QAOAProblem, qaoa_problem_circuit
+from repro.simulators import StatevectorSimulator
+from repro.utils import ghz_state, state_fidelity, zero_state
+from repro.utils.validation import ValidationError
+
+
+class TestQAOA:
+    def test_grid_for_square_counts(self):
+        circuit = qaoa_circuit(9, seed=1)
+        assert circuit.num_qubits == 9
+        assert circuit.name == "qaoa_9"
+        assert circuit.is_noiseless()
+
+    def test_ring_for_non_square_counts(self):
+        circuit = qaoa_circuit(6, seed=1)
+        assert circuit.num_qubits == 6
+
+    def test_native_vs_composite_same_unitary(self):
+        """The native CZ/H/Rz decomposition of the cost layer is exact."""
+        rng = np.random.default_rng(3)
+        problem = QAOAProblem(
+            4,
+            ((0, 1, 1.0), (1, 2, -1.0), (2, 3, 1.0)),
+            (float(rng.uniform(0.1, 0.9)),),
+            (float(rng.uniform(0.1, 0.9)),),
+        )
+        native = qaoa_problem_circuit(problem, native_gates=True, hardware_prep=False)
+        composite = qaoa_problem_circuit(problem, native_gates=False)
+        assert np.allclose(native.unitary(), composite.unitary(), atol=1e-9)
+
+    def test_deterministic_for_fixed_seed(self):
+        a = qaoa_circuit(9, seed=5)
+        b = qaoa_circuit(9, seed=5)
+        assert [i.name for i in a] == [i.name for i in b]
+
+    def test_rounds_scale_gate_count(self):
+        one = qaoa_circuit(9, rounds=1, seed=2)
+        two = qaoa_circuit(9, rounds=2, seed=2)
+        assert two.gate_count() > one.gate_count()
+
+    def test_too_few_qubits(self):
+        with pytest.raises(ValidationError):
+            qaoa_circuit(1)
+
+    def test_graph_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            qaoa_circuit(4, graph=grid_graph(3, 3))
+
+    def test_sk_graph_is_complete(self):
+        graph = sk_graph(5, rng=0)
+        assert graph.number_of_edges() == 10
+
+    def test_maxcut_value(self):
+        edges = [(0, 1, 1.0), (1, 2, 1.0)]
+        assert maxcut_value("010", edges) == 2.0
+        assert maxcut_value("000", edges) == 0.0
+
+    def test_maxcut_invalid_bitstring(self):
+        with pytest.raises(ValidationError):
+            maxcut_value("0a1", [(0, 1, 1.0)])
+
+    def test_cost_expectation_bruteforce(self):
+        problem = QAOAProblem(2, ((0, 1, 1.0),), (0.3,), (0.2,))
+        # Equal mixture of aligned and anti-aligned strings averages to zero.
+        probs = {"00": 0.5, "01": 0.5}
+        assert cost_expectation_bruteforce(problem, probs) == pytest.approx(0.0)
+
+    def test_problem_circuit_qubit_count(self):
+        problem = QAOAProblem(3, ((0, 1, 1.0), (1, 2, -1.0)), (0.4,), (0.1,))
+        circuit = qaoa_problem_circuit(problem)
+        assert circuit.num_qubits == 3
+
+
+class TestHartreeFock:
+    def test_basic_structure(self):
+        circuit = hf_circuit(6, seed=1)
+        assert circuit.num_qubits == 6
+        assert circuit.name == "hf_6"
+        counts = circuit.count_ops()
+        assert counts.get("x", 0) == 3  # half filling
+
+    def test_custom_occupation(self):
+        circuit = hf_circuit(6, num_occupied=2, seed=1, native_gates=False)
+        assert circuit.count_ops().get("x", 0) == 2
+
+    def test_native_matches_composite_unitary(self):
+        native = hf_circuit(4, seed=7, native_gates=True)
+        composite = hf_circuit(4, seed=7, native_gates=False)
+        assert np.allclose(native.unitary(), composite.unitary(), atol=1e-8)
+
+    def test_particle_number_conserved(self):
+        """Givens rotations preserve the Hamming weight of the occupied register."""
+        circuit = hf_circuit(6, seed=3, native_gates=False)
+        psi = StatevectorSimulator().run(circuit)
+        weights = np.array([bin(i).count("1") for i in range(2**6)])
+        support = np.abs(psi) ** 2 > 1e-12
+        assert np.all(weights[support] == 3)
+
+    def test_layer_pattern_alternates(self):
+        pattern = givens_layer_pattern(4)
+        assert pattern[0][0] == (0, 1)
+        assert pattern[1][0] == (1, 2)
+
+    def test_invalid_occupation(self):
+        with pytest.raises(ValidationError):
+            hf_circuit(4, num_occupied=0)
+
+    def test_too_few_qubits(self):
+        with pytest.raises(ValidationError):
+            hf_circuit(1)
+
+
+class TestSupremacy:
+    def test_naming_and_counts(self):
+        circuit = supremacy_circuit(3, 3, 8, seed=1)
+        assert circuit.name == "inst_3x3_8"
+        assert circuit.num_qubits == 9
+        assert circuit.gate_count() > 9  # at least the initial H layer plus CZs
+
+    def test_initial_hadamard_layer(self):
+        circuit = supremacy_circuit(2, 2, 5, seed=0)
+        first_four = [circuit[i].name for i in range(4)]
+        assert first_four == ["h", "h", "h", "h"]
+
+    def test_single_qubit_gates_never_repeat(self):
+        circuit = supremacy_circuit(3, 3, 12, seed=5)
+        last = {}
+        for inst in circuit:
+            if inst.name in ("t", "sx", "sy"):
+                qubit = inst.qubits[0]
+                assert last.get(qubit) != inst.name
+                last[qubit] = inst.name
+
+    def test_coupler_patterns_cover_all_edges(self):
+        patterns = coupler_patterns(3, 3)
+        edges = {tuple(sorted(pair)) for pattern in patterns for pair in pattern}
+        assert len(edges) == 12  # 3x3 grid has 12 edges
+
+    def test_coupler_patterns_disjoint_within_layer(self):
+        for pattern in coupler_patterns(4, 5):
+            qubits = [q for pair in pattern for q in pair]
+            assert len(qubits) == len(set(qubits))
+
+    def test_parse_inst_name(self):
+        assert parse_inst_name("inst_4x5_80") == (4, 5, 80)
+
+    def test_parse_inst_name_invalid(self):
+        with pytest.raises(ValidationError):
+            parse_inst_name("qaoa_64")
+
+    def test_depth_one_is_just_hadamards(self):
+        circuit = supremacy_circuit(2, 2, 1, seed=0)
+        assert circuit.gate_count() == 4
+
+
+class TestStandardCircuits:
+    def test_ghz_prepares_ghz(self):
+        psi = StatevectorSimulator().run(ghz_circuit(4))
+        assert state_fidelity(psi, ghz_state(4)) == pytest.approx(1.0)
+
+    def test_qft_matrix(self):
+        n = 3
+        dim = 2**n
+        omega = np.exp(2j * np.pi / dim)
+        expected = np.array([[omega ** (i * j) for j in range(dim)] for i in range(dim)]) / np.sqrt(dim)
+        assert np.allclose(qft_circuit(n).unitary(), expected, atol=1e-8)
+
+    def test_grover_amplifies_marked_element(self):
+        circuit = grover_circuit(3, marked=5)
+        probs = StatevectorSimulator().probabilities(circuit)
+        assert probs[5] > 0.8
+        assert np.argmax(probs) == 5
+
+    def test_random_circuit_reproducible(self):
+        a = random_circuit(4, 20, rng=9)
+        b = random_circuit(4, 20, rng=9)
+        assert np.allclose(a.unitary(), b.unitary())
+
+    def test_random_circuit_invalid(self):
+        with pytest.raises(ValidationError):
+            random_circuit(0, 5)
+
+
+class TestBenchmarkResolver:
+    @pytest.mark.parametrize(
+        "name,qubits",
+        [("qaoa_9", 9), ("hf_6", 6), ("inst_2x3_5", 6), ("ghz_5", 5), ("qft_4", 4)],
+    )
+    def test_resolves(self, name, qubits):
+        circuit = benchmark_circuit(name)
+        assert circuit.num_qubits == qubits
+
+    def test_unknown_name(self):
+        with pytest.raises(ValidationError):
+            benchmark_circuit("mystery_7")

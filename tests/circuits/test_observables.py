@@ -1,0 +1,76 @@
+"""Tests for Pauli-sum observables."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.library.qaoa import QAOAProblem
+from repro.circuits.observables import PauliObservable, PauliTerm, ising_cost_observable
+from repro.circuits.pauli import pauli_string_matrix
+from repro.utils.validation import ValidationError
+
+
+class TestPauliTerm:
+    def test_basic(self):
+        term = PauliTerm(0.5, ((1, "Z"), (0, "X")))
+        assert term.support == (0, 1)
+        assert term.weight == 2
+        assert term.label(3) == "XZI"
+
+    def test_sorted_storage(self):
+        term = PauliTerm(1.0, ((2, "z"), (0, "x")))
+        assert term.paulis == ((0, "X"), (2, "Z"))
+
+    def test_duplicate_qubit_rejected(self):
+        with pytest.raises(ValidationError):
+            PauliTerm(1.0, ((0, "X"), (0, "Z")))
+
+    def test_identity_label_rejected(self):
+        with pytest.raises(ValidationError):
+            PauliTerm(1.0, ((0, "I"),))
+
+    def test_label_out_of_range(self):
+        with pytest.raises(ValidationError):
+            PauliTerm(1.0, ((5, "X"),)).label(3)
+
+    def test_operator_map(self):
+        term = PauliTerm(1.0, ((1, "Y"),))
+        assert np.allclose(term.operator_map()[1], [[0, -1j], [1j, 0]])
+
+
+class TestPauliObservable:
+    def test_from_strings_matches_dense(self):
+        observable = PauliObservable.from_strings([(0.5, "ZZ"), (-1.5, "XI")], constant=0.25)
+        expected = (
+            0.5 * pauli_string_matrix("ZZ")
+            - 1.5 * pauli_string_matrix("XI")
+            + 0.25 * np.eye(4)
+        )
+        assert np.allclose(observable.matrix(2), expected)
+
+    def test_from_strings_invalid(self):
+        with pytest.raises(ValidationError):
+            PauliObservable.from_strings([(1.0, "ZQ")])
+
+    def test_add_term(self):
+        observable = PauliObservable().add_term(2.0, {0: "Z"}).add_term(1.0, {1: "X"})
+        assert observable.num_terms == 2
+        assert observable.support() == (0, 1)
+
+    def test_matrix_qubit_guard(self):
+        with pytest.raises(ValidationError):
+            PauliObservable.from_strings([(1.0, "Z" * 13)]).matrix(13)
+
+    def test_ising_cost_observable(self):
+        observable = ising_cost_observable([(0, 1, 1.0), (1, 2, -2.0)])
+        matrix = observable.matrix(3)
+        expected = pauli_string_matrix("ZZI") - 2.0 * pauli_string_matrix("IZZ")
+        assert np.allclose(matrix, expected)
+
+    def test_ising_from_qaoa_problem(self):
+        problem = QAOAProblem(3, ((0, 1, 1.0), (0, 2, 0.5)), (0.1,), (0.2,))
+        observable = ising_cost_observable(problem.edges)
+        assert observable.num_terms == 2
+
+    def test_iteration(self):
+        observable = PauliObservable.from_strings([(1.0, "Z"), (2.0, "X")])
+        assert sum(term.coefficient for term in observable) == pytest.approx(3.0)

@@ -1,0 +1,76 @@
+"""Tests for Pauli-string utilities and exponentials."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.linalg import expm
+
+from repro.circuits.pauli import (
+    pauli_exponential_circuit,
+    pauli_matrix,
+    pauli_string_matrix,
+)
+from repro.utils.validation import ValidationError
+
+
+class TestPauliMatrices:
+    def test_single_labels(self):
+        assert np.allclose(pauli_matrix("I"), np.eye(2))
+        assert np.allclose(pauli_matrix("x"), [[0, 1], [1, 0]])
+
+    def test_unknown_label(self):
+        with pytest.raises(ValidationError):
+            pauli_matrix("Q")
+
+    def test_string_matrix_dimension(self):
+        assert pauli_string_matrix("XYZ").shape == (8, 8)
+
+    def test_string_matrix_order(self):
+        assert np.allclose(
+            pauli_string_matrix("XZ"), np.kron(pauli_matrix("X"), pauli_matrix("Z"))
+        )
+
+    def test_empty_string_rejected(self):
+        with pytest.raises(ValidationError):
+            pauli_string_matrix("")
+
+
+class TestPauliExponential:
+    @pytest.mark.parametrize(
+        "pauli,angle",
+        [("Z", 0.3), ("X", -1.2), ("Y", 2.2), ("ZZ", 0.8), ("XY", 0.5), ("YX", -0.7), ("XIZ", 1.4), ("YYZ", 0.2)],
+    )
+    def test_matches_matrix_exponential(self, pauli, angle):
+        circuit = pauli_exponential_circuit(pauli, angle)
+        expected = expm(-1j * angle / 2 * pauli_string_matrix(pauli))
+        assert np.allclose(circuit.unitary(), expected)
+
+    def test_identity_string_is_global_phase(self):
+        angle = 0.9
+        circuit = pauli_exponential_circuit("II", angle)
+        expected = np.exp(-1j * angle / 2) * np.eye(4)
+        assert np.allclose(circuit.unitary(), expected)
+
+    def test_custom_qubits(self):
+        circuit = pauli_exponential_circuit("ZZ", 0.4, qubits=[2, 0], num_qubits=3)
+        expected = expm(-1j * 0.4 / 2 * pauli_string_matrix("ZIZ"))
+        assert np.allclose(circuit.unitary(), expected)
+
+    def test_qubit_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            pauli_exponential_circuit("ZZ", 0.4, qubits=[0])
+
+    def test_invalid_string(self):
+        with pytest.raises(ValidationError):
+            pauli_exponential_circuit("ZA", 0.4)
+
+    @given(
+        st.floats(min_value=-3.0, max_value=3.0, allow_nan=False),
+        st.text(alphabet="IXYZ", min_size=1, max_size=3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_expm(self, angle, pauli):
+        circuit = pauli_exponential_circuit(pauli, angle)
+        expected = expm(-1j * angle / 2 * pauli_string_matrix(pauli))
+        assert np.allclose(circuit.unitary(), expected, atol=1e-8)

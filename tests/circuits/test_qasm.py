@@ -1,0 +1,70 @@
+"""Tests for the minimal OpenQASM 2.0 export/import."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, from_qasm, to_qasm
+from repro.circuits.qasm import QasmError
+from repro.circuits.library import ghz_circuit, qaoa_circuit, qft_circuit
+from repro.noise import depolarizing_channel
+
+
+class TestExport:
+    def test_header_and_register(self):
+        text = to_qasm(ghz_circuit(3))
+        assert text.startswith("OPENQASM 2.0;")
+        assert "qreg q[3];" in text
+
+    def test_gate_lines(self):
+        text = to_qasm(Circuit(2).h(0).cx(0, 1).rz(0.5, 1))
+        assert "h q[0];" in text
+        assert "cx q[0],q[1];" in text
+        assert "rz(0.5) q[1];" in text
+
+    def test_zzphase_is_decomposed(self):
+        text = to_qasm(Circuit(2).zz(0.4, 0, 1))
+        assert text.count("cx q[0],q[1];") == 2
+        assert "rz(0.4) q[1];" in text
+
+    def test_noise_rejected(self):
+        circuit = Circuit(1).h(0)
+        circuit.append(depolarizing_channel(0.1), 0)
+        with pytest.raises(QasmError):
+            to_qasm(circuit)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "circuit_factory",
+        [lambda: ghz_circuit(4), lambda: qft_circuit(3), lambda: qaoa_circuit(4, native_gates=True)],
+    )
+    def test_unitary_preserved(self, circuit_factory):
+        circuit = circuit_factory()
+        parsed = from_qasm(to_qasm(circuit))
+        assert parsed.num_qubits == circuit.num_qubits
+        assert np.allclose(parsed.unitary(), circuit.unitary(), atol=1e-8)
+
+    def test_parse_pi_expression(self):
+        text = "OPENQASM 2.0;\nqreg q[1];\nrx(pi/2) q[0];\n"
+        parsed = from_qasm(text)
+        assert parsed[0].operation.params[0] == pytest.approx(np.pi / 2)
+
+    def test_parse_skips_comments_and_measure(self):
+        text = (
+            "OPENQASM 2.0;\n// a comment\nqreg q[2];\ncreg c[2];\n"
+            "h q[0];\nmeasure q[0] -> c[0];\n"
+        )
+        parsed = from_qasm(text)
+        assert len(parsed) == 1
+
+    def test_missing_qreg(self):
+        with pytest.raises(QasmError):
+            from_qasm("OPENQASM 2.0;\nh q[0];\n")
+
+    def test_unknown_gate(self):
+        with pytest.raises(QasmError):
+            from_qasm("OPENQASM 2.0;\nqreg q[1];\nfrobnicate q[0];\n")
+
+    def test_bad_line(self):
+        with pytest.raises(QasmError):
+            from_qasm("OPENQASM 2.0;\nqreg q[1];\nthis is not qasm\n")

@@ -1,0 +1,120 @@
+"""Tests for the transpilation passes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit, gates as glib
+from repro.circuits.library import hf_circuit, qaoa_circuit, qft_circuit, random_circuit
+from repro.circuits.transpile import (
+    count_two_qubit_gates,
+    decompose_to_native,
+    merge_single_qubit_gates,
+)
+from repro.noise import depolarizing_channel
+from repro.utils.validation import ValidationError
+
+
+def _unitaries_match(a: Circuit, b: Circuit, atol=1e-8) -> bool:
+    return np.allclose(a.unitary(), b.unitary(), atol=atol)
+
+
+class TestDecomposeToNative:
+    @pytest.mark.parametrize(
+        "gate",
+        [
+            glib.ZZPhase(0.7),
+            glib.XXPhase(-0.4),
+            glib.Givens(0.9),
+            glib.CPhase(1.3),
+            glib.CRz(-0.8),
+            glib.SWAP(),
+            glib.ISWAP(),
+            glib.FSim(0.5, 1.1),
+        ],
+        ids=lambda g: g.name,
+    )
+    def test_each_composite_gate_exactly(self, gate):
+        circuit = Circuit(2).append(gate, (0, 1))
+        native = decompose_to_native(circuit)
+        assert _unitaries_match(circuit, native)
+        assert all(
+            len(inst.qubits) == 1 or inst.operation.name in ("cx", "cz") for inst in native
+        )
+
+    def test_reversed_qubit_order(self):
+        circuit = Circuit(3).append(glib.CPhase(0.6), (2, 0))
+        native = decompose_to_native(circuit)
+        assert _unitaries_match(circuit, native)
+
+    def test_full_benchmark_circuits(self):
+        for factory in (
+            lambda: qaoa_circuit(4, seed=1, native_gates=False),
+            lambda: hf_circuit(4, seed=2, native_gates=False),
+            lambda: qft_circuit(3),
+        ):
+            circuit = factory()
+            native = decompose_to_native(circuit)
+            assert _unitaries_match(circuit, native)
+
+    def test_native_gates_pass_through(self):
+        circuit = Circuit(2).h(0).cx(0, 1).cz(0, 1)
+        native = decompose_to_native(circuit)
+        assert len(native) == 3
+
+    def test_noise_passes_through(self):
+        circuit = Circuit(2).zz(0.3, 0, 1)
+        circuit.append(depolarizing_channel(0.1), 0)
+        native = decompose_to_native(circuit)
+        assert native.noise_count() == 1
+
+    def test_rejects_three_qubit_gates(self):
+        circuit = Circuit(3).append(glib.controlled(glib.X(), 2), (0, 1, 2))
+        with pytest.raises(ValidationError):
+            decompose_to_native(circuit)
+
+    @given(st.floats(min_value=-3.0, max_value=3.0), st.floats(min_value=-3.0, max_value=3.0))
+    @settings(max_examples=20, deadline=None)
+    def test_property_fsim_decomposition(self, theta, phi):
+        circuit = Circuit(2).append(glib.FSim(theta, phi), (0, 1))
+        assert _unitaries_match(circuit, decompose_to_native(circuit))
+
+
+class TestMergeSingleQubitGates:
+    def test_merges_runs(self):
+        circuit = Circuit(1).h(0).t(0).s(0).rz(0.3, 0)
+        merged = merge_single_qubit_gates(circuit)
+        assert merged.gate_count() == 1
+        assert _unitaries_match(circuit, merged)
+
+    def test_barriers_at_two_qubit_gates(self):
+        circuit = Circuit(2).h(0).h(1).cx(0, 1).t(0).t(1)
+        merged = merge_single_qubit_gates(circuit)
+        assert _unitaries_match(circuit, merged)
+        assert count_two_qubit_gates(merged) == 1
+        # Two merged gates before the CX and two after (t gates are kept per qubit).
+        assert merged.gate_count() == 5
+
+    def test_identity_runs_removed(self):
+        circuit = Circuit(1).x(0).x(0)
+        merged = merge_single_qubit_gates(circuit)
+        assert merged.gate_count() == 0
+
+    def test_noise_acts_as_barrier(self):
+        circuit = Circuit(1).h(0)
+        circuit.append(depolarizing_channel(0.05), 0)
+        circuit.h(0)
+        merged = merge_single_qubit_gates(circuit)
+        assert merged.gate_count() == 2
+        assert merged.noise_count() == 1
+
+    def test_reduces_gate_count_on_benchmarks(self):
+        circuit = qaoa_circuit(4, seed=3, native_gates=True)
+        merged = merge_single_qubit_gates(circuit)
+        assert merged.gate_count() < circuit.gate_count()
+        assert _unitaries_match(circuit, merged)
+
+    def test_count_two_qubit_gates(self):
+        circuit = Circuit(3).h(0).cx(0, 1).cz(1, 2).zz(0.1, 0, 2)
+        assert count_two_qubit_gates(circuit) == 3

@@ -1,0 +1,133 @@
+"""Tests for the analytical bounds (Lemmas 1-2, Theorem 1)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    contraction_count,
+    lemma1_bound,
+    lemma2_bound,
+    level1_error_bound_simplified,
+    terms_per_level,
+    theorem1_error_bound,
+)
+from repro.utils.validation import ValidationError
+
+
+class TestCounting:
+    @pytest.mark.parametrize(
+        "n,l,expected",
+        [(5, 0, 1), (5, 1, 15), (5, 2, 90), (3, 3, 27), (4, 5, 0)],
+    )
+    def test_terms_per_level(self, n, l, expected):
+        assert terms_per_level(n, l) == expected
+
+    def test_terms_per_level_invalid(self):
+        with pytest.raises(ValidationError):
+            terms_per_level(-1, 0)
+
+    @pytest.mark.parametrize(
+        "n,l,expected",
+        [
+            (5, 0, 2),
+            (5, 1, 2 * (1 + 15)),
+            (3, 3, 2 * (1 + 9 + 27 + 27)),
+            (10, 1, 2 * (1 + 30)),
+        ],
+    )
+    def test_contraction_count(self, n, l, expected):
+        assert contraction_count(n, l) == expected
+
+    def test_contraction_count_level_capped_at_n(self):
+        assert contraction_count(3, 99) == contraction_count(3, 3)
+
+    def test_level1_count_is_paper_formula(self):
+        """Level-1 needs 2(1+3N) contractions — the O(N) samples quoted in Section IV."""
+        for n in (10, 20, 40):
+            assert contraction_count(n, 1) == 2 * (1 + 3 * n)
+
+
+class TestLemmas:
+    def test_lemma1(self):
+        assert lemma1_bound(0.1) == pytest.approx(0.2)
+
+    def test_lemma2(self):
+        assert lemma2_bound(0.1) == pytest.approx(0.4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            lemma1_bound(-1)
+        with pytest.raises(ValidationError):
+            lemma2_bound(-1)
+
+
+class TestTheorem1:
+    def test_zero_noise_rate_gives_zero_bound(self):
+        assert theorem1_error_bound(10, 0.0, 0) == pytest.approx(0.0)
+
+    def test_full_level_gives_zero_bound(self):
+        assert theorem1_error_bound(5, 0.01, 5) == pytest.approx(0.0, abs=1e-12)
+
+    def test_monotone_decreasing_in_level(self):
+        bounds = [theorem1_error_bound(8, 0.01, level) for level in range(9)]
+        for a, b in zip(bounds[:-1], bounds[1:]):
+            assert b <= a + 1e-15
+
+    def test_monotone_increasing_in_noise_rate(self):
+        assert theorem1_error_bound(8, 0.02, 1) >= theorem1_error_bound(8, 0.01, 1)
+
+    def test_monotone_increasing_in_noise_count(self):
+        assert theorem1_error_bound(12, 0.01, 1) >= theorem1_error_bound(6, 0.01, 1)
+
+    def test_explicit_value_level0(self):
+        """Level-0 bound equals (1+8p)^N − (1+4p)^N."""
+        n, p = 4, 0.01
+        expected = (1 + 8 * p) ** n - (1 + 4 * p) ** n
+        assert theorem1_error_bound(n, p, 0) == pytest.approx(expected)
+
+    def test_explicit_value_level1(self):
+        n, p = 4, 0.01
+        expected = (1 + 8 * p) ** n - (1 + 4 * p) ** n - n * 4 * p * (1 + 4 * p) ** (n - 1)
+        assert theorem1_error_bound(n, p, 1) == pytest.approx(expected)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValidationError):
+            theorem1_error_bound(-1, 0.1, 0)
+        with pytest.raises(ValidationError):
+            theorem1_error_bound(3, -0.1, 0)
+        with pytest.raises(ValidationError):
+            theorem1_error_bound(3, 0.1, -1)
+
+    @given(
+        st.integers(min_value=1, max_value=30),
+        st.floats(min_value=0.0, max_value=0.1, allow_nan=False),
+        st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bound_is_nonnegative(self, n, p, level):
+        assert theorem1_error_bound(n, p, level) >= 0.0
+
+    @given(st.integers(min_value=1, max_value=40), st.floats(min_value=1e-6, max_value=0.02))
+    @settings(max_examples=50, deadline=None)
+    def test_simplified_level1_dominates_exact_in_its_regime(self, n, p):
+        """32√e N²p² upper-bounds the exact Theorem-1 level-1 expression when p ≤ 1/(8N)."""
+        if p <= 1.0 / (8.0 * n):
+            simplified = level1_error_bound_simplified(n, p)
+            exact = theorem1_error_bound(n, p, 1)
+            assert simplified >= exact - 1e-12
+
+    def test_simplified_falls_back_outside_regime(self):
+        n, p = 20, 0.05  # p > 1/(8N)
+        assert level1_error_bound_simplified(n, p) == pytest.approx(
+            theorem1_error_bound(n, p, 1)
+        )
+
+    def test_simplified_value(self):
+        n, p = 10, 1e-3
+        assert level1_error_bound_simplified(n, p) == pytest.approx(
+            32 * math.sqrt(math.e) * n**2 * p**2
+        )

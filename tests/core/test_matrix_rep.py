@@ -1,0 +1,142 @@
+"""Tests for the matrix representation and tensor permutation (Section III / Fig. 3a)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    matrix_representation,
+    noise_rate_from_matrix,
+    tensor_permutation,
+    unitary_matrix_representation,
+)
+from repro.noise import (
+    KrausChannel,
+    amplitude_damping_channel,
+    depolarizing_channel,
+    noise_rate,
+    phase_damping_channel,
+    thermal_relaxation_channel,
+)
+from repro.utils import random_density_matrix, random_statevector, random_unitary, vec_row
+from repro.utils.linalg import operator_norm
+from repro.utils.validation import ValidationError
+
+CHANNELS = [
+    depolarizing_channel(0.05),
+    amplitude_damping_channel(0.2),
+    phase_damping_channel(0.15),
+    thermal_relaxation_channel(15_000, 10_000, 50),
+]
+
+
+class TestMatrixRepresentation:
+    @pytest.mark.parametrize("channel", CHANNELS, ids=lambda c: c.name)
+    def test_acts_as_channel_on_vectorised_states(self, channel):
+        rho = random_density_matrix(1, rng=0)
+        assert np.allclose(
+            matrix_representation(channel) @ vec_row(rho), vec_row(channel(rho))
+        )
+
+    def test_accepts_raw_kraus_list(self):
+        channel = depolarizing_channel(0.1)
+        assert np.allclose(
+            matrix_representation(channel), matrix_representation(channel.kraus_operators)
+        )
+
+    def test_empty_kraus_list_rejected(self):
+        with pytest.raises(ValidationError):
+            matrix_representation([])
+
+    def test_unitary_representation(self):
+        u = random_unitary(1, rng=1)
+        assert np.allclose(unitary_matrix_representation(u), np.kron(u, u.conj()))
+
+    def test_identity_channel_gives_identity(self):
+        assert np.allclose(matrix_representation(KrausChannel.identity(1)), np.eye(4))
+
+    def test_doubled_boundary_identity(self):
+        """(⟨v|⊗⟨v*|) M_E (|ψ⟩⊗|ψ*⟩) equals ⟨v|E(|ψ⟩⟨ψ|)|v⟩ — the Section III identity."""
+        channel = depolarizing_channel(0.1)
+        psi = random_statevector(1, rng=2)
+        v = random_statevector(1, rng=3)
+        doubled_in = np.kron(psi, psi.conj())
+        doubled_out = np.kron(v, v.conj())
+        lhs = np.conj(doubled_out) @ matrix_representation(channel) @ doubled_in
+        rhs = np.vdot(v, channel(np.outer(psi, psi.conj())) @ v)
+        assert lhs == pytest.approx(rhs)
+
+    def test_composition_is_matrix_product(self):
+        a = depolarizing_channel(0.1)
+        b = amplitude_damping_channel(0.2)
+        composed = a.compose(b)  # b after a
+        assert np.allclose(
+            matrix_representation(composed),
+            matrix_representation(b) @ matrix_representation(a),
+        )
+
+
+class TestTensorPermutation:
+    def test_paper_identity_example(self):
+        """~I must match the explicit matrix printed in Section IV."""
+        expected = np.zeros((4, 4))
+        expected[0, 0] = expected[0, 3] = expected[3, 0] = expected[3, 3] = 1.0
+        assert np.allclose(tensor_permutation(np.eye(4)), expected)
+
+    def test_involution(self):
+        rng = np.random.default_rng(4)
+        m = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        assert np.allclose(tensor_permutation(tensor_permutation(m)), m)
+
+    def test_two_qubit_involution(self):
+        rng = np.random.default_rng(5)
+        m = rng.normal(size=(16, 16))
+        assert np.allclose(tensor_permutation(tensor_permutation(m)), m)
+
+    def test_preserves_frobenius_norm(self):
+        """The permutation only rearranges entries (used in Lemma 1's proof)."""
+        rng = np.random.default_rng(6)
+        m = rng.normal(size=(4, 4))
+        assert np.linalg.norm(tensor_permutation(m)) == pytest.approx(np.linalg.norm(m))
+
+    def test_permutation_of_kron_is_rank_one(self):
+        """~(A ⊗ B) = vec(A) vec(B)^T has rank 1 — the key fact behind the SVD step."""
+        rng = np.random.default_rng(7)
+        a = rng.normal(size=(2, 2))
+        b = rng.normal(size=(2, 2))
+        permuted = tensor_permutation(np.kron(a, b))
+        assert np.linalg.matrix_rank(permuted) == 1
+        assert np.allclose(permuted, np.outer(a.reshape(-1), b.reshape(-1)))
+
+    def test_permutation_of_channel_is_choi(self):
+        channel = amplitude_damping_channel(0.3)
+        assert np.allclose(
+            tensor_permutation(matrix_representation(channel)), channel.choi_matrix()
+        )
+
+    def test_rejects_non_square_dimension(self):
+        with pytest.raises(ValidationError):
+            tensor_permutation(np.eye(6))
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_lemma1_property(self, seed):
+        """‖A − B‖ < δ implies ‖~A − ~B‖ < 2δ for random 4x4 matrices."""
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        b = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        delta = operator_norm(a - b)
+        permuted_delta = operator_norm(tensor_permutation(a) - tensor_permutation(b))
+        assert permuted_delta <= 2.0 * delta + 1e-9
+
+
+class TestNoiseRate:
+    def test_matches_channel_metric(self):
+        channel = depolarizing_channel(0.07)
+        assert noise_rate_from_matrix(matrix_representation(channel)) == pytest.approx(
+            noise_rate(channel)
+        )
+
+    def test_identity_rate_zero(self):
+        assert noise_rate_from_matrix(np.eye(4)) == pytest.approx(0.0, abs=1e-12)

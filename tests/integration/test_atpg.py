@@ -1,0 +1,164 @@
+"""Tests for the ATPG fault-injection and detection flow."""
+
+import numpy as np
+import pytest
+
+from repro.atpg import (
+    FaultDetector,
+    MissingGateFault,
+    OverRotationFault,
+    StuckNoiseFault,
+    TestPattern,
+    WrongGateFault,
+    basis_patterns,
+    enumerate_single_gate_faults,
+    ideal_output_pattern,
+    random_patterns,
+)
+from repro.circuits import Circuit, gates as glib
+from repro.circuits.library import ghz_circuit, qaoa_circuit
+from repro.core import ApproximateNoisySimulator
+from repro.noise import NoiseModel, amplitude_damping_channel, depolarizing_channel
+from repro.simulators import TNSimulator
+from repro.utils.validation import ValidationError
+
+
+class TestFaultModels:
+    def test_missing_gate(self):
+        circuit = ghz_circuit(3)
+        faulty = MissingGateFault(1).apply(circuit)
+        assert faulty.gate_count() == circuit.gate_count() - 1
+
+    def test_missing_gate_invalid_position(self):
+        with pytest.raises(ValidationError):
+            MissingGateFault(10).apply(ghz_circuit(2))
+
+    def test_wrong_gate(self):
+        circuit = ghz_circuit(2)
+        faulty = WrongGateFault(0, glib.X()).apply(circuit)
+        assert faulty[0].name == "x"
+
+    def test_wrong_gate_arity_mismatch(self):
+        with pytest.raises(ValidationError):
+            WrongGateFault(1, glib.X()).apply(ghz_circuit(2))
+
+    def test_overrotation(self):
+        circuit = Circuit(1).rz(0.5, 0)
+        faulty = OverRotationFault(0, delta=0.3).apply(circuit)
+        assert faulty[0].operation.params[0] == pytest.approx(0.8)
+
+    def test_overrotation_requires_parameterised_gate(self):
+        with pytest.raises(ValidationError):
+            OverRotationFault(0, delta=0.3).apply(ghz_circuit(2))
+
+    def test_stuck_noise(self):
+        circuit = ghz_circuit(2)
+        faulty = StuckNoiseFault(1, amplitude_damping_channel(0.5)).apply(circuit)
+        assert faulty.noise_count() == 1
+        assert faulty[2].is_noise
+
+    def test_stuck_noise_requires_channel(self):
+        with pytest.raises(ValidationError):
+            StuckNoiseFault(0).apply(ghz_circuit(2))
+
+    def test_fault_on_noise_instruction_rejected(self):
+        circuit = ghz_circuit(2)
+        circuit.append(depolarizing_channel(0.1), 0)
+        with pytest.raises(ValidationError):
+            MissingGateFault(2).apply(circuit)
+
+    def test_enumerate_single_gate_faults(self):
+        circuit = qaoa_circuit(4, seed=1, native_gates=False)
+        faults = enumerate_single_gate_faults(circuit)
+        assert len(faults) > circuit.gate_count()  # missing + overrotation for rotations
+        limited = enumerate_single_gate_faults(circuit, max_faults=5, rng=0)
+        assert len(limited) == 5
+
+    def test_descriptions(self):
+        assert "missing" in MissingGateFault(0).describe()
+        assert "over-rotation" in OverRotationFault(0, 0.1).describe()
+
+
+class TestPatterns:
+    def test_random_patterns(self):
+        patterns = random_patterns(4, 5, rng=0)
+        assert len(patterns) == 5
+        assert all(p.num_qubits == 4 for p in patterns)
+
+    def test_random_patterns_invalid_count(self):
+        with pytest.raises(ValidationError):
+            random_patterns(3, 0)
+
+    def test_basis_patterns(self):
+        patterns = basis_patterns(3)
+        assert len(patterns) == 4
+        assert patterns[1].input_state == "100"
+
+    def test_ideal_output_pattern(self):
+        circuit = ghz_circuit(3)
+        pattern = ideal_output_pattern(circuit)
+        value = TNSimulator().fidelity(circuit, pattern.input_state, pattern.output_state)
+        assert value == pytest.approx(1.0, abs=1e-9)
+
+    def test_pattern_invalid_alphabet(self):
+        with pytest.raises(ValidationError):
+            TestPattern("02", "00")
+
+
+class TestDetectionFlow:
+    def test_detects_missing_gate_in_ghz(self):
+        circuit = ghz_circuit(3)
+        detector = FaultDetector(TNSimulator(), threshold=1e-2)
+        pattern = ideal_output_pattern(circuit)
+        deviation = detector.detectability(circuit, MissingGateFault(0), pattern)
+        assert deviation > 0.4  # dropping the Hadamard changes the state drastically
+
+    def test_full_run_covers_detectable_faults(self):
+        circuit = qaoa_circuit(4, seed=3, native_gates=False)
+        faults = [MissingGateFault(0), MissingGateFault(5), OverRotationFault(6, 0.4)]
+        patterns = [ideal_output_pattern(circuit)] + random_patterns(4, 3, rng=1)
+        detector = FaultDetector(TNSimulator(), threshold=1e-3)
+        result = detector.run(circuit, faults, patterns)
+        assert result.coverage > 0.5
+        assert result.selected_patterns  # at least one pattern selected
+        for fault_index in result.detected_faults:
+            assert result.best_pattern_for(fault_index) is not None
+
+    def test_run_with_approximation_estimator_on_noisy_circuit(self):
+        """The intended production flow: noisy circuit under test, Algorithm 1 as the engine."""
+        ideal = qaoa_circuit(4, seed=5, native_gates=False)
+        noisy = NoiseModel(depolarizing_channel(0.001), seed=5).insert_random(ideal, 3)
+        detector = FaultDetector(ApproximateNoisySimulator(level=1), threshold=5e-2)
+        faults = [MissingGateFault(0), StuckNoiseFault(2, amplitude_damping_channel(0.6))]
+        patterns = [ideal_output_pattern(noisy)]
+        result = detector.run(noisy, faults, patterns)
+        assert 0 in result.detected_faults  # missing prep gate is clearly visible
+        assert result.threshold == pytest.approx(5e-2)
+
+    def test_undetectable_fault_reported(self):
+        """A fault acting trivially on the tested input stays undetected."""
+        circuit = Circuit(2).x(0).z(1)
+        # Z on |0⟩ is invisible when testing with |00⟩ -> ideal output.
+        faults = [MissingGateFault(1)]
+        detector = FaultDetector(TNSimulator(), threshold=1e-3)
+        result = detector.run(circuit, faults, [ideal_output_pattern(circuit)])
+        assert result.undetected_faults == [0]
+        assert result.coverage == 0.0
+
+    def test_invalid_estimator(self):
+        with pytest.raises(ValidationError):
+            FaultDetector(estimator=object())
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValidationError):
+            FaultDetector(TNSimulator(), threshold=0.0)
+
+    def test_pattern_width_mismatch(self):
+        detector = FaultDetector(TNSimulator())
+        with pytest.raises(ValidationError):
+            detector.signature(ghz_circuit(3), TestPattern("00", "00"))
+
+    def test_requires_patterns(self):
+        detector = FaultDetector(TNSimulator())
+        with pytest.raises(ValidationError):
+            detector.run(ghz_circuit(2), [MissingGateFault(0)], [])

@@ -1,0 +1,95 @@
+"""Integration tests: all simulators must agree on the same noisy circuits.
+
+This is the strongest internal consistency check in the repository: the
+MM-based, TN-based, TDD-based and trajectory simulators plus the paper's
+approximation algorithm are independent implementations sharing only the
+circuit/noise IR, so agreement across them on random circuits validates each
+of them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.library import benchmark_circuit, random_circuit
+from repro.core import ApproximateNoisySimulator
+from repro.noise import NoiseModel, SYCAMORE_LIKE_SPEC, depolarizing_channel
+from repro.simulators import (
+    DensityMatrixSimulator,
+    TDDSimulator,
+    TNSimulator,
+    TrajectorySimulator,
+)
+from repro.utils import zero_state
+
+
+def _make_noisy(name, noises, seed, p=0.01):
+    ideal = benchmark_circuit(name, seed=seed)
+    return NoiseModel(depolarizing_channel(p), seed=seed).insert_random(ideal, noises)
+
+
+CASES = [
+    ("qaoa_4", 3, 0),
+    ("hf_4", 4, 1),
+    ("inst_2x2_6", 3, 2),
+    ("ghz_4", 2, 3),
+    ("qft_3", 3, 4),
+]
+
+
+class TestAccurateMethodsAgree:
+    @pytest.mark.parametrize("name,noises,seed", CASES)
+    def test_dm_tn_tdd_agree(self, name, noises, seed):
+        noisy = _make_noisy(name, noises, seed)
+        v = zero_state(noisy.num_qubits)
+        f_dm = DensityMatrixSimulator().fidelity(noisy, v)
+        f_tn = TNSimulator().fidelity(noisy)
+        f_tdd = TDDSimulator().fidelity(noisy)
+        assert f_tn == pytest.approx(f_dm, abs=1e-9)
+        assert f_tdd == pytest.approx(f_dm, abs=1e-7)
+
+    @pytest.mark.parametrize("name,noises,seed", CASES)
+    def test_approximation_at_full_level_is_exact(self, name, noises, seed):
+        noisy = _make_noisy(name, noises, seed)
+        v = zero_state(noisy.num_qubits)
+        f_dm = DensityMatrixSimulator().fidelity(noisy, v)
+        result = ApproximateNoisySimulator().exact_fidelity(noisy)
+        assert result.value == pytest.approx(f_dm, abs=1e-9)
+
+    @pytest.mark.parametrize("name,noises,seed", CASES)
+    def test_level1_within_bound(self, name, noises, seed):
+        noisy = _make_noisy(name, noises, seed)
+        v = zero_state(noisy.num_qubits)
+        f_dm = DensityMatrixSimulator().fidelity(noisy, v)
+        result = ApproximateNoisySimulator(level=1).fidelity(noisy)
+        assert abs(result.value - f_dm) <= result.error_bound + 1e-9
+
+
+class TestApproximateMethodsAgree:
+    def test_trajectories_converge_to_exact(self):
+        noisy = _make_noisy("qaoa_4", 4, 7, p=0.05)
+        exact = DensityMatrixSimulator().fidelity(noisy, zero_state(4))
+        result = TrajectorySimulator("statevector").estimate_fidelity(noisy, 3000, rng=7)
+        assert result.estimate == pytest.approx(exact, abs=6 * result.standard_error + 1e-3)
+
+    def test_approximation_beats_level0_on_realistic_noise(self):
+        ideal = benchmark_circuit("qaoa_4", seed=11)
+        model = NoiseModel(lambda arity, rng: SYCAMORE_LIKE_SPEC.gate_noise(arity, rng), seed=11)
+        noisy = model.insert_random(ideal, 6)
+        exact = DensityMatrixSimulator().fidelity(noisy, zero_state(4))
+        err0 = abs(ApproximateNoisySimulator(level=0).fidelity(noisy).value - exact)
+        err1 = abs(ApproximateNoisySimulator(level=1).fidelity(noisy).value - exact)
+        assert err1 <= err0 + 1e-12
+
+    def test_random_circuit_all_methods(self):
+        ideal = random_circuit(4, 20, rng=13)
+        noisy = NoiseModel(depolarizing_channel(0.02), seed=13).insert_random(ideal, 5)
+        v = zero_state(4)
+        f_dm = DensityMatrixSimulator().fidelity(noisy, v)
+        f_tn = TNSimulator().fidelity(noisy)
+        f_tdd = TDDSimulator().fidelity(noisy)
+        approx = ApproximateNoisySimulator(level=2).fidelity(noisy).value
+        traj = TrajectorySimulator("statevector").estimate_fidelity(noisy, 2000, rng=13).estimate
+        assert f_tn == pytest.approx(f_dm, abs=1e-9)
+        assert f_tdd == pytest.approx(f_dm, abs=1e-7)
+        assert approx == pytest.approx(f_dm, abs=5e-4)
+        assert traj == pytest.approx(f_dm, abs=0.02)

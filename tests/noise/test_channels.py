@@ -1,0 +1,141 @@
+"""Tests for the standard channel factories and noise metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noise import (
+    KrausChannel,
+    amplitude_damping_channel,
+    average_gate_fidelity,
+    bit_flip_channel,
+    bit_phase_flip_channel,
+    channel_distance,
+    coherent_overrotation_channel,
+    depolarizing_channel,
+    diamond_norm_upper_bound,
+    generalized_amplitude_damping_channel,
+    noise_rate,
+    pauli_channel,
+    phase_damping_channel,
+    phase_flip_channel,
+    process_fidelity,
+    two_qubit_depolarizing_channel,
+)
+from repro.utils.linalg import dagger
+from repro.utils.states import random_density_matrix
+from repro.utils.validation import ValidationError
+
+ALL_SINGLE_QUBIT_FACTORIES = [
+    lambda p: depolarizing_channel(p),
+    lambda p: bit_flip_channel(p),
+    lambda p: phase_flip_channel(p),
+    lambda p: bit_phase_flip_channel(p),
+    lambda p: amplitude_damping_channel(p),
+    lambda p: phase_damping_channel(p),
+    lambda p: pauli_channel(p / 2, p / 4, p / 4),
+    lambda p: generalized_amplitude_damping_channel(p, 0.1),
+]
+
+
+class TestChannelFactories:
+    @pytest.mark.parametrize("factory", ALL_SINGLE_QUBIT_FACTORIES)
+    @pytest.mark.parametrize("p", [0.0, 0.01, 0.25, 0.9])
+    def test_cptp(self, factory, p):
+        channel = factory(p)
+        total = sum(dagger(op) @ op for op in channel.kraus_operators)
+        assert np.allclose(total, np.eye(channel.dim), atol=1e-9)
+
+    @pytest.mark.parametrize("factory", ALL_SINGLE_QUBIT_FACTORIES)
+    def test_zero_noise_is_identity_channel(self, factory):
+        channel = factory(0.0)
+        rho = random_density_matrix(1, rng=0)
+        assert np.allclose(channel(rho), rho)
+
+    def test_depolarizing_invalid_probability(self):
+        with pytest.raises(ValidationError):
+            depolarizing_channel(1.3)
+
+    def test_pauli_channel_probability_sum(self):
+        with pytest.raises(ValidationError):
+            pauli_channel(0.6, 0.5, 0.2)
+
+    def test_bit_flip_action(self):
+        channel = bit_flip_channel(1.0)
+        rho = np.diag([1.0, 0.0]).astype(complex)
+        assert np.allclose(channel(rho), np.diag([0.0, 1.0]))
+
+    def test_amplitude_damping_fixed_point(self):
+        channel = amplitude_damping_channel(1.0)
+        rho = random_density_matrix(1, rng=1)
+        assert np.allclose(channel(rho), np.diag([1.0, 0.0]), atol=1e-9)
+
+    def test_phase_damping_kills_coherences(self):
+        channel = phase_damping_channel(1.0)
+        rho = np.full((2, 2), 0.5, dtype=complex)
+        out = channel(rho)
+        assert abs(out[0, 1]) < 1e-12
+        assert out[0, 0] == pytest.approx(0.5)
+
+    def test_two_qubit_depolarizing(self):
+        channel = two_qubit_depolarizing_channel(0.1)
+        assert channel.num_qubits == 2
+        assert channel.num_kraus == 16
+        rho = random_density_matrix(2, rng=2)
+        assert np.trace(channel(rho)).real == pytest.approx(1.0)
+
+    def test_coherent_overrotation_is_unitary_channel(self):
+        channel = coherent_overrotation_channel(0.05, axis="x")
+        assert channel.is_unitary_channel()
+
+    def test_coherent_overrotation_invalid_axis(self):
+        with pytest.raises(ValidationError):
+            coherent_overrotation_channel(0.1, axis="w")
+
+
+class TestNoiseMetrics:
+    def test_identity_channel_has_zero_rate(self):
+        assert noise_rate(KrausChannel.identity(1)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_depolarizing_rate_value(self):
+        """Exact spectral rate is 4p/3, and it never exceeds the paper's 2p bound."""
+        p = 0.03
+        rate = noise_rate(depolarizing_channel(p))
+        assert rate == pytest.approx(4 * p / 3, rel=1e-6)
+        assert rate <= 2 * p + 1e-12
+
+    @given(st.floats(min_value=0.0, max_value=0.5, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_depolarizing_rate_bounded_by_2p(self, p):
+        assert noise_rate(depolarizing_channel(p)) <= 2 * p + 1e-9
+
+    def test_rate_increases_with_parameter(self):
+        rates = [noise_rate(amplitude_damping_channel(g)) for g in (0.01, 0.05, 0.2)]
+        assert rates == sorted(rates)
+
+    def test_channel_distance_self_is_zero(self):
+        channel = depolarizing_channel(0.1)
+        assert channel_distance(channel, channel) == pytest.approx(0.0, abs=1e-12)
+
+    def test_channel_distance_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            channel_distance(depolarizing_channel(0.1), two_qubit_depolarizing_channel(0.1))
+
+    def test_process_fidelity_identity(self):
+        assert process_fidelity(KrausChannel.identity(1)) == pytest.approx(1.0)
+
+    def test_process_fidelity_depolarizing(self):
+        p = 0.12
+        assert process_fidelity(depolarizing_channel(p)) == pytest.approx(1 - p)
+
+    def test_average_gate_fidelity_relation(self):
+        channel = depolarizing_channel(0.12)
+        f_pro = process_fidelity(channel)
+        assert average_gate_fidelity(channel) == pytest.approx((2 * f_pro + 1) / 3)
+
+    def test_diamond_bound_nonnegative_and_zero_for_equal(self):
+        a = depolarizing_channel(0.1)
+        assert diamond_norm_upper_bound(a, a) == pytest.approx(0.0, abs=1e-10)
+        b = depolarizing_channel(0.3)
+        assert diamond_norm_upper_bound(a, b) > 0.0

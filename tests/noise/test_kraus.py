@@ -1,0 +1,135 @@
+"""Tests for the KrausChannel class."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noise import KrausChannel, depolarizing_channel, amplitude_damping_channel
+from repro.utils.linalg import dagger
+from repro.utils.states import random_density_matrix, random_unitary
+from repro.utils.validation import ValidationError
+
+
+class TestConstruction:
+    def test_valid_channel(self):
+        channel = depolarizing_channel(0.1)
+        assert channel.num_qubits == 1
+        assert channel.num_kraus == 4
+        assert channel.dim == 2
+
+    def test_completeness_enforced(self):
+        with pytest.raises(ValidationError):
+            KrausChannel([np.eye(2) * 0.5])
+
+    def test_completeness_can_be_skipped(self):
+        channel = KrausChannel([np.eye(2) * 0.5], validate=False)
+        assert channel.num_kraus == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            KrausChannel([])
+
+    def test_mixed_dimensions_rejected(self):
+        with pytest.raises(ValidationError):
+            KrausChannel([np.eye(2), np.eye(4)])
+
+    def test_from_unitary(self):
+        u = random_unitary(1, rng=0)
+        channel = KrausChannel.from_unitary(u)
+        assert channel.is_unitary_channel()
+
+    def test_identity(self):
+        channel = KrausChannel.identity(2)
+        rho = random_density_matrix(2, rng=1)
+        assert np.allclose(channel(rho), rho)
+
+
+class TestChannelAction:
+    def test_apply_preserves_trace(self):
+        channel = depolarizing_channel(0.2)
+        rho = random_density_matrix(1, rng=2)
+        assert np.trace(channel(rho)).real == pytest.approx(1.0)
+
+    def test_apply_dimension_mismatch(self):
+        with pytest.raises(ValidationError):
+            depolarizing_channel(0.2)(np.eye(4) / 4)
+
+    def test_depolarizing_limit(self):
+        """Full depolarizing (p=1 over Pauli set) keeps the state in the Pauli orbit."""
+        channel = depolarizing_channel(1.0)
+        rho = np.diag([1.0, 0.0]).astype(complex)
+        out = channel(rho)
+        assert np.trace(out).real == pytest.approx(1.0)
+
+    def test_matrix_representation_action(self):
+        """M_E applied to vec_row(rho) equals vec_row(E(rho))."""
+        channel = amplitude_damping_channel(0.3)
+        rho = random_density_matrix(1, rng=3)
+        lhs = channel.matrix_representation() @ rho.reshape(-1)
+        rhs = channel(rho).reshape(-1)
+        assert np.allclose(lhs, rhs)
+
+    def test_choi_matrix_is_psd_with_trace_d(self):
+        channel = depolarizing_channel(0.15)
+        choi = channel.choi_matrix()
+        assert np.allclose(choi, choi.conj().T)
+        assert np.all(np.linalg.eigvalsh(choi) > -1e-10)
+        assert np.trace(choi).real == pytest.approx(channel.dim)
+
+    def test_unital_check(self):
+        assert depolarizing_channel(0.3).is_unital()
+        assert not amplitude_damping_channel(0.3).is_unital()
+
+
+class TestCompositionAndCanonicalForm:
+    def test_compose_matches_sequential_application(self):
+        a = depolarizing_channel(0.1)
+        b = amplitude_damping_channel(0.2)
+        rho = random_density_matrix(1, rng=4)
+        composed = a.compose(b)
+        assert np.allclose(composed(rho), b(a(rho)))
+
+    def test_compose_dimension_mismatch(self):
+        with pytest.raises(ValidationError):
+            depolarizing_channel(0.1).compose(KrausChannel.identity(2))
+
+    def test_tensor_product(self):
+        a = depolarizing_channel(0.1)
+        b = KrausChannel.identity(1)
+        joint = a.tensor(b)
+        assert joint.num_qubits == 2
+        rho = random_density_matrix(2, rng=5)
+        direct = sum(
+            np.kron(op, np.eye(2)) @ rho @ dagger(np.kron(op, np.eye(2)))
+            for op in a.kraus_operators
+        )
+        assert np.allclose(joint(rho), direct)
+
+    def test_conjugate(self):
+        channel = amplitude_damping_channel(0.4)
+        conj = channel.conjugate()
+        assert np.allclose(conj.kraus_operators[0], channel.kraus_operators[0].conj())
+
+    def test_canonical_kraus_is_equivalent(self):
+        channel = depolarizing_channel(0.25)
+        canonical = channel.canonical_kraus()
+        rho = random_density_matrix(1, rng=6)
+        assert np.allclose(channel(rho), canonical(rho))
+        # Canonical Kraus operators are orthogonal under the HS inner product.
+        ops = canonical.kraus_operators
+        for i in range(len(ops)):
+            for j in range(i + 1, len(ops)):
+                assert abs(np.trace(dagger(ops[i]) @ ops[j])) < 1e-9
+
+    def test_canonical_kraus_drops_zero_operators(self):
+        channel = depolarizing_channel(0.0)
+        assert channel.canonical_kraus().num_kraus == 1
+
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_cptp_property(self, p):
+        """Kraus completeness holds for every depolarizing parameter."""
+        channel = depolarizing_channel(p)
+        total = sum(dagger(op) @ op for op in channel.kraus_operators)
+        assert np.allclose(total, np.eye(2), atol=1e-9)

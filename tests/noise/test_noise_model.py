@@ -1,0 +1,110 @@
+"""Tests for noise injection into ideal circuits."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.library import ghz_circuit, qaoa_circuit
+from repro.noise import (
+    NoiseModel,
+    SYCAMORE_LIKE_SPEC,
+    depolarizing_channel,
+    insert_noise_after_gates,
+    two_qubit_depolarizing_channel,
+)
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture
+def ideal():
+    return qaoa_circuit(4, seed=0)
+
+
+class TestInsertRandom:
+    def test_noise_count(self, ideal):
+        noisy = NoiseModel(depolarizing_channel(0.01), seed=1).insert_random(ideal, 5)
+        assert noisy.noise_count() == 5
+        assert noisy.gate_count() == ideal.gate_count()
+
+    def test_paper_fault_model_places_noise_after_gates(self, ideal):
+        noisy = NoiseModel(depolarizing_channel(0.01), seed=1).insert_random(ideal, 3)
+        for position in noisy.noise_positions():
+            assert position > 0
+            preceding = noisy[position - 1]
+            noise = noisy[position]
+            # The noise acts on a qubit of the preceding gate (or preceding noise
+            # injected after the same gate).
+            assert set(noise.qubits) <= set(preceding.qubits) or preceding.is_noise
+
+    def test_zero_noises_is_copy(self, ideal):
+        noisy = NoiseModel(depolarizing_channel(0.01), seed=1).insert_random(ideal, 0)
+        assert noisy.noise_count() == 0
+        assert noisy.gate_count() == ideal.gate_count()
+
+    def test_more_noises_than_gates_allowed(self):
+        circuit = ghz_circuit(2)
+        noisy = NoiseModel(depolarizing_channel(0.01), seed=1).insert_random(circuit, 10)
+        assert noisy.noise_count() == 10
+
+    def test_reproducible_with_seed(self, ideal):
+        a = NoiseModel(depolarizing_channel(0.01), seed=7).insert_random(ideal, 4)
+        b = NoiseModel(depolarizing_channel(0.01), seed=7).insert_random(ideal, 4)
+        assert a.noise_positions() == b.noise_positions()
+        assert [i.qubits for i in a.noise_instructions] == [i.qubits for i in b.noise_instructions]
+
+    def test_negative_count_rejected(self, ideal):
+        with pytest.raises(ValidationError):
+            NoiseModel(depolarizing_channel(0.01)).insert_random(ideal, -1)
+
+    def test_factory_channel(self, ideal):
+        model = NoiseModel(lambda arity, rng: SYCAMORE_LIKE_SPEC.gate_noise(arity, rng), seed=3)
+        noisy = model.insert_random(ideal, 6)
+        assert noisy.noise_count() == 6
+        names = {inst.name for inst in noisy.noise_instructions}
+        assert all("decoherence" in name for name in names)
+
+    def test_invalid_channel_type(self, ideal):
+        with pytest.raises(ValidationError):
+            NoiseModel(channel="not a channel").insert_random(ideal, 1)
+
+    def test_convenience_wrapper(self, ideal):
+        noisy = insert_noise_after_gates(ideal, depolarizing_channel(0.01), 2, seed=5)
+        assert noisy.noise_count() == 2
+
+
+class TestOtherStrategies:
+    def test_after_every_gate(self):
+        circuit = ghz_circuit(3)
+        noisy = NoiseModel(depolarizing_channel(0.01), seed=1).insert_after_every_gate(circuit)
+        # One noise per qubit touched by each gate: H touches 1, each CX touches 2.
+        assert noisy.noise_count() == 1 + 2 + 2
+
+    def test_after_two_qubit_gates_only(self):
+        circuit = ghz_circuit(3)
+        noisy = NoiseModel(depolarizing_channel(0.01), seed=1).insert_after_every_gate(
+            circuit, only_two_qubit_gates=True
+        )
+        assert noisy.noise_count() == 4
+
+    def test_two_qubit_channel_attached_to_gate_qubits(self):
+        circuit = ghz_circuit(3)
+        noisy = NoiseModel(two_qubit_depolarizing_channel(0.01), seed=1).insert_after_every_gate(
+            circuit, only_two_qubit_gates=True
+        )
+        for inst in noisy.noise_instructions:
+            assert len(inst.qubits) == 2
+
+    def test_insert_at_positions(self):
+        circuit = ghz_circuit(4)
+        noisy = NoiseModel(depolarizing_channel(0.02)).insert_at(circuit, positions=[0, 2], qubits=[0, 2])
+        assert noisy.noise_count() == 2
+        assert noisy[1].is_noise and noisy[1].qubits == (0,)
+
+    def test_insert_at_out_of_range(self):
+        with pytest.raises(ValidationError):
+            NoiseModel(depolarizing_channel(0.02)).insert_at(ghz_circuit(2), positions=[99])
+
+    def test_insert_at_qubit_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            NoiseModel(depolarizing_channel(0.02)).insert_at(
+                ghz_circuit(2), positions=[0, 1], qubits=[0]
+            )

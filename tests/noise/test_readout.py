@@ -1,0 +1,81 @@
+"""Tests for the classical readout-error model."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.library import ghz_circuit
+from repro.noise.readout import ReadoutErrorModel
+from repro.simulators import StatevectorSimulator
+from repro.utils.validation import ValidationError
+
+
+class TestConstruction:
+    def test_scalar_rates_broadcast(self):
+        model = ReadoutErrorModel(3, p01=0.02, p10=0.05)
+        assert model.p01 == (0.02, 0.02, 0.02)
+        assert model.p10 == (0.05, 0.05, 0.05)
+
+    def test_per_qubit_rates(self):
+        model = ReadoutErrorModel(2, p01=[0.01, 0.02], p10=[0.03, 0.04])
+        assert model.confusion_matrix(1)[1, 0] == pytest.approx(0.02)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValidationError):
+            ReadoutErrorModel(3, p01=[0.01, 0.02])
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValidationError):
+            ReadoutErrorModel(2, p01=1.5)
+
+    def test_invalid_qubit_count(self):
+        with pytest.raises(ValidationError):
+            ReadoutErrorModel(0)
+
+
+class TestConfusionMatrices:
+    def test_columns_sum_to_one(self):
+        model = ReadoutErrorModel(2, p01=0.1, p10=0.2)
+        matrix = model.full_confusion_matrix()
+        assert np.allclose(matrix.sum(axis=0), 1.0)
+
+    def test_zero_error_is_identity(self):
+        model = ReadoutErrorModel(2, p01=0.0, p10=0.0)
+        assert np.allclose(model.full_confusion_matrix(), np.eye(4))
+
+    def test_qubit_out_of_range(self):
+        with pytest.raises(ValidationError):
+            ReadoutErrorModel(2).confusion_matrix(5)
+
+
+class TestApplication:
+    def test_probabilities_stay_normalised(self):
+        model = ReadoutErrorModel(3, p01=0.05, p10=0.08)
+        probs = StatevectorSimulator().probabilities(ghz_circuit(3))
+        observed = model.apply_to_probabilities(probs)
+        assert observed.sum() == pytest.approx(1.0)
+        # Readout errors spread weight onto previously-impossible outcomes.
+        assert observed[1] > 0.0
+
+    def test_mitigation_inverts_application(self):
+        model = ReadoutErrorModel(2, p01=0.04, p10=0.07)
+        probs = StatevectorSimulator().probabilities(ghz_circuit(2))
+        observed = model.apply_to_probabilities(probs)
+        mitigated = model.mitigate_probabilities(observed, clip=False)
+        assert np.allclose(mitigated, probs, atol=1e-12)
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValidationError):
+            ReadoutErrorModel(2).apply_to_probabilities(np.ones(8) / 8)
+
+    def test_counts_flipping(self):
+        model = ReadoutErrorModel(2, p01=1.0, p10=1.0)
+        counts = model.apply_to_counts({"00": 10, "11": 5}, rng=0)
+        assert counts == {"11": 10, "00": 5}
+
+    def test_counts_width_mismatch(self):
+        with pytest.raises(ValidationError):
+            ReadoutErrorModel(2).apply_to_counts({"000": 1})
+
+    def test_assignment_fidelity(self):
+        model = ReadoutErrorModel(2, p01=0.02, p10=0.06)
+        assert model.assignment_fidelity() == pytest.approx(1.0 - 0.04)

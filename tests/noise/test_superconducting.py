@@ -1,0 +1,110 @@
+"""Tests for the realistic superconducting decoherence noise model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noise import (
+    SYCAMORE_LIKE_SPEC,
+    SuperconductingNoiseSpec,
+    noise_rate,
+    thermal_relaxation_channel,
+)
+from repro.utils.linalg import dagger
+from repro.utils.states import random_density_matrix
+from repro.utils.validation import ValidationError
+
+
+class TestThermalRelaxation:
+    def test_cptp(self):
+        channel = thermal_relaxation_channel(15_000, 10_000, 25)
+        total = sum(dagger(op) @ op for op in channel.kraus_operators)
+        assert np.allclose(total, np.eye(2), atol=1e-9)
+
+    def test_zero_duration_is_identity(self):
+        channel = thermal_relaxation_channel(15_000, 10_000, 0.0)
+        rho = random_density_matrix(1, rng=0)
+        assert np.allclose(channel(rho), rho)
+
+    def test_population_decay_matches_t1(self):
+        t1, duration = 10_000.0, 2_500.0
+        channel = thermal_relaxation_channel(t1, t1, duration)
+        rho = np.diag([0.0, 1.0]).astype(complex)  # excited state
+        out = channel(rho)
+        assert out[1, 1].real == pytest.approx(np.exp(-duration / t1), rel=1e-9)
+
+    def test_coherence_decay_matches_t2(self):
+        t1, t2, duration = 10_000.0, 6_000.0, 1_500.0
+        channel = thermal_relaxation_channel(t1, t2, duration)
+        rho = np.full((2, 2), 0.5, dtype=complex)  # |+⟩⟨+|
+        out = channel(rho)
+        assert abs(out[0, 1]) == pytest.approx(0.5 * np.exp(-duration / t2), rel=1e-6)
+
+    def test_t2_limit_enforced(self):
+        with pytest.raises(ValidationError):
+            thermal_relaxation_channel(1_000, 2_500, 10)
+
+    def test_invalid_times(self):
+        with pytest.raises(ValidationError):
+            thermal_relaxation_channel(-1, 100, 10)
+        with pytest.raises(ValidationError):
+            thermal_relaxation_channel(100, 100, -5)
+
+    def test_excited_state_population(self):
+        channel = thermal_relaxation_channel(1_000, 1_000, 10_000, excited_state_population=0.2)
+        rho = np.diag([1.0, 0.0]).astype(complex)
+        out = channel(rho)
+        # Long evolution drives the qubit towards the thermal population.
+        assert out[1, 1].real == pytest.approx(0.2, abs=0.01)
+
+    def test_rate_small_for_realistic_parameters(self):
+        """Realistic decoherence over one gate is close to identity (small noise rate)."""
+        channel = thermal_relaxation_channel(15_000, 10_000, 25)
+        assert noise_rate(channel) < 0.01
+
+    @given(
+        st.floats(min_value=1_000, max_value=100_000),
+        st.floats(min_value=10, max_value=500),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_cptp_for_random_parameters(self, t1, duration):
+        t2 = 1.2 * t1
+        channel = thermal_relaxation_channel(t1, min(t2, 2 * t1), duration)
+        total = sum(dagger(op) @ op for op in channel.kraus_operators)
+        assert np.allclose(total, np.eye(2), atol=1e-8)
+
+
+class TestNoiseSpec:
+    def test_default_spec_values(self):
+        assert SYCAMORE_LIKE_SPEC.t1_ns > SYCAMORE_LIKE_SPEC.single_qubit_gate_ns
+
+    def test_sample_times_respects_t2_limit(self):
+        spec = SuperconductingNoiseSpec(t1_ns=5_000, t2_ns=9_000)
+        for seed in range(20):
+            t1, t2 = spec.sample_times(rng=seed)
+            assert t2 <= 2 * t1 + 1e-9
+
+    def test_gate_noise_arity(self):
+        channel_1q = SYCAMORE_LIKE_SPEC.gate_noise(1, rng=0)
+        channel_2q = SYCAMORE_LIKE_SPEC.gate_noise(2, rng=0)
+        assert channel_1q.num_qubits == 1
+        assert noise_rate(channel_2q) >= noise_rate(channel_1q) * 0.5  # longer gate, similar order
+
+    def test_gate_noise_invalid_arity(self):
+        with pytest.raises(ValidationError):
+            SYCAMORE_LIKE_SPEC.gate_noise(3)
+
+    def test_readout_noise_is_stronger(self):
+        gate = SYCAMORE_LIKE_SPEC.gate_noise(1, rng=1)
+        readout = SYCAMORE_LIKE_SPEC.readout_noise(rng=1)
+        assert noise_rate(readout) > noise_rate(gate)
+
+    def test_scaled_spec_increases_rate(self):
+        base = SYCAMORE_LIKE_SPEC.gate_noise(1, rng=2)
+        noisy = SYCAMORE_LIKE_SPEC.scaled(5.0).gate_noise(1, rng=2)
+        assert noise_rate(noisy) > noise_rate(base)
+
+    def test_scaled_invalid_factor(self):
+        with pytest.raises(ValidationError):
+            SYCAMORE_LIKE_SPEC.scaled(0.0)

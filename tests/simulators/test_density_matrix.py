@@ -1,0 +1,108 @@
+"""Tests for the MM-based density-matrix simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.circuits.library import ghz_circuit, random_circuit
+from repro.noise import (
+    NoiseModel,
+    amplitude_damping_channel,
+    depolarizing_channel,
+    two_qubit_depolarizing_channel,
+)
+from repro.simulators import (
+    DensityMatrixSimulator,
+    StatevectorSimulator,
+    apply_channel_to_density,
+    apply_matrix_to_density,
+)
+from repro.utils import basis_state, zero_state
+from repro.utils.linalg import is_density_matrix, projector
+from repro.utils.validation import ValidationError
+
+
+class TestLowLevelApplication:
+    def test_apply_matrix_matches_dense(self):
+        from repro.utils.linalg import embed_operator
+
+        rng = np.random.default_rng(0)
+        rho = np.eye(8, dtype=complex) / 8
+        u = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+        out = apply_matrix_to_density(rho, u, [1], 3)
+        full = embed_operator(u, [1], 3)
+        assert np.allclose(out, full @ rho @ full.conj().T)
+
+    def test_apply_channel_preserves_trace(self):
+        rho = projector(zero_state(2))
+        out = apply_channel_to_density(
+            rho, depolarizing_channel(0.3).kraus_operators, [0], 2
+        )
+        assert np.trace(out).real == pytest.approx(1.0)
+
+
+class TestDensityMatrixSimulator:
+    def test_noiseless_matches_statevector(self):
+        circuit = random_circuit(4, 25, rng=1)
+        rho = DensityMatrixSimulator().run(circuit)
+        psi = StatevectorSimulator().run(circuit)
+        assert np.allclose(rho, projector(psi), atol=1e-10)
+
+    def test_output_is_density_matrix(self):
+        noisy = NoiseModel(depolarizing_channel(0.1), seed=0).insert_random(
+            random_circuit(3, 15, rng=2), 4
+        )
+        assert DensityMatrixSimulator().validate_output(noisy)
+
+    def test_fidelity_of_pure_noiseless(self):
+        fid = DensityMatrixSimulator().fidelity(ghz_circuit(3), basis_state("111"))
+        assert fid == pytest.approx(0.5)
+
+    def test_depolarizing_reduces_fidelity(self):
+        ideal = ghz_circuit(3)
+        noisy = NoiseModel(depolarizing_channel(0.2), seed=1).insert_random(ideal, 3)
+        sim = DensityMatrixSimulator()
+        assert sim.fidelity(noisy, basis_state("111")) < sim.fidelity(ideal, basis_state("111"))
+
+    def test_two_qubit_noise_channel(self):
+        circuit = ghz_circuit(2)
+        noisy = NoiseModel(two_qubit_depolarizing_channel(0.1), seed=2).insert_after_every_gate(
+            circuit, only_two_qubit_gates=True
+        )
+        assert DensityMatrixSimulator().validate_output(noisy)
+
+    def test_initial_density_matrix_input(self):
+        circuit = Circuit(1).x(0)
+        rho0 = np.diag([0.25, 0.75]).astype(complex)
+        out = DensityMatrixSimulator().run(circuit, initial_state=rho0)
+        assert np.allclose(out, np.diag([0.75, 0.25]))
+
+    def test_initial_statevector_input(self):
+        circuit = Circuit(1).z(0)
+        out = DensityMatrixSimulator().run(circuit, initial_state=basis_state("1"))
+        assert np.allclose(out, np.diag([0.0, 1.0]))
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValidationError):
+            DensityMatrixSimulator().run(ghz_circuit(2), initial_state=zero_state(3))
+
+    def test_memory_guard(self):
+        with pytest.raises(MemoryError):
+            DensityMatrixSimulator(max_qubits=3).run(ghz_circuit(4))
+
+    def test_matrix_element_hermiticity(self):
+        noisy = NoiseModel(amplitude_damping_channel(0.2), seed=3).insert_random(
+            ghz_circuit(3), 2
+        )
+        sim = DensityMatrixSimulator()
+        x, y = basis_state("000"), basis_state("111")
+        forward = sim.matrix_element(noisy, x, y)
+        backward = sim.matrix_element(noisy, y, x)
+        assert forward == pytest.approx(np.conj(backward))
+
+    def test_amplitude_damping_drives_to_ground(self):
+        circuit = Circuit(1).x(0)
+        for _ in range(40):
+            circuit.append(amplitude_damping_channel(0.5), 0)
+        rho = DensityMatrixSimulator().run(circuit)
+        assert rho[0, 0].real == pytest.approx(1.0, abs=1e-4)

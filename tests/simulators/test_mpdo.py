@@ -1,0 +1,121 @@
+"""Tests for the MPDO noisy simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.library import ghz_circuit, random_circuit
+from repro.noise import NoiseModel, amplitude_damping_channel, depolarizing_channel
+from repro.simulators import (
+    DensityMatrixSimulator,
+    MatrixProductDensityOperator,
+    MPDOSimulator,
+)
+from repro.utils import zero_state
+from repro.utils.validation import ValidationError
+
+
+def _noisy(seed=0, qubits=4, depth=20, noises=4, p=0.05):
+    ideal = random_circuit(qubits, depth, rng=seed)
+    return NoiseModel(depolarizing_channel(p), seed=seed).insert_random(ideal, noises)
+
+
+class TestMatrixProductDensityOperator:
+    def test_zero_state(self):
+        mpdo = MatrixProductDensityOperator.zero_state(3)
+        assert mpdo.num_qubits == 3
+        assert mpdo.trace() == pytest.approx(1.0)
+        assert mpdo.fidelity([np.array([1, 0])] * 3) == pytest.approx(1.0)
+
+    def test_from_product_state(self):
+        plus = np.array([1, 1]) / np.sqrt(2)
+        mpdo = MatrixProductDensityOperator.from_product_state([plus, plus])
+        assert mpdo.fidelity([plus, plus]) == pytest.approx(1.0)
+        assert mpdo.fidelity([np.array([1, 0]), np.array([1, 0])]) == pytest.approx(0.25)
+
+    def test_invalid_tensors(self):
+        with pytest.raises(ValidationError):
+            MatrixProductDensityOperator([np.zeros((1, 3, 2, 1))])
+        with pytest.raises(ValidationError):
+            MatrixProductDensityOperator([np.zeros((2, 2, 2, 1))])
+
+    def test_to_matrix_of_product_state(self):
+        mpdo = MatrixProductDensityOperator.zero_state(2)
+        expected = np.zeros((4, 4))
+        expected[0, 0] = 1.0
+        assert np.allclose(mpdo.to_matrix(), expected)
+
+    def test_single_qubit_gate(self):
+        mpdo = MatrixProductDensityOperator.zero_state(1)
+        h = np.array([[1, 1], [1, -1]]) / np.sqrt(2)
+        mpdo.apply_single_qubit_gate(h, 0)
+        assert np.allclose(mpdo.to_matrix(), np.full((2, 2), 0.5))
+
+    def test_single_qubit_channel_preserves_trace(self):
+        mpdo = MatrixProductDensityOperator.zero_state(2)
+        mpdo.apply_single_qubit_gate(np.array([[0, 1], [1, 0]]), 0)
+        mpdo.apply_single_qubit_channel(amplitude_damping_channel(0.3).kraus_operators, 0)
+        assert mpdo.trace() == pytest.approx(1.0)
+
+    def test_expectation(self):
+        mpdo = MatrixProductDensityOperator.zero_state(2)
+        z = np.diag([1.0, -1.0])
+        assert mpdo.expectation({0: z}) == pytest.approx(1.0)
+        mpdo.apply_single_qubit_gate(np.array([[0, 1], [1, 0]]), 0)
+        assert mpdo.expectation({0: z}) == pytest.approx(-1.0)
+
+
+class TestMPDOSimulator:
+    def test_matches_density_matrix_noiseless(self):
+        circuit = random_circuit(4, 20, rng=3)
+        dense = MPDOSimulator().run(circuit).to_matrix()
+        expected = DensityMatrixSimulator().run(circuit)
+        assert np.allclose(dense, expected, atol=1e-8)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_density_matrix_noisy(self, seed):
+        noisy = _noisy(seed=seed)
+        dense = MPDOSimulator().run(noisy).to_matrix()
+        expected = DensityMatrixSimulator().run(noisy)
+        assert np.allclose(dense, expected, atol=1e-8)
+
+    def test_fidelity_matches(self):
+        noisy = _noisy(seed=5)
+        expected = DensityMatrixSimulator().fidelity(noisy, zero_state(4))
+        assert MPDOSimulator().fidelity(noisy) == pytest.approx(expected, abs=1e-8)
+
+    def test_ghz_with_amplitude_damping(self):
+        ideal = ghz_circuit(4)
+        noisy = NoiseModel(amplitude_damping_channel(0.2), seed=7).insert_random(ideal, 3)
+        expected = DensityMatrixSimulator().fidelity(noisy, zero_state(4))
+        assert MPDOSimulator().fidelity(noisy) == pytest.approx(expected, abs=1e-8)
+
+    def test_trace_approximately_preserved_with_truncation(self):
+        noisy = _noisy(seed=9, qubits=5, depth=25, noises=6)
+        simulator = MPDOSimulator(max_bond_dim=8)
+        mpdo = simulator.run(noisy)
+        assert mpdo.max_bond_dimension() <= 8
+        # Truncation discards some weight but the state remains close to normalised.
+        assert 0.5 < abs(mpdo.trace()) <= 1.0 + 1e-9
+        assert simulator.total_discarded_weight >= 0.0
+
+    def test_truncation_error_decreases_with_bond_dimension(self):
+        noisy = _noisy(seed=11, qubits=5, depth=40, noises=5)
+        exact = DensityMatrixSimulator().fidelity(noisy, zero_state(5))
+        errors = []
+        for bond in (2, 8, None):
+            value = MPDOSimulator(max_bond_dim=bond).fidelity(noisy)
+            errors.append(abs(value - exact))
+        assert errors[2] <= errors[0] + 1e-9
+
+    def test_rejects_multi_qubit_noise(self):
+        from repro.noise import two_qubit_depolarizing_channel
+
+        circuit = ghz_circuit(2)
+        circuit.append(two_qubit_depolarizing_channel(0.1), (0, 1))
+        with pytest.raises(ValidationError):
+            MPDOSimulator().run(circuit)
+
+    def test_requires_product_output_state(self):
+        noisy = _noisy(seed=13)
+        with pytest.raises(ValidationError):
+            MPDOSimulator().fidelity(noisy, output_state=np.ones(16) / 4.0)

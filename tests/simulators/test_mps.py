@@ -1,0 +1,107 @@
+"""Tests for the MPS simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.circuits.library import ghz_circuit, qft_circuit, random_circuit
+from repro.noise import depolarizing_channel
+from repro.simulators import MatrixProductState, MPSSimulator, StatevectorSimulator
+from repro.utils import ghz_state, state_fidelity
+from repro.utils.validation import ValidationError
+
+
+class TestMatrixProductState:
+    def test_zero_state(self):
+        mps = MatrixProductState.zero_state(4)
+        assert mps.num_qubits == 4
+        assert mps.amplitude("0000") == pytest.approx(1.0)
+        assert mps.amplitude("0001") == pytest.approx(0.0)
+        assert mps.norm() == pytest.approx(1.0)
+
+    def test_from_product_state(self):
+        plus = np.array([1, 1]) / np.sqrt(2)
+        mps = MatrixProductState.from_product_state([plus, plus])
+        assert mps.amplitude("11") == pytest.approx(0.5)
+
+    def test_invalid_tensor_shapes(self):
+        with pytest.raises(ValidationError):
+            MatrixProductState([np.zeros((1, 3, 1))])
+        with pytest.raises(ValidationError):
+            MatrixProductState([np.zeros((2, 2, 1))])
+
+    def test_to_statevector_roundtrip(self):
+        mps = MatrixProductState.zero_state(3)
+        mps.apply_single_qubit(np.array([[1, 1], [1, -1]]) / np.sqrt(2), 0)
+        psi = mps.to_statevector()
+        assert psi[0] == pytest.approx(1 / np.sqrt(2))
+        assert psi[4] == pytest.approx(1 / np.sqrt(2))
+
+    def test_overlap(self):
+        a = MatrixProductState.zero_state(3)
+        b = MatrixProductState.zero_state(3)
+        assert a.overlap(b) == pytest.approx(1.0)
+
+    def test_bond_dimension_grows_with_entanglement(self):
+        mps = MPSSimulator().run(ghz_circuit(5))
+        assert mps.max_bond_dimension() == 2
+
+    def test_invalid_amplitude_bitstring(self):
+        with pytest.raises(ValidationError):
+            MatrixProductState.zero_state(2).amplitude("012")
+
+
+class TestMPSSimulator:
+    @pytest.mark.parametrize("factory", [lambda: ghz_circuit(5), lambda: qft_circuit(4)])
+    def test_matches_statevector(self, factory):
+        circuit = factory()
+        psi_mps = MPSSimulator().run(circuit).to_statevector()
+        psi_sv = StatevectorSimulator().run(circuit)
+        assert np.allclose(psi_mps, psi_sv, atol=1e-8)
+
+    def test_random_circuits_with_nonadjacent_gates(self):
+        for seed in range(4):
+            circuit = random_circuit(5, 30, rng=seed)
+            psi_mps = MPSSimulator().run(circuit).to_statevector()
+            psi_sv = StatevectorSimulator().run(circuit)
+            assert np.allclose(psi_mps, psi_sv, atol=1e-8)
+
+    def test_ghz_fidelity(self):
+        mps = MPSSimulator().run(ghz_circuit(6))
+        assert state_fidelity(mps.to_statevector(), ghz_state(6)) == pytest.approx(1.0)
+
+    def test_amplitude_api(self):
+        assert MPSSimulator().amplitude(ghz_circuit(4), "1111") == pytest.approx(1 / np.sqrt(2))
+
+    def test_truncation_reduces_bond_dimension(self):
+        circuit = random_circuit(6, 60, rng=9)
+        exact = MPSSimulator().run(circuit)
+        truncated_sim = MPSSimulator(max_bond_dim=2)
+        truncated = truncated_sim.run(circuit)
+        assert truncated.max_bond_dimension() <= 2
+        assert truncated.max_bond_dimension() <= exact.max_bond_dimension()
+        assert truncated_sim.total_discarded_weight >= 0.0
+
+    def test_truncation_error_monotone_in_bond_dimension(self):
+        circuit = random_circuit(6, 60, rng=10)
+        psi = StatevectorSimulator().run(circuit)
+        errors = []
+        for bond in (2, 4, 16):
+            approx = MPSSimulator(max_bond_dim=bond).run(circuit).to_statevector()
+            approx = approx / np.linalg.norm(approx)
+            errors.append(1.0 - abs(np.vdot(psi, approx)) ** 2)
+        assert errors[2] <= errors[1] + 1e-9
+        assert errors[2] <= errors[0] + 1e-9
+
+    def test_rejects_noise(self):
+        circuit = ghz_circuit(2)
+        circuit.append(depolarizing_channel(0.1), 0)
+        with pytest.raises(ValidationError):
+            MPSSimulator().run(circuit)
+
+    def test_rejects_three_qubit_gates(self):
+        from repro.circuits import gates as glib
+
+        circuit = Circuit(3).append(glib.controlled(glib.X(), 2), (0, 1, 2))
+        with pytest.raises(ValidationError):
+            MPSSimulator().run(circuit)

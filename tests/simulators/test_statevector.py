@@ -1,0 +1,108 @@
+"""Tests for the dense statevector simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit
+from repro.circuits.library import ghz_circuit, qft_circuit, random_circuit
+from repro.noise import depolarizing_channel
+from repro.simulators import StatevectorSimulator, apply_matrix
+from repro.utils import basis_state, ghz_state, state_fidelity, zero_state
+from repro.utils.validation import ValidationError
+
+
+class TestApplyMatrix:
+    def test_single_qubit_on_first(self):
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        out = apply_matrix(zero_state(2), x, [0], 2)
+        assert np.allclose(out, basis_state("10"))
+
+    def test_single_qubit_on_second(self):
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        out = apply_matrix(zero_state(2), x, [1], 2)
+        assert np.allclose(out, basis_state("01"))
+
+    def test_two_qubit_qubit_order_matters(self):
+        cx = np.eye(4, dtype=complex)[[0, 1, 3, 2]]
+        state = basis_state("01")
+        # control = qubit 1 (which is |1⟩), target = qubit 0.
+        out = apply_matrix(state, cx, [1, 0], 2)
+        assert np.allclose(out, basis_state("11"))
+
+    def test_matches_dense_embedding(self):
+        from repro.utils.linalg import embed_operator
+
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        state = rng.normal(size=8) + 1j * rng.normal(size=8)
+        out = apply_matrix(state, matrix, [2, 0], 3)
+        expected = embed_operator(matrix, [2, 0], 3) @ state
+        assert np.allclose(out, expected)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            apply_matrix(zero_state(2), np.eye(2), [0, 1], 2)
+
+
+class TestStatevectorSimulator:
+    def test_ghz(self):
+        psi = StatevectorSimulator().run(ghz_circuit(4))
+        assert state_fidelity(psi, ghz_state(4)) == pytest.approx(1.0)
+
+    def test_custom_initial_state(self):
+        circuit = Circuit(1).x(0)
+        out = StatevectorSimulator().run(circuit, initial_state=basis_state("1"))
+        assert np.allclose(out, basis_state("0"))
+
+    def test_initial_state_size_mismatch(self):
+        with pytest.raises(ValidationError):
+            StatevectorSimulator().run(ghz_circuit(2), initial_state=zero_state(3))
+
+    def test_rejects_noise(self):
+        circuit = Circuit(1).h(0)
+        circuit.append(depolarizing_channel(0.1), 0)
+        with pytest.raises(ValidationError):
+            StatevectorSimulator().run(circuit)
+
+    def test_qubit_cap(self):
+        with pytest.raises(ValidationError):
+            StatevectorSimulator(max_qubits=3).run(ghz_circuit(4))
+
+    def test_amplitude(self):
+        amp = StatevectorSimulator().amplitude(ghz_circuit(3), basis_state("111"))
+        assert amp == pytest.approx(1 / np.sqrt(2))
+
+    def test_probabilities_sum_to_one(self):
+        probs = StatevectorSimulator().probabilities(qft_circuit(3))
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_sampling_statistics(self):
+        counts = StatevectorSimulator().sample(ghz_circuit(2), shots=2000, rng=0)
+        assert set(counts) <= {"00", "11"}
+        assert abs(counts.get("00", 0) - 1000) < 150
+
+    def test_sampling_invalid_shots(self):
+        with pytest.raises(ValidationError):
+            StatevectorSimulator().sample(ghz_circuit(2), shots=0)
+
+    def test_expectation_value(self):
+        z0 = np.kron(np.diag([1.0, -1.0]), np.eye(2))
+        value = StatevectorSimulator().expectation(ghz_circuit(2), z0)
+        assert value == pytest.approx(0.0, abs=1e-10)
+
+    def test_expectation_dimension_mismatch(self):
+        with pytest.raises(ValidationError):
+            StatevectorSimulator().expectation(ghz_circuit(2), np.eye(2))
+
+    def test_unitarity_preserves_norm(self):
+        psi = StatevectorSimulator().run(random_circuit(5, 40, rng=2))
+        assert np.linalg.norm(psi) == pytest.approx(1.0)
+
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=15, deadline=None)
+    def test_matches_dense_unitary(self, seed):
+        circuit = random_circuit(3, 12, rng=seed)
+        psi = StatevectorSimulator().run(circuit)
+        assert np.allclose(psi, circuit.unitary() @ zero_state(3), atol=1e-9)

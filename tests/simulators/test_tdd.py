@@ -1,0 +1,148 @@
+"""Tests for the decision-diagram (TDD) backend."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.circuits.library import ghz_circuit, random_circuit
+from repro.noise import NoiseModel, amplitude_damping_channel, depolarizing_channel
+from repro.simulators import DensityMatrixSimulator, TDDSimulator
+from repro.simulators.tdd import DDContext, MatrixDD
+from repro.utils import basis_state, zero_state
+from repro.utils.states import random_unitary
+from repro.utils.validation import ValidationError
+
+
+class TestMatrixDD:
+    def test_roundtrip_random_matrix(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(size=(8, 8)) + 1j * rng.normal(size=(8, 8))
+        context = DDContext()
+        assert np.allclose(MatrixDD.from_matrix(matrix, context).to_matrix(), matrix)
+
+    def test_zero_matrix(self):
+        context = DDContext()
+        dd = MatrixDD.from_matrix(np.zeros((4, 4)), context)
+        assert np.allclose(dd.to_matrix(), 0.0)
+
+    def test_identity_constructor(self):
+        context = DDContext()
+        assert np.allclose(MatrixDD.identity(3, context).to_matrix(), np.eye(8))
+
+    def test_identity_is_compact(self):
+        context = DDContext()
+        dd = MatrixDD.identity(6, context)
+        assert dd.node_count() <= 8  # linear, not exponential
+
+    def test_structured_matrix_is_shared(self):
+        context = DDContext()
+        dd = MatrixDD.from_matrix(np.kron(np.eye(4), np.array([[0, 1], [1, 0]])), context)
+        assert dd.node_count() <= 8
+
+    def test_addition(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(4, 4))
+        b = rng.normal(size=(4, 4))
+        context = DDContext()
+        result = MatrixDD.from_matrix(a, context).add(MatrixDD.from_matrix(b, context))
+        assert np.allclose(result.to_matrix(), a + b)
+
+    def test_cancellation_to_zero(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(4, 4))
+        context = DDContext()
+        result = MatrixDD.from_matrix(a, context).add(MatrixDD.from_matrix(-a, context))
+        assert np.allclose(result.to_matrix(), 0.0)
+
+    def test_multiplication(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(8, 8)) + 1j * rng.normal(size=(8, 8))
+        b = rng.normal(size=(8, 8)) + 1j * rng.normal(size=(8, 8))
+        context = DDContext()
+        result = MatrixDD.from_matrix(a, context).multiply(MatrixDD.from_matrix(b, context))
+        assert np.allclose(result.to_matrix(), a @ b)
+
+    def test_scale(self):
+        context = DDContext()
+        dd = MatrixDD.identity(2, context).scale(2.5j)
+        assert np.allclose(dd.to_matrix(), 2.5j * np.eye(4))
+
+    def test_adjoint(self):
+        rng = np.random.default_rng(4)
+        a = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        context = DDContext()
+        assert np.allclose(MatrixDD.from_matrix(a, context).adjoint().to_matrix(), a.conj().T)
+
+    def test_trace(self):
+        rng = np.random.default_rng(5)
+        a = rng.normal(size=(8, 8)) + 1j * rng.normal(size=(8, 8))
+        context = DDContext()
+        assert MatrixDD.from_matrix(a, context).trace() == pytest.approx(np.trace(a))
+
+    def test_from_gate_embedding(self):
+        from repro.utils.linalg import embed_operator
+
+        context = DDContext()
+        u = random_unitary(1, rng=6)
+        dd = MatrixDD.from_gate(u, [1], 3, context)
+        assert np.allclose(dd.to_matrix(), embed_operator(u, [1], 3))
+
+    def test_from_gate_unsorted_qubits(self):
+        from repro.utils.linalg import embed_operator
+
+        context = DDContext()
+        cx = np.eye(4, dtype=complex)[[0, 1, 3, 2]]
+        dd = MatrixDD.from_gate(cx, [2, 0], 3, context)
+        assert np.allclose(dd.to_matrix(), embed_operator(cx, [2, 0], 3))
+
+    def test_incompatible_contexts_rejected(self):
+        a = MatrixDD.identity(2, DDContext())
+        b = MatrixDD.identity(2, DDContext())
+        with pytest.raises(ValidationError):
+            a.add(b)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValidationError):
+            MatrixDD.from_matrix(np.zeros((2, 4)), DDContext())
+
+
+class TestTDDSimulator:
+    def test_matches_density_matrix_noiseless(self):
+        circuit = random_circuit(3, 12, rng=7)
+        dd_rho = TDDSimulator().density_matrix(circuit)
+        dm_rho = DensityMatrixSimulator().run(circuit)
+        assert np.allclose(dd_rho, dm_rho, atol=1e-8)
+
+    def test_matches_density_matrix_noisy(self):
+        ideal = random_circuit(3, 12, rng=8)
+        noisy = NoiseModel(depolarizing_channel(0.08), seed=8).insert_random(ideal, 3)
+        assert np.allclose(
+            TDDSimulator().density_matrix(noisy),
+            DensityMatrixSimulator().run(noisy),
+            atol=1e-8,
+        )
+
+    def test_fidelity_matches(self):
+        ideal = ghz_circuit(3)
+        noisy = NoiseModel(amplitude_damping_channel(0.15), seed=9).insert_random(ideal, 2)
+        expected = DensityMatrixSimulator().fidelity(noisy, basis_state("111"))
+        assert TDDSimulator().fidelity(noisy, basis_state("111")) == pytest.approx(expected, abs=1e-8)
+
+    def test_default_output_state(self):
+        noisy = NoiseModel(depolarizing_channel(0.1), seed=10).insert_random(ghz_circuit(2), 2)
+        expected = DensityMatrixSimulator().fidelity(noisy, zero_state(2))
+        assert TDDSimulator().fidelity(noisy) == pytest.approx(expected, abs=1e-8)
+
+    def test_qubit_guard(self):
+        with pytest.raises(MemoryError):
+            TDDSimulator(max_qubits=2).run(ghz_circuit(3))
+
+    def test_node_guard_raises_memory_error(self):
+        circuit = random_circuit(4, 30, rng=11)
+        with pytest.raises(MemoryError):
+            TDDSimulator(max_nodes=3).run(circuit)
+
+    def test_custom_initial_state(self):
+        circuit = Circuit(2).cx(0, 1)
+        rho = TDDSimulator().density_matrix(circuit, initial_state=basis_state("10"))
+        assert rho[3, 3].real == pytest.approx(1.0)

@@ -1,0 +1,93 @@
+"""Tests for noisy observable expectation values on the TN simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.library import ghz_circuit, qaoa_circuit, random_circuit
+from repro.circuits.library.qaoa import QAOAProblem, qaoa_problem_circuit
+from repro.circuits.observables import PauliObservable, PauliTerm, ising_cost_observable
+from repro.noise import NoiseModel, depolarizing_channel
+from repro.simulators import DensityMatrixSimulator, TNSimulator
+from repro.tensornetwork import noisy_observable_network
+from repro.utils.validation import ValidationError
+
+
+def _noisy(seed=0, qubits=4, depth=16, noises=4, p=0.05):
+    ideal = random_circuit(qubits, depth, rng=seed)
+    return NoiseModel(depolarizing_channel(p), seed=seed).insert_random(ideal, noises)
+
+
+class TestObservableNetwork:
+    def test_trace_closure_gives_unit_trace(self):
+        """With no observable factors the network evaluates tr(E(ρ)) = 1."""
+        noisy = _noisy(seed=1)
+        value = noisy_observable_network(noisy, "0000", {}).contract_to_scalar()
+        assert value.real == pytest.approx(1.0, abs=1e-9)
+        assert abs(value.imag) < 1e-10
+
+    def test_single_qubit_observable(self):
+        noisy = _noisy(seed=2)
+        z = np.diag([1.0, -1.0]).astype(complex)
+        value = noisy_observable_network(noisy, "0000", {1: z}).contract_to_scalar()
+        rho = DensityMatrixSimulator().run(noisy)
+        expected = np.trace(np.kron(np.kron(np.eye(2), z), np.eye(4)) @ rho)
+        assert value.real == pytest.approx(expected.real, abs=1e-9)
+
+    def test_invalid_qubit(self):
+        noisy = _noisy(seed=3)
+        with pytest.raises(ValidationError):
+            noisy_observable_network(noisy, "0000", {9: np.eye(2)})
+
+    def test_invalid_operator_shape(self):
+        noisy = _noisy(seed=3)
+        with pytest.raises(ValidationError):
+            noisy_observable_network(noisy, "0000", {0: np.eye(4)})
+
+
+class TestTNExpectation:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_density_matrix(self, seed):
+        noisy = _noisy(seed=seed)
+        observable = PauliObservable.from_strings(
+            [(0.8, "ZZII"), (-0.4, "IXXI"), (1.3, "IIYZ")], constant=0.1
+        )
+        expected = float(
+            np.real(np.trace(observable.matrix(4) @ DensityMatrixSimulator().run(noisy)))
+        )
+        assert TNSimulator().expectation(noisy, observable) == pytest.approx(expected, abs=1e-8)
+
+    def test_single_term(self):
+        noisy = _noisy(seed=4)
+        term = PauliTerm(1.0, ((0, "Z"),))
+        rho = DensityMatrixSimulator().run(noisy)
+        expected = float(np.real(np.trace(np.kron(np.diag([1, -1]), np.eye(8)) @ rho)))
+        assert TNSimulator().expectation(noisy, term) == pytest.approx(expected, abs=1e-9)
+
+    def test_noiseless_ghz_parity(self):
+        circuit = ghz_circuit(3)
+        observable = PauliObservable.from_strings([(1.0, "ZZZ")])
+        # GHZ has ⟨ZZZ⟩ = 0 (equal weight on |000⟩ and |111⟩ with opposite parity signs... )
+        expected = float(
+            np.real(
+                np.trace(observable.matrix(3) @ DensityMatrixSimulator().run(circuit))
+            )
+        )
+        assert TNSimulator().expectation(circuit, observable) == pytest.approx(expected, abs=1e-9)
+
+    def test_qaoa_cost_expectation_under_noise(self):
+        """Noise pulls the QAOA cost expectation towards zero (the maximally mixed value)."""
+        problem = QAOAProblem(
+            4, ((0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)), (0.4,), (0.3,)
+        )
+        circuit = qaoa_problem_circuit(problem, native_gates=False)
+        cost = ising_cost_observable(problem.edges)
+        tn = TNSimulator()
+        ideal_value = tn.expectation(circuit, cost)
+        noisy = NoiseModel(depolarizing_channel(0.3), seed=5).insert_after_every_gate(circuit)
+        noisy_value = tn.expectation(noisy, cost)
+        assert abs(noisy_value) < abs(ideal_value)
+
+    def test_constant_only_observable(self):
+        noisy = _noisy(seed=6)
+        observable = PauliObservable(constant=2.5)
+        assert TNSimulator().expectation(noisy, observable) == pytest.approx(2.5)

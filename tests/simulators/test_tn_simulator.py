@@ -1,0 +1,86 @@
+"""Tests for the TN-based exact noisy simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.library import ghz_circuit, qaoa_circuit, random_circuit
+from repro.noise import NoiseModel, SYCAMORE_LIKE_SPEC, depolarizing_channel
+from repro.simulators import DensityMatrixSimulator, TNSimulator
+from repro.tensornetwork import ContractionMemoryError
+from repro.utils import basis_state, zero_state
+
+
+def _noisy(seed=0, qubits=3, depth=15, noises=3, p=0.05):
+    ideal = random_circuit(qubits, depth, rng=seed)
+    return NoiseModel(depolarizing_channel(p), seed=seed).insert_random(ideal, noises)
+
+
+class TestTNSimulator:
+    def test_noiseless_amplitude(self):
+        sim = TNSimulator()
+        amp = sim.amplitude(ghz_circuit(3), "000", "111")
+        assert amp == pytest.approx(1 / np.sqrt(2))
+
+    def test_noiseless_fidelity_is_amplitude_squared(self):
+        sim = TNSimulator()
+        assert sim.fidelity(ghz_circuit(3), "000", "111") == pytest.approx(0.5)
+
+    def test_default_states_are_all_zero(self):
+        sim = TNSimulator()
+        noisy = _noisy()
+        assert sim.fidelity(noisy) == pytest.approx(
+            DensityMatrixSimulator().fidelity(noisy, zero_state(3)), abs=1e-10
+        )
+
+    def test_matches_density_matrix_on_random_circuits(self):
+        for seed in range(5):
+            noisy = _noisy(seed=seed)
+            expected = DensityMatrixSimulator().fidelity(noisy, zero_state(3))
+            assert TNSimulator().fidelity(noisy) == pytest.approx(expected, abs=1e-9)
+
+    def test_superconducting_noise_model(self):
+        ideal = qaoa_circuit(4, seed=1)
+        model = NoiseModel(lambda arity, rng: SYCAMORE_LIKE_SPEC.gate_noise(arity, rng), seed=5)
+        noisy = model.insert_random(ideal, 4)
+        expected = DensityMatrixSimulator().fidelity(noisy, zero_state(4))
+        assert TNSimulator().fidelity(noisy) == pytest.approx(expected, abs=1e-9)
+
+    def test_sequential_strategy_agrees(self):
+        noisy = _noisy(seed=7)
+        greedy = TNSimulator(strategy="greedy").fidelity(noisy)
+        sequential = TNSimulator(strategy="sequential").fidelity(noisy)
+        assert greedy == pytest.approx(sequential, abs=1e-10)
+
+    def test_memory_budget_raises_mo(self):
+        """A tiny contraction budget reproduces the paper's MO behaviour."""
+        noisy = NoiseModel(depolarizing_channel(0.01), seed=1).insert_random(
+            qaoa_circuit(9, seed=0), 10
+        )
+        sim = TNSimulator(max_intermediate_size=64)
+        with pytest.raises(ContractionMemoryError):
+            sim.fidelity(noisy)
+
+    def test_matrix_element_matches_density_matrix(self):
+        noisy = _noisy(seed=9)
+        dm = DensityMatrixSimulator()
+        tn = TNSimulator()
+        x, y = basis_state("010"), basis_state("001")
+        assert tn.matrix_element(noisy, x, y) == pytest.approx(
+            dm.matrix_element(noisy, x, y), abs=1e-9
+        )
+
+    def test_matrix_element_diagonal_is_fidelity(self):
+        noisy = _noisy(seed=11)
+        tn = TNSimulator()
+        value = tn.matrix_element(noisy, basis_state("000"), basis_state("000"))
+        assert value.real == pytest.approx(tn.fidelity(noisy), abs=1e-9)
+        assert abs(value.imag) < 1e-10
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=10, deadline=None)
+    def test_fidelity_is_a_probability(self, seed):
+        noisy = _noisy(seed=seed, noises=2)
+        value = TNSimulator().fidelity(noisy)
+        assert -1e-9 <= value <= 1.0 + 1e-9

@@ -1,0 +1,160 @@
+"""Unit tests for repro.utils.linalg."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils import linalg
+from repro.utils.states import random_density_matrix, random_statevector, random_unitary
+from repro.utils.validation import ValidationError
+
+
+class TestBasicPredicates:
+    def test_dagger(self):
+        m = np.array([[1, 2j], [3, 4]], dtype=complex)
+        assert np.allclose(linalg.dagger(m), m.conj().T)
+
+    def test_is_hermitian_true(self):
+        m = np.array([[1, 1j], [-1j, 2]], dtype=complex)
+        assert linalg.is_hermitian(m)
+
+    def test_is_hermitian_false(self):
+        assert not linalg.is_hermitian(np.array([[0, 1], [0, 0]], dtype=complex))
+
+    def test_is_unitary_random(self):
+        assert linalg.is_unitary(random_unitary(2, rng=0))
+
+    def test_is_unitary_false(self):
+        assert not linalg.is_unitary(np.array([[1, 1], [0, 1]], dtype=complex))
+
+    def test_is_identity(self):
+        assert linalg.is_identity(np.eye(4))
+        assert not linalg.is_identity(np.diag([1, 1, 1, -1]))
+
+    def test_is_density_matrix(self):
+        assert linalg.is_density_matrix(random_density_matrix(2, rng=1))
+
+    def test_is_density_matrix_rejects_traceless(self):
+        assert not linalg.is_density_matrix(np.eye(2))
+
+    def test_is_density_matrix_rejects_negative(self):
+        m = np.diag([1.5, -0.5]).astype(complex)
+        assert not linalg.is_density_matrix(m)
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValidationError):
+            linalg.is_hermitian(np.zeros((2, 3)))
+
+
+class TestNormsAndKron:
+    def test_kron_all_empty(self):
+        assert np.allclose(linalg.kron_all([]), np.array([[1.0]]))
+
+    def test_kron_all_order(self):
+        a = np.array([[0, 1], [1, 0]], dtype=complex)
+        b = np.eye(2, dtype=complex)
+        assert np.allclose(linalg.kron_all([a, b]), np.kron(a, b))
+
+    def test_operator_norm_of_unitary_is_one(self):
+        assert linalg.operator_norm(random_unitary(2, rng=3)) == pytest.approx(1.0)
+
+    def test_frobenius_vs_operator_norm_inequality(self):
+        m = np.random.default_rng(0).normal(size=(4, 4))
+        assert linalg.operator_norm(m) <= linalg.frobenius_norm(m) + 1e-12
+        assert linalg.frobenius_norm(m) <= 2.0 * linalg.operator_norm(m) + 1e-12
+
+    def test_trace_norm(self):
+        m = np.diag([1.0, -2.0, 3.0])
+        assert linalg.trace_norm(m) == pytest.approx(6.0)
+
+    def test_projector(self):
+        v = random_statevector(2, rng=5)
+        p = linalg.projector(v)
+        assert np.allclose(p @ p, p)
+        assert np.trace(p) == pytest.approx(1.0)
+
+
+class TestVectorisation:
+    def test_vec_unvec_roundtrip(self):
+        m = np.arange(16).reshape(4, 4).astype(complex)
+        assert np.allclose(linalg.unvec_row(linalg.vec_row(m)), m)
+
+    def test_vec_row_identity(self):
+        """(A ⊗ B*) vec_row(rho) == vec_row(A rho B†) — the doubled-diagram identity."""
+        rng = np.random.default_rng(7)
+        a = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+        b = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+        rho = random_density_matrix(1, rng=8)
+        lhs = np.kron(a, b.conj()) @ linalg.vec_row(rho)
+        rhs = linalg.vec_row(a @ rho @ b.conj().T)
+        assert np.allclose(lhs, rhs)
+
+    def test_unvec_row_bad_length(self):
+        with pytest.raises(ValidationError):
+            linalg.unvec_row(np.arange(5))
+
+
+class TestPartialTraceAndEmbedding:
+    def test_partial_trace_product_state(self):
+        rho_a = random_density_matrix(1, rng=0)
+        rho_b = random_density_matrix(1, rng=1)
+        joint = np.kron(rho_a, rho_b)
+        assert np.allclose(linalg.partial_trace(joint, keep=[0]), rho_a)
+        assert np.allclose(linalg.partial_trace(joint, keep=[1]), rho_b)
+
+    def test_partial_trace_keeps_trace(self):
+        rho = random_density_matrix(3, rng=2)
+        reduced = linalg.partial_trace(rho, keep=[0, 2])
+        assert np.trace(reduced) == pytest.approx(1.0)
+
+    def test_partial_trace_bad_index(self):
+        with pytest.raises(ValidationError):
+            linalg.partial_trace(np.eye(4) / 4, keep=[5])
+
+    def test_embed_operator_single_qubit(self):
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        embedded = linalg.embed_operator(x, [1], 2)
+        assert np.allclose(embedded, np.kron(np.eye(2), x))
+
+    def test_embed_operator_two_qubit_ordering(self):
+        cx = np.eye(4, dtype=complex)
+        cx[2:, 2:] = np.array([[0, 1], [1, 0]])
+        # Control on qubit 1, target on qubit 0 in a 2-qubit register.
+        embedded = linalg.embed_operator(cx, [1, 0], 2)
+        swap = np.eye(4)[[0, 2, 1, 3]]
+        assert np.allclose(embedded, swap @ cx @ swap)
+
+    def test_embed_operator_identity_elsewhere(self):
+        u = random_unitary(1, rng=9)
+        embedded = linalg.embed_operator(u, [0], 3)
+        assert np.allclose(embedded, np.kron(u, np.eye(4)))
+
+    def test_embed_operator_wrong_arity(self):
+        with pytest.raises(ValidationError):
+            linalg.embed_operator(np.eye(4), [0], 3)
+
+    def test_commutator(self):
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        z = np.diag([1, -1]).astype(complex)
+        assert np.allclose(linalg.commutator(z, x), 2 * (z @ x))
+
+
+class TestPropertyBased:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_unitary_always_unitary(self, seed):
+        assert linalg.is_unitary(random_unitary(2, rng=seed))
+
+    @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=25, deadline=None)
+    def test_random_density_matrix_valid(self, seed, qubits):
+        assert linalg.is_density_matrix(random_density_matrix(qubits, rng=seed))
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_partial_trace_positive(self, seed):
+        rho = random_density_matrix(2, rng=seed)
+        reduced = linalg.partial_trace(rho, keep=[0])
+        eigenvalues = np.linalg.eigvalsh(reduced)
+        assert np.all(eigenvalues > -1e-10)

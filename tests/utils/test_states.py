@@ -1,0 +1,129 @@
+"""Unit tests for repro.utils.states and repro.utils.validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils import states, validation
+from repro.utils.validation import ValidationError
+
+
+class TestStates:
+    def test_zero_state(self):
+        psi = states.zero_state(3)
+        assert psi.shape == (8,)
+        assert psi[0] == 1.0
+        assert np.linalg.norm(psi) == pytest.approx(1.0)
+
+    def test_zero_state_invalid(self):
+        with pytest.raises(ValidationError):
+            states.zero_state(0)
+
+    def test_basis_state_from_string(self):
+        psi = states.basis_state("101")
+        assert psi[int("101", 2)] == 1.0
+        assert np.count_nonzero(psi) == 1
+
+    def test_basis_state_from_int(self):
+        psi = states.basis_state(3, num_qubits=3)
+        assert psi[3] == 1.0
+
+    def test_basis_state_requires_width_for_int(self):
+        with pytest.raises(ValidationError):
+            states.basis_state(3)
+
+    def test_basis_state_invalid_string(self):
+        with pytest.raises(ValidationError):
+            states.basis_state("10a")
+
+    def test_computational_basis_index(self):
+        assert states.computational_basis_index("0110") == 6
+
+    def test_plus_state_uniform(self):
+        psi = states.plus_state(2)
+        assert np.allclose(np.abs(psi) ** 2, 0.25)
+
+    def test_bell_states_orthonormal(self):
+        bells = [states.bell_state(k) for k in range(4)]
+        gram = np.array([[np.vdot(a, b) for b in bells] for a in bells])
+        assert np.allclose(gram, np.eye(4))
+
+    def test_bell_state_invalid_kind(self):
+        with pytest.raises(ValidationError):
+            states.bell_state(7)
+
+    def test_ghz_state(self):
+        psi = states.ghz_state(3)
+        assert psi[0] == pytest.approx(1 / np.sqrt(2))
+        assert psi[-1] == pytest.approx(1 / np.sqrt(2))
+        assert np.count_nonzero(psi) == 2
+
+    def test_state_fidelity_self(self):
+        psi = states.random_statevector(3, rng=0)
+        assert states.state_fidelity(psi, psi) == pytest.approx(1.0)
+
+    def test_state_fidelity_orthogonal(self):
+        assert states.state_fidelity(states.basis_state("00"), states.basis_state("11")) == 0.0
+
+    def test_state_fidelity_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            states.state_fidelity(states.zero_state(1), states.zero_state(2))
+
+    @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=25, deadline=None)
+    def test_random_statevector_normalised(self, seed, qubits):
+        psi = states.random_statevector(qubits, rng=seed)
+        assert np.linalg.norm(psi) == pytest.approx(1.0)
+
+    def test_random_density_matrix_rank(self):
+        rho = states.random_density_matrix(2, rank=1, rng=3)
+        eigenvalues = np.linalg.eigvalsh(rho)
+        assert np.sum(eigenvalues > 1e-10) == 1
+
+    def test_random_density_matrix_bad_rank(self):
+        with pytest.raises(ValidationError):
+            states.random_density_matrix(1, rank=5)
+
+
+class TestValidation:
+    def test_check_probability_ok(self):
+        assert validation.check_probability(0.3) == 0.3
+
+    @pytest.mark.parametrize("value", [-0.1, 1.5])
+    def test_check_probability_bad(self, value):
+        with pytest.raises(ValidationError):
+            validation.check_probability(value)
+
+    def test_check_qubit_index(self):
+        assert validation.check_qubit_index(2, 4) == 2
+
+    @pytest.mark.parametrize("qubit,num", [(-1, 3), (3, 3), (0, 0)])
+    def test_check_qubit_index_bad(self, qubit, num):
+        with pytest.raises(ValidationError):
+            validation.check_qubit_index(qubit, num)
+
+    def test_check_square(self):
+        arr = validation.check_square([[1, 0], [0, 1]])
+        assert arr.dtype == complex
+
+    def test_check_square_bad(self):
+        with pytest.raises(ValidationError):
+            validation.check_square(np.zeros((2, 3)))
+
+    @pytest.mark.parametrize("dim,expected", [(1, 0), (2, 1), (8, 3), (1024, 10)])
+    def test_check_power_of_two(self, dim, expected):
+        assert validation.check_power_of_two(dim) == expected
+
+    @pytest.mark.parametrize("dim", [0, 3, 12, -4])
+    def test_check_power_of_two_bad(self, dim):
+        with pytest.raises(ValidationError):
+            validation.check_power_of_two(dim)
+
+    def test_check_statevector(self):
+        vec = validation.check_statevector([1, 0, 0, 0])
+        assert vec.shape == (4,)
+
+    def test_check_statevector_bad_length(self):
+        with pytest.raises(ValidationError):
+            validation.check_statevector([1, 0, 0])
