@@ -9,6 +9,10 @@ Reproduction scale: hf_4/hf_6, qaoa_4/qaoa_9, inst_2x2_6/inst_2x3_6 with 2 and
 8 noises; memory budgets are scaled down proportionally so the MO pattern
 appears at the same relative points (MM fails on the larger circuits, TN
 survives everywhere at this scale, the approximation is cheapest per noise).
+
+The methods are resolved through the backend registry
+(:mod:`repro.backends`); each cell is one ``backend.run(circuit, task)`` call
+with scaled-down memory budgets passed as adapter options.
 """
 
 from __future__ import annotations
@@ -19,10 +23,9 @@ import pytest
 
 from benchmarks.conftest import run_once, write_report
 from repro.analysis import format_seconds, format_table
+from repro.backends import BackendUnsupportedError, SimulationTask, get_backend
 from repro.circuits.library import benchmark_circuit
-from repro.core import ApproximateNoisySimulator
 from repro.noise import NoiseModel, SYCAMORE_LIKE_SPEC
-from repro.simulators import DensityMatrixSimulator, TDDSimulator, TNSimulator
 from repro.tensornetwork import ContractionMemoryError
 
 #: (family, benchmark name) rows of the reproduced table.
@@ -41,6 +44,14 @@ MM_MAX_QUBITS = 8
 TDD_MAX_NODES = 60_000
 TN_MAX_INTERMEDIATE = 2**24
 
+#: Registered backend per Table II column, with its scaled-down budget options.
+METHODS = [
+    ("MM", "density_matrix", {"max_qubits": MM_MAX_QUBITS}),
+    ("TDD", "tdd", {"max_nodes": TDD_MAX_NODES}),
+    ("TN", "tn", {"max_intermediate_size": TN_MAX_INTERMEDIATE}),
+    ("Ours", "approximation", {"max_intermediate_size": TN_MAX_INTERMEDIATE}),
+]
+
 _results: dict = {}
 
 
@@ -51,46 +62,26 @@ def _noisy_circuit(name: str, num_noises: int):
 
 
 def _timed(func):
+    # All four Table II methods are noisy-capable, so a backend refusing a
+    # circuit here can only mean its (scaled-down) memory budget was exceeded:
+    # report it as MO exactly like an in-flight MemoryError.
     start = time.perf_counter()
     try:
         func()
-    except (MemoryError, ContractionMemoryError):
+    except (MemoryError, ContractionMemoryError, BackendUnsupportedError):
         return "MO"
     return time.perf_counter() - start
 
 
-def _method_runner(method: str, circuit):
-    if method == "MM":
-        return lambda: DensityMatrixSimulator(max_qubits=MM_MAX_QUBITS).fidelity(
-            circuit, _zero(circuit.num_qubits)
-        )
-    if method == "TDD":
-        return lambda: TDDSimulator(max_nodes=TDD_MAX_NODES).fidelity(circuit)
-    if method == "TN":
-        return lambda: TNSimulator(max_intermediate_size=TN_MAX_INTERMEDIATE).fidelity(circuit)
-    if method == "Ours":
-        return lambda: ApproximateNoisySimulator(
-            level=1, max_intermediate_size=TN_MAX_INTERMEDIATE
-        ).fidelity(circuit)
-    raise ValueError(method)
-
-
-def _zero(num_qubits: int):
-    import numpy as np
-
-    state = np.zeros(2**num_qubits, dtype=complex)
-    state[0] = 1.0
-    return state
-
-
 @pytest.mark.parametrize("num_noises", NOISE_COUNTS)
 @pytest.mark.parametrize("family,name", CIRCUITS)
-@pytest.mark.parametrize("method", ["MM", "TDD", "TN", "Ours"])
-def test_table2_method_runtime(benchmark, family, name, num_noises, method):
+@pytest.mark.parametrize("method,backend_name,options", METHODS)
+def test_table2_method_runtime(benchmark, family, name, num_noises, method, backend_name, options):
     """Time one (circuit, noise count, method) cell of Table II."""
     circuit = _noisy_circuit(name, num_noises)
-    runner = _method_runner(method, circuit)
-    elapsed = run_once(benchmark, _timed, runner)
+    backend = get_backend(backend_name, **options)
+    task = SimulationTask(level=1)
+    elapsed = run_once(benchmark, _timed, lambda: backend.run(circuit, task))
     key = (family, name, num_noises)
     _results.setdefault(key, {"qubits": circuit.num_qubits, "gates": circuit.gate_count(),
                               "depth": circuit.depth()})
@@ -103,6 +94,7 @@ def test_table2_report(benchmark):
         pytest.skip("run with --benchmark-only to populate the table")
     headers = ["Type", "Circuit", "Qubits", "Gates", "Depth", "#Noise", "MM", "TDD", "TN", "Ours"]
     rows = []
+    records = []
     for (family, name, num_noises), data in sorted(_results.items(), key=lambda kv: (kv[0][0], kv[0][1], kv[0][2])):
         rows.append(
             [
@@ -118,8 +110,9 @@ def test_table2_report(benchmark):
                 format_seconds(data.get("Ours")),
             ]
         )
+        records.append({"family": family, "circuit": name, "num_noises": num_noises, **data})
     table = format_table(headers, rows, title="Table II (reproduction): runtime in seconds, MO = memory out")
-    run_once(benchmark, write_report, "table2_accurate_methods", table)
+    run_once(benchmark, write_report, "table2_accurate_methods", table, data=records)
 
     # Qualitative claims of the paper that must hold at this scale too:
     # the TN-based method handles every small-noise case that MM fails on.

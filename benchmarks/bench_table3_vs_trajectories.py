@@ -10,6 +10,10 @@ exact reference for the precision columns comes from the density-matrix
 simulator.  The claim being reproduced: at matched precision the approximation
 algorithm is faster than trajectories, and the trajectory precision does not
 beat ours.
+
+All methods run through the backend registry: ``approximation`` for the
+paper's algorithm and ``trajectories`` / ``trajectories_tn`` for the batched
+engine's two Monte-Carlo paths.
 """
 
 from __future__ import annotations
@@ -21,11 +25,10 @@ import pytest
 
 from benchmarks.conftest import run_once, write_report
 from repro.analysis import format_table
+from repro.backends import SimulationTask, get_backend
 from repro.circuits.library import qaoa_circuit
-from repro.core import ApproximateNoisySimulator
 from repro.noise import NoiseModel, depolarizing_channel
-from repro.simulators import DensityMatrixSimulator, TrajectorySimulator
-from repro.utils import zero_state
+from repro.simulators import TrajectorySimulator
 
 NOISE_PROBABILITY = 0.001
 NUM_NOISES = 8
@@ -42,7 +45,7 @@ def _noisy_qaoa(num_qubits: int):
 
 
 def _exact(circuit):
-    return DensityMatrixSimulator().fidelity(circuit, zero_state(circuit.num_qubits))
+    return get_backend("density_matrix").run(circuit).value
 
 
 def _entry(num_qubits: int):
@@ -56,11 +59,11 @@ def _entry(num_qubits: int):
 def test_table3_ours(benchmark, num_qubits):
     """Level-1 approximation: runtime and precision."""
     entry = _entry(num_qubits)
-    simulator = ApproximateNoisySimulator(level=1)
+    backend = get_backend("approximation")
 
     def run():
         start = time.perf_counter()
-        result = simulator.fidelity(entry["circuit"])
+        result = backend.run(entry["circuit"], SimulationTask(level=1))
         return result.value, time.perf_counter() - start
 
     value, elapsed = run_once(benchmark, run)
@@ -69,21 +72,22 @@ def test_table3_ours(benchmark, num_qubits):
     entry["ours_error"] = abs(value - entry["exact"])
 
 
-@pytest.mark.parametrize("backend,label", [("statevector", "traj_mm"), ("tn", "traj_tn")])
+@pytest.mark.parametrize("backend_name,label", [("trajectories", "traj_mm"), ("trajectories_tn", "traj_tn")])
 @pytest.mark.parametrize("num_qubits", QUBIT_COUNTS)
-def test_table3_trajectories(benchmark, num_qubits, backend, label):
+def test_table3_trajectories(benchmark, num_qubits, backend_name, label):
     """Quantum trajectories at a sample count matched to the level-1 precision."""
     entry = _entry(num_qubits)
     target_error = max(entry.get("ours_error", 1e-4), 1e-5)
-    simulator = TrajectorySimulator(backend)
-    samples = simulator.samples_for_precision(
+    backend = get_backend(backend_name)
+    # The adapter owns the engine-kind mapping; reuse it for the pilot too.
+    samples = TrajectorySimulator(backend.engine.backend).samples_for_precision(
         entry["circuit"], target_error, pilot_samples=256, rng=1, max_samples=2000
     )
 
     def run():
         start = time.perf_counter()
-        result = simulator.estimate_fidelity(entry["circuit"], samples, rng=2)
-        return result.estimate, time.perf_counter() - start
+        result = backend.run(entry["circuit"], SimulationTask(num_samples=samples, seed=2))
+        return result.value, time.perf_counter() - start
 
     value, elapsed = run_once(benchmark, run)
     entry[f"{label}_value"] = value
@@ -106,6 +110,7 @@ def test_table3_report(benchmark):
         "Traj samples",
     ]
     rows = []
+    records = []
     for num_qubits in QUBIT_COUNTS:
         entry = _results[num_qubits]
         rows.append(
@@ -120,6 +125,10 @@ def test_table3_report(benchmark):
                 entry.get("traj_mm_samples"),
             ]
         )
+        records.append(
+            {key: value for key, value in entry.items() if key != "circuit"}
+            | {"circuit": f"QAOA_{num_qubits}"}
+        )
     table = format_table(
         headers,
         rows,
@@ -128,7 +137,7 @@ def test_table3_report(benchmark):
             f"matched accuracy; depolarizing p={NOISE_PROBABILITY}, {NUM_NOISES} noises"
         ),
     )
-    run_once(benchmark, write_report, "table3_vs_trajectories", table)
+    run_once(benchmark, write_report, "table3_vs_trajectories", table, data=records)
 
     # Qualitative claim: our level-1 error stays at (or below) the level the
     # paper reports (~1e-4 for these sizes).

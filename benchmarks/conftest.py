@@ -4,10 +4,14 @@ Every benchmark module regenerates one table or figure of the paper at
 reproduction scale (see EXPERIMENTS.md for the scale mapping).  Results are
 printed to stdout (run ``pytest benchmarks/ --benchmark-only -s`` to see them
 live) and written to ``benchmarks/results/<name>.txt`` so the numbers survive
-the run.
+the run.  With ``--json OUT`` each report is additionally recorded as
+``OUT/BENCH_<name>.json`` (machine-readable rows for perf trajectories).
 """
 
+import json
+import os
 import sys
+import time
 from pathlib import Path
 
 import pytest
@@ -27,12 +31,33 @@ SCALE_NOTE = (
 )
 
 
-def write_report(name: str, text: str) -> None:
-    """Print a report and persist it under ``benchmarks/results``."""
+def _json_dir() -> Path | None:
+    """Directory for BENCH_*.json reports (the root conftest exports --json here)."""
+    out = os.environ.get("REPRO_BENCH_JSON_DIR")
+    return Path(out) if out else None
+
+
+def write_report(name: str, text: str, data=None) -> None:
+    """Print a report, persist it under ``benchmarks/results``, optionally as JSON.
+
+    ``data`` is an arbitrary JSON-serialisable payload (typically the table's
+    headers and rows) recorded alongside the formatted text when ``--json`` is
+    active.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     full = f"{SCALE_NOTE}\n{text}\n"
     (RESULTS_DIR / f"{name}.txt").write_text(full)
     print(f"\n{'=' * 78}\n{full}{'=' * 78}")
+    json_dir = _json_dir()
+    if json_dir is not None:
+        json_dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "name": name,
+            "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "text": text,
+            "data": data,
+        }
+        (json_dir / f"BENCH_{name}.json").write_text(json.dumps(payload, indent=2, default=str))
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,72 @@
+"""The historical per-sample trajectory loops, kept as a test/benchmark oracle.
+
+These are line-for-line ports of the pre-engine ``TrajectorySimulator``
+implementation.  The batched engine guarantees it reproduces their values for
+the same seed (``workers=None``), so both the equivalence tests
+(``tests/backends/test_engine.py``) and the speedup benchmark
+(``benchmarks/bench_engine_speedup.py``) measure against this single shared
+reference rather than maintaining separate copies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulators.statevector import apply_matrix
+from repro.tensornetwork.circuit_to_tn import dense_product_state, operator_amplitude_network
+
+__all__ = ["reference_statevector_loop", "reference_tn_loop"]
+
+
+def reference_statevector_loop(circuit, num_samples, rng):
+    """Per-sample statevector trajectories with exact Born-rule Kraus draws."""
+    n = circuit.num_qubits
+    psi0 = dense_product_state("0" * n, n)
+    v = dense_product_state("0" * n, n)
+    values = []
+    for _ in range(num_samples):
+        state = psi0.copy()
+        for inst in circuit:
+            if inst.is_gate:
+                state = apply_matrix(state, inst.operation.matrix, inst.qubits, n)
+            else:
+                branches, probs = [], []
+                for op in inst.operation.kraus_operators:
+                    branch = apply_matrix(state, op, inst.qubits, n)
+                    branches.append(branch)
+                    probs.append(float(np.real(np.vdot(branch, branch))))
+                probs = np.asarray(probs)
+                probs = probs / probs.sum()
+                index = int(rng.choice(len(branches), p=probs))
+                state = branches[index] / np.linalg.norm(branches[index])
+        values.append(float(abs(np.vdot(v, state)) ** 2))
+    return np.array(values)
+
+
+def reference_tn_loop(circuit, num_samples, rng):
+    """Per-sample TN trajectories: a fresh network contraction per sample."""
+    n = circuit.num_qubits
+    distributions = []
+    for inst in circuit:
+        if inst.is_noise:
+            weights = np.array(
+                [np.real(np.trace(op.conj().T @ op)) for op in inst.operation.kraus_operators]
+            )
+            distributions.append(weights / weights.sum())
+    values = []
+    for _ in range(num_samples):
+        operations, weight, noise_index = [], 1.0, 0
+        for inst in circuit:
+            if inst.is_gate:
+                operations.append((inst.operation.matrix, inst.qubits))
+            else:
+                q = distributions[noise_index]
+                k = int(rng.choice(len(q), p=q))
+                weight /= q[k]
+                operations.append((inst.operation.kraus_operators[k], inst.qubits))
+                noise_index += 1
+        network = operator_amplitude_network(
+            n, operations, "0" * n, "0" * n, max_intermediate_size=2**26
+        )
+        values.append(float(abs(network.contract_to_scalar()) ** 2) * weight)
+    return np.array(values)

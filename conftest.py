@@ -1,12 +1,34 @@
 """Repository-level pytest configuration.
 
 Ensures ``src/`` is importable even when the package has not been installed
-(useful on offline machines where ``pip install -e .`` needs extra flags).
+(useful on offline machines where ``pip install -e .`` needs extra flags),
+and registers the ``--json`` option used by the benchmark harness to record
+perf trajectories as ``BENCH_*.json`` files.
 """
 
+import os
 import sys
 from pathlib import Path
 
 _SRC = Path(__file__).resolve().parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json",
+        metavar="OUT",
+        default=None,
+        help="directory in which benchmark reports are additionally written as "
+             "BENCH_<name>.json (created if missing)",
+    )
+
+
+def pytest_configure(config):
+    # The benchmark modules import ``benchmarks.conftest`` as a plain module,
+    # which is a different instance from the conftest plugin pytest registers;
+    # the environment is the channel both share (and subprocesses inherit).
+    out = config.getoption("--json", default=None)
+    if out:
+        os.environ["REPRO_BENCH_JSON_DIR"] = str(out)

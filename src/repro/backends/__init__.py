@@ -1,0 +1,64 @@
+"""Unified backend registry and batched execution engine.
+
+This package is the single dispatch layer over every simulator in the
+library.  All backends share one contract::
+
+    from repro.backends import get_backend, SimulationTask
+
+    result = get_backend("tn").run(circuit)
+    result = get_backend("trajectories").run(
+        circuit, SimulationTask(num_samples=1000, seed=7, workers=4)
+    )
+
+Registered backends (see ``python -m repro.cli list-backends``):
+
+============== ====== ===== ========== ==========================================
+name           noisy  exact stochastic wraps
+============== ====== ===== ========== ==========================================
+statevector    no     yes   no         :class:`repro.simulators.StatevectorSimulator`
+density_matrix yes    yes   no         :class:`repro.simulators.DensityMatrixSimulator`
+tn             yes    yes   no         :class:`repro.simulators.TNSimulator`
+tdd            yes    yes   no         :class:`repro.simulators.TDDSimulator`
+mps            no     no    no         :class:`repro.simulators.MPSSimulator`
+mpdo           yes    no    no         :class:`repro.simulators.MPDOSimulator`
+trajectories   yes    no    yes        :class:`repro.backends.engine.BatchedTrajectoryEngine`
+trajectories_tn yes   no    yes        :class:`repro.backends.engine.BatchedTrajectoryEngine`
+approximation  yes    no    no         :class:`repro.core.ApproximateNoisySimulator`
+============== ====== ===== ========== ==========================================
+"""
+
+from repro.backends.base import (
+    BackendCapabilities,
+    BackendResult,
+    BackendUnsupportedError,
+    SimulationBackend,
+    SimulationTask,
+)
+from repro.backends.engine import BatchedTrajectoryEngine, apply_matrix_batched
+from repro.backends.registry import (
+    available_backends,
+    backend_names,
+    capability_table,
+    get_backend,
+    register_backend,
+    resolve_backends,
+)
+
+# Importing the adapters registers every built-in backend.
+from repro.backends import adapters as _adapters  # noqa: E402,F401
+
+__all__ = [
+    "BackendCapabilities",
+    "BackendResult",
+    "BackendUnsupportedError",
+    "BatchedTrajectoryEngine",
+    "SimulationBackend",
+    "SimulationTask",
+    "apply_matrix_batched",
+    "available_backends",
+    "backend_names",
+    "capability_table",
+    "get_backend",
+    "register_backend",
+    "resolve_backends",
+]

@@ -1,0 +1,317 @@
+"""Adapter classes wrapping every simulator behind the uniform backend API.
+
+Each adapter translates the :class:`~repro.backends.base.SimulationTask`
+vocabulary into the wrapped simulator's own calling convention and packs the
+outcome into a :class:`~repro.backends.base.BackendResult`.  Registration
+happens at import time via :func:`~repro.backends.registry.register_backend`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.base import (
+    BackendResult,
+    BackendUnsupportedError,
+    SimulationBackend,
+    SimulationTask,
+)
+from repro.backends.engine import BatchedTrajectoryEngine
+from repro.backends.registry import register_backend
+from repro.circuits.circuit import Circuit
+from repro.core import ApproximateNoisySimulator
+from repro.simulators import (
+    DensityMatrixSimulator,
+    MatrixProductState,
+    MPDOSimulator,
+    MPSSimulator,
+    StatevectorSimulator,
+    TDDSimulator,
+    TNSimulator,
+)
+from repro.tensornetwork.circuit_to_tn import dense_product_state, resolve_product_state
+
+__all__ = [
+    "StatevectorBackend",
+    "DensityMatrixBackend",
+    "TNBackend",
+    "TDDBackend",
+    "MPSBackend",
+    "MPDOBackend",
+    "TrajectoryMMBackend",
+    "TrajectoryTNBackend",
+    "ApproximationBackend",
+]
+
+
+def _default_states(circuit: Circuit, task: SimulationTask):
+    n = circuit.num_qubits
+    input_state = "0" * n if task.input_state is None else task.input_state
+    output_state = "0" * n if task.output_state is None else task.output_state
+    return input_state, output_state
+
+
+@register_backend("statevector", noisy=False, exact=True, max_qubits=24, aliases=("sv",))
+class StatevectorBackend(SimulationBackend):
+    """Dense noiseless simulation: ``|⟨v| C |ψ⟩|²``."""
+
+    def __init__(self, max_qubits: int | None = None) -> None:
+        self._max_qubits = max_qubits
+
+    def max_qubits(self) -> int | None:
+        return self._max_qubits if self._max_qubits is not None else self.capabilities.max_qubits
+
+    def _run(self, circuit: Circuit, task: SimulationTask) -> BackendResult:
+        input_state, output_state = _default_states(circuit, task)
+        n = circuit.num_qubits
+        simulator = StatevectorSimulator(
+            max_qubits=task.options.get("max_qubits", self.max_qubits())
+        )
+        amplitude = simulator.amplitude(
+            circuit,
+            dense_product_state(output_state, n),
+            dense_product_state(input_state, n),
+        )
+        return BackendResult(backend=self.name, value=float(abs(amplitude) ** 2))
+
+
+@register_backend("density_matrix", noisy=True, exact=True, max_qubits=12, aliases=("mm", "dm"))
+class DensityMatrixBackend(SimulationBackend):
+    """MM-based exact noisy simulation (the paper's Table II baseline)."""
+
+    def __init__(self, max_qubits: int | None = None) -> None:
+        self._max_qubits = max_qubits
+
+    def max_qubits(self) -> int | None:
+        return self._max_qubits if self._max_qubits is not None else self.capabilities.max_qubits
+
+    def _run(self, circuit: Circuit, task: SimulationTask) -> BackendResult:
+        input_state, output_state = _default_states(circuit, task)
+        n = circuit.num_qubits
+        simulator = DensityMatrixSimulator(
+            max_qubits=task.options.get("max_qubits", self.max_qubits())
+        )
+        value = simulator.fidelity(
+            circuit,
+            dense_product_state(output_state, n),
+            dense_product_state(input_state, n),
+        )
+        return BackendResult(backend=self.name, value=float(value))
+
+
+@register_backend("tn", noisy=True, exact=True)
+class TNBackend(SimulationBackend):
+    """Exact contraction of the paper's doubled tensor-network diagram."""
+
+    def __init__(
+        self, max_intermediate_size: int | None = 2**26, strategy: str = "greedy"
+    ) -> None:
+        self.max_intermediate_size = max_intermediate_size
+        self.strategy = strategy
+
+    def _run(self, circuit: Circuit, task: SimulationTask) -> BackendResult:
+        input_state, output_state = _default_states(circuit, task)
+        simulator = TNSimulator(
+            max_intermediate_size=task.options.get(
+                "max_intermediate_size", self.max_intermediate_size
+            ),
+            strategy=task.options.get("strategy", self.strategy),
+        )
+        value = simulator.fidelity(circuit, input_state, output_state)
+        return BackendResult(backend=self.name, value=float(value), num_contractions=1)
+
+
+@register_backend("tdd", noisy=True, exact=True, max_qubits=16)
+class TDDBackend(SimulationBackend):
+    """Decision-diagram exact noisy simulation."""
+
+    def __init__(self, max_qubits: int | None = None, max_nodes: int | None = 200_000) -> None:
+        self._max_qubits = max_qubits
+        self.max_nodes = max_nodes
+
+    def max_qubits(self) -> int | None:
+        return self._max_qubits if self._max_qubits is not None else self.capabilities.max_qubits
+
+    def _run(self, circuit: Circuit, task: SimulationTask) -> BackendResult:
+        input_state, output_state = _default_states(circuit, task)
+        n = circuit.num_qubits
+        simulator = TDDSimulator(
+            max_qubits=task.options.get("max_qubits", self.max_qubits()),
+            max_nodes=task.options.get("max_nodes", self.max_nodes),
+        )
+        value = simulator.fidelity(
+            circuit,
+            dense_product_state(output_state, n),
+            dense_product_state(input_state, n),
+        )
+        return BackendResult(
+            backend=self.name, value=float(value), metadata={"max_nodes": self.max_nodes}
+        )
+
+
+@register_backend("mps", noisy=False, exact=False, needs_product_state=True)
+class MPSBackend(SimulationBackend):
+    """Matrix-product-state simulation of noiseless circuits (bond truncation)."""
+
+    def __init__(
+        self, max_bond_dim: int | None = None, truncation_threshold: float = 1e-12
+    ) -> None:
+        self.max_bond_dim = max_bond_dim
+        self.truncation_threshold = truncation_threshold
+
+    def _extra_supports(self, circuit: Circuit) -> str | None:
+        if any(len(inst.qubits) > 2 for inst in circuit):
+            return "mps supports 1- and 2-qubit gates only"
+        return None
+
+    def _run(self, circuit: Circuit, task: SimulationTask) -> BackendResult:
+        input_state, output_state = _default_states(circuit, task)
+        n = circuit.num_qubits
+        if not (isinstance(input_state, str) and set(input_state) <= {"0"}):
+            raise BackendUnsupportedError("mps backend starts from |0…0⟩ only")
+        factors = resolve_product_state(output_state, n)
+        if not isinstance(factors, list):
+            raise BackendUnsupportedError("mps backend needs a product output state")
+        max_bond = task.max_bond_dim if task.max_bond_dim is not None else self.max_bond_dim
+        simulator = MPSSimulator(
+            max_bond_dim=max_bond,
+            truncation_threshold=task.options.get(
+                "truncation_threshold", self.truncation_threshold
+            ),
+        )
+        mps = simulator.run(circuit)
+        overlap = MatrixProductState.from_product_state(factors).overlap(mps)
+        value = float(abs(overlap) ** 2)
+        return BackendResult(
+            backend=self.name,
+            value=value,
+            metadata={
+                "max_bond_dimension": mps.max_bond_dimension(),
+                "discarded_weight": simulator.total_discarded_weight,
+            },
+        )
+
+
+@register_backend("mpdo", noisy=True, exact=False, needs_product_state=True)
+class MPDOBackend(SimulationBackend):
+    """Matrix-product-density-operator noisy simulation (1-qubit channels)."""
+
+    def __init__(
+        self, max_bond_dim: int | None = None, truncation_threshold: float = 1e-12
+    ) -> None:
+        self.max_bond_dim = max_bond_dim
+        self.truncation_threshold = truncation_threshold
+
+    def _extra_supports(self, circuit: Circuit) -> str | None:
+        for inst in circuit:
+            if inst.is_noise and len(inst.qubits) != 1:
+                return "mpdo supports single-qubit noise channels only"
+            if inst.is_gate and len(inst.qubits) > 2:
+                return "mpdo supports 1- and 2-qubit gates only"
+        return None
+
+    def _run(self, circuit: Circuit, task: SimulationTask) -> BackendResult:
+        input_state, output_state = _default_states(circuit, task)
+        n = circuit.num_qubits
+        if not (isinstance(input_state, str) and set(input_state) <= {"0"}):
+            raise BackendUnsupportedError("mpdo backend starts from |0…0⟩ only")
+        max_bond = task.max_bond_dim if task.max_bond_dim is not None else self.max_bond_dim
+        simulator = MPDOSimulator(
+            max_bond_dim=max_bond,
+            truncation_threshold=task.options.get(
+                "truncation_threshold", self.truncation_threshold
+            ),
+        )
+        value = simulator.fidelity(circuit, output_state)
+        return BackendResult(
+            backend=self.name,
+            value=float(value),
+            metadata={"discarded_weight": simulator.total_discarded_weight},
+        )
+
+
+class _TrajectoryBackendBase(SimulationBackend):
+    """Shared implementation of the two batched trajectory backends."""
+
+    _engine_backend = "statevector"
+
+    def __init__(self, max_intermediate_size: int | None = 2**26) -> None:
+        self.engine = BatchedTrajectoryEngine(
+            backend=self._engine_backend, max_intermediate_size=max_intermediate_size
+        )
+
+    def _run(self, circuit: Circuit, task: SimulationTask) -> BackendResult:
+        input_state, output_state = _default_states(circuit, task)
+        result = self.engine.estimate_fidelity(
+            circuit,
+            task.num_samples,
+            input_state,
+            output_state,
+            rng=task.seed,
+            keep_samples=task.keep_samples,
+            workers=task.workers,
+        )
+        return BackendResult(
+            backend=self.name,
+            value=result.estimate,
+            standard_error=result.standard_error,
+            num_samples=result.num_samples,
+            metadata={"workers": task.workers},
+        )
+
+
+@register_backend(
+    "trajectories", noisy=True, exact=False, stochastic=True, max_qubits=22,
+    aliases=("traj", "traj_mm"),
+)
+class TrajectoryMMBackend(_TrajectoryBackendBase):
+    """Quantum trajectories on batched dense statevectors (Traj (MM))."""
+
+    _engine_backend = "statevector"
+
+
+@register_backend(
+    "trajectories_tn", noisy=True, exact=False, stochastic=True, aliases=("traj_tn",)
+)
+class TrajectoryTNBackend(_TrajectoryBackendBase):
+    """Quantum trajectories as cached-plan tensor-network contractions (Traj (TN))."""
+
+    _engine_backend = "tn"
+
+
+@register_backend("approximation", noisy=True, exact=False, aliases=("ours", "approx"))
+class ApproximationBackend(SimulationBackend):
+    """The paper's approximation algorithm (Algorithm 1) at ``task.level``."""
+
+    def __init__(
+        self,
+        max_intermediate_size: int | None = 2**26,
+        backend: str = "tn",
+        strategy: str = "greedy",
+    ) -> None:
+        self.max_intermediate_size = max_intermediate_size
+        self.backend = backend
+        self.strategy = strategy
+
+    def _run(self, circuit: Circuit, task: SimulationTask) -> BackendResult:
+        input_state, output_state = _default_states(circuit, task)
+        simulator = ApproximateNoisySimulator(
+            level=task.level,
+            backend=task.options.get("backend", self.backend),
+            max_intermediate_size=task.options.get(
+                "max_intermediate_size", self.max_intermediate_size
+            ),
+            strategy=task.options.get("strategy", self.strategy),
+        )
+        result = simulator.fidelity(circuit, input_state, output_state)
+        return BackendResult(
+            backend=self.name,
+            value=result.value,
+            num_contractions=result.num_contractions,
+            metadata={
+                "level": result.level,
+                "error_bound": result.error_bound,
+                "num_terms": result.num_terms,
+                "num_noises": result.num_noises,
+            },
+        )

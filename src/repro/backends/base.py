@@ -1,0 +1,186 @@
+"""Core types of the unified backend layer.
+
+Every simulator in the library is wrapped by a :class:`SimulationBackend`
+adapter exposing one uniform contract::
+
+    result = backend.run(circuit, SimulationTask(num_samples=1000, seed=7))
+    result.value, result.standard_error, result.elapsed_seconds
+
+A backend declares *capability flags* (:class:`BackendCapabilities`) so call
+sites — the CLI ``compare`` command, the benchmark harness, the
+cross-simulator tests — can resolve the set of applicable backends for a
+circuit instead of hand-wiring method lists and adapter lambdas.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Dict, Mapping
+
+from repro.circuits.circuit import Circuit
+from repro.tensornetwork.circuit_to_tn import resolve_product_state
+from repro.utils.validation import ValidationError
+
+__all__ = [
+    "BackendCapabilities",
+    "BackendResult",
+    "BackendUnsupportedError",
+    "SimulationBackend",
+    "SimulationTask",
+]
+
+
+class BackendUnsupportedError(ValidationError):
+    """Raised when a backend cannot simulate the requested circuit/task."""
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """Static capability flags of a registered backend."""
+
+    #: Can simulate circuits containing noise channels.
+    noisy: bool
+    #: Returns the exact value (up to floating point), not an approximation.
+    exact: bool
+    #: The result is a Monte-Carlo estimate with a statistical standard error.
+    stochastic: bool = False
+    #: Hard qubit-count ceiling (None = no intrinsic limit).
+    max_qubits: int | None = None
+    #: Input/output states must be product states (bitstrings or factor lists).
+    needs_product_state: bool = False
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view used by the CLI capability table and JSON reports."""
+        return {
+            "noisy": self.noisy,
+            "exact": self.exact,
+            "stochastic": self.stochastic,
+            "max_qubits": self.max_qubits,
+            "needs_product_state": self.needs_product_state,
+        }
+
+
+@dataclass(frozen=True)
+class SimulationTask:
+    """What to compute: fidelity ``⟨v| E_N(|ψ⟩⟨ψ|) |v⟩`` plus method knobs.
+
+    ``input_state`` / ``output_state`` default to ``|0…0⟩``.  The remaining
+    fields are method parameters that individual backends are free to ignore:
+    ``num_samples``/``seed``/``workers``/``keep_samples`` drive the stochastic
+    backends, ``level`` drives the paper's approximation algorithm and
+    ``max_bond_dim`` the MPS/MPDO truncation.  ``options`` carries per-run
+    overrides of adapter configuration (``max_qubits``, ``max_nodes``,
+    ``max_intermediate_size``, ``strategy``, ``truncation_threshold``); keys a
+    backend does not define are ignored.
+    """
+
+    input_state: Any = None
+    output_state: Any = None
+    num_samples: int = 1000
+    level: int = 1
+    seed: int | None = None
+    workers: int | None = None
+    keep_samples: bool = False
+    max_bond_dim: int | None = None
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class BackendResult:
+    """Uniform outcome of one backend run."""
+
+    #: Name of the backend that produced the value.
+    backend: str
+    #: The fidelity value (estimate for stochastic backends).
+    value: float
+    #: Statistical standard error (0 for deterministic backends).
+    standard_error: float = 0.0
+    #: Wall-clock time of the run.
+    elapsed_seconds: float = 0.0
+    #: Tensor-network contractions performed (None when not applicable).
+    num_contractions: int | None = None
+    #: Monte-Carlo samples drawn (None for deterministic backends).
+    num_samples: int | None = None
+    #: Backend-specific extras (error bounds, bond dimensions, …).
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    def confidence_interval(self, z: float = 2.576) -> tuple:
+        """Normal-approximation confidence interval (99% by default)."""
+        return (self.value - z * self.standard_error, self.value + z * self.standard_error)
+
+
+class SimulationBackend(ABC):
+    """Uniform interface over all simulators (registered via ``@register_backend``)."""
+
+    #: Registry name; set by the :func:`repro.backends.registry.register_backend` decorator.
+    name: ClassVar[str] = "unregistered"
+    #: Capability flags; set by the decorator.
+    capabilities: ClassVar[BackendCapabilities]
+
+    # ------------------------------------------------------------------
+    def max_qubits(self) -> int | None:
+        """Effective qubit ceiling (instances may tighten the class default)."""
+        return self.capabilities.max_qubits
+
+    def supports(self, circuit: Circuit, task: SimulationTask | None = None) -> str | None:
+        """Return None when this backend can run ``circuit``, else the reason it cannot.
+
+        ``task.options["max_qubits"]`` (when given) overrides the backend's
+        qubit ceiling for this check, mirroring the override ``_run`` passes
+        to the wrapped simulator, and a ``needs_product_state`` backend
+        rejects tasks whose boundary states are dense vectors.
+        """
+        if not self.capabilities.noisy and not circuit.is_noiseless():
+            return f"{self.name} cannot simulate noise channels"
+        ceiling = self.max_qubits()
+        if task is not None:
+            ceiling = task.options.get("max_qubits", ceiling)
+        if ceiling is not None and circuit.num_qubits > ceiling:
+            return f"{self.name} is limited to {ceiling} qubits (circuit has {circuit.num_qubits})"
+        if self.capabilities.needs_product_state and task is not None:
+            for state in (task.input_state, task.output_state):
+                if state is None or isinstance(state, str):
+                    continue
+                try:
+                    resolved = resolve_product_state(state, circuit.num_qubits)
+                except ValidationError as exc:
+                    return f"{self.name}: invalid state ({exc})"
+                if not isinstance(resolved, list):
+                    return f"{self.name} needs product input/output states"
+        return self._extra_supports(circuit)
+
+    def _extra_supports(self, circuit: Circuit) -> str | None:
+        """Hook for adapter-specific structural constraints (e.g. 1-qubit noise only)."""
+        return None
+
+    def check_supported(self, circuit: Circuit, task: SimulationTask | None = None) -> None:
+        """Raise :class:`BackendUnsupportedError` when ``circuit`` is out of scope."""
+        reason = self.supports(circuit, task)
+        if reason is not None:
+            raise BackendUnsupportedError(reason)
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _run(self, circuit: Circuit, task: SimulationTask) -> BackendResult:
+        """Backend-specific execution; ``run`` wraps it with checks and timing."""
+
+    def run(self, circuit: Circuit, task: SimulationTask | None = None) -> BackendResult:
+        """Simulate ``circuit`` under ``task`` and return a :class:`BackendResult`.
+
+        Validates the circuit against the backend's capabilities, times the
+        execution, and stamps the backend name onto the result.
+        """
+        task = SimulationTask() if task is None else task
+        self.check_supported(circuit, task)
+        start = time.perf_counter()
+        result = self._run(circuit, task)
+        elapsed = time.perf_counter() - start
+        if result.elapsed_seconds == 0.0:
+            result = dataclasses.replace(result, elapsed_seconds=elapsed)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"

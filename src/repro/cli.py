@@ -2,27 +2,30 @@
 
 Provides a small reproducibility tool around the library's main entry points::
 
-    python -m repro.cli simulate  --circuit qaoa_9 --noises 6 --level 1
-    python -m repro.cli compare   --circuit hf_6   --noises 4
-    python -m repro.cli decompose --channel depolarizing --parameter 0.01
-    python -m repro.cli bound     --noises 20 --rate 0.001 --level 1
+    python -m repro.cli simulate      --circuit qaoa_9 --noises 6 --level 1
+    python -m repro.cli compare       --circuit hf_6   --noises 4 --backends all
+    python -m repro.cli list-backends
+    python -m repro.cli decompose     --channel depolarizing --parameter 0.01
+    python -m repro.cli bound         --noises 20 --rate 0.001 --level 1
 
 ``simulate`` runs the approximation algorithm on a benchmark circuit with the
-paper's fault model, ``compare`` runs every applicable simulator on the same
-instance, ``decompose`` prints the SVD decomposition of a noise channel and
-``bound`` evaluates the Theorem-1 formulas without any simulation.
+paper's fault model, ``compare`` runs the selected registered backends on the
+same instance through :mod:`repro.backends`, ``list-backends`` prints the
+registry's capability table, ``decompose`` prints the SVD decomposition of a
+noise channel and ``bound`` evaluates the Theorem-1 formulas without any
+simulation.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import Callable, Dict
 
 import numpy as np
 
 from repro.analysis import format_table
+from repro.backends import SimulationTask, capability_table, get_backend, resolve_backends
 from repro.circuits.library import benchmark_circuit
 from repro.core import (
     ApproximateNoisySimulator,
@@ -35,11 +38,8 @@ from repro.noise import (
     SYCAMORE_LIKE_SPEC,
     amplitude_damping_channel,
     depolarizing_channel,
-    noise_rate,
     phase_damping_channel,
 )
-from repro.simulators import DensityMatrixSimulator, TDDSimulator, TNSimulator
-from repro.utils import zero_state
 
 __all__ = ["main", "build_parser"]
 
@@ -79,22 +79,45 @@ def _cmd_simulate(args) -> int:
 def _cmd_compare(args) -> int:
     circuit = _make_noisy_circuit(args)
     print(circuit.summary())
+    names = resolve_backends(args.backends, circuit)
+    if not names:
+        print("error: no backends selected (see 'list-backends' for the registry)",
+              file=sys.stderr)
+        return 2
+    task = SimulationTask(
+        level=args.level,
+        num_samples=args.samples,
+        seed=args.seed,
+        workers=args.workers,
+    )
     rows = []
-    methods = [
-        ("Ours (level %d)" % args.level, lambda: ApproximateNoisySimulator(level=args.level).fidelity(circuit).value),
-        ("TN exact", lambda: TNSimulator().fidelity(circuit)),
-        ("MM (density matrix)", lambda: DensityMatrixSimulator().fidelity(circuit, zero_state(circuit.num_qubits))),
-        ("TDD", lambda: TDDSimulator().fidelity(circuit)),
-    ]
-    for name, runner in methods:
-        start = time.perf_counter()
+    for name in names:
+        backend = get_backend(name)
         try:
-            value = runner()
-            elapsed = time.perf_counter() - start
-            rows.append([name, value, elapsed])
-        except (MemoryError, Exception) as exc:  # noqa: BLE001 - report and continue
-            rows.append([name, f"failed ({type(exc).__name__})", None])
-    print(format_table(["Method", "Fidelity", "Time (s)"], rows, title="Method comparison"))
+            result = backend.run(circuit, task)
+        except Exception as exc:  # noqa: BLE001 - report and continue
+            rows.append([name, f"failed ({type(exc).__name__})", None, None])
+            continue
+        stderr = result.standard_error if backend.capabilities.stochastic else None
+        rows.append([name, result.value, stderr, result.elapsed_seconds])
+    print(
+        format_table(
+            ["Backend", "Fidelity", "Std. error", "Time (s)"],
+            rows,
+            title="Backend comparison (registry dispatch)",
+        )
+    )
+    return 0
+
+
+def _cmd_list_backends(args) -> int:
+    print(
+        format_table(
+            ["Backend", "Noisy", "Exact", "Stochastic", "Max qubits", "Product states only"],
+            capability_table(),
+            title="Registered simulation backends",
+        )
+    )
     return 0
 
 
@@ -157,10 +180,25 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--level", type=int, default=1)
     simulate.set_defaults(func=_cmd_simulate)
 
-    compare = subparsers.add_parser("compare", help="run every applicable simulator")
+    compare = subparsers.add_parser(
+        "compare", help="run registered backends on the same instance"
+    )
     add_circuit_options(compare)
-    compare.add_argument("--level", type=int, default=1)
+    compare.add_argument("--level", type=int, default=1,
+                         help="approximation level for the 'approximation' backend")
+    compare.add_argument("--backends", default="all",
+                         help="comma-separated registry names, or 'all' for every "
+                              "backend applicable to the circuit")
+    compare.add_argument("--samples", type=int, default=1000,
+                         help="trajectory count for the stochastic backends")
+    compare.add_argument("--workers", type=int, default=None,
+                         help="process count for the batched trajectory engine")
     compare.set_defaults(func=_cmd_compare)
+
+    list_backends = subparsers.add_parser(
+        "list-backends", help="print the backend registry's capability table"
+    )
+    list_backends.set_defaults(func=_cmd_list_backends)
 
     decompose = subparsers.add_parser("decompose", help="SVD-decompose a noise channel")
     decompose.add_argument("--channel", default="depolarizing",
@@ -180,9 +218,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     """CLI entry point."""
+    from repro.utils.validation import ValidationError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:  # e.g. `... | head`: exit quietly like other CLIs
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -32,7 +32,7 @@ from repro.core.svd_decomposition import NoiseTermDecomposition, decompose_noise
 from repro.simulators.statevector import apply_matrix
 from repro.tensornetwork.circuit_to_tn import (
     StateLike,
-    resolve_product_state,
+    dense_product_state,
     substituted_split_networks,
 )
 from repro.utils.validation import ValidationError
@@ -156,13 +156,7 @@ class ApproximateNoisySimulator:
 
     @staticmethod
     def _densify(state: StateLike, num_qubits: int) -> np.ndarray:
-        resolved = resolve_product_state(state, num_qubits)
-        if isinstance(resolved, list):
-            dense = np.array([1.0 + 0.0j])
-            for factor in resolved:
-                dense = np.kron(dense, factor)
-            return dense
-        return resolved
+        return dense_product_state(state, num_qubits)
 
     # ------------------------------------------------------------------
     # Algorithm 1

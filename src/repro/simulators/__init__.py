@@ -13,6 +13,13 @@ Approximate methods:
 * :class:`MPSSimulator` — matrix-product-state simulation with bond truncation.
 
 The paper's own approximation algorithm lives in :mod:`repro.core`.
+
+All of these simulators are also exposed through the unified backend registry
+in :mod:`repro.backends`: ``get_backend(name).run(circuit, task)`` gives every
+method the same fidelity API with capability metadata, and the stochastic
+trajectory paths are executed by the batched parallel engine
+(:class:`repro.backends.BatchedTrajectoryEngine`).  New code should prefer the
+registry over importing simulator classes directly.
 """
 
 from repro.simulators.density_matrix import (

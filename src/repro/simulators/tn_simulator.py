@@ -126,22 +126,13 @@ class TNSimulator:
         superposed boundary state, so arbitrary density-matrix elements reduce
         to four contractions of the doubled diagram.
         """
-        from repro.tensornetwork.circuit_to_tn import resolve_product_state
+        from repro.tensornetwork.circuit_to_tn import dense_product_state
 
         n = circuit.num_qubits
         input_state = "0" * n if input_state is None else input_state
 
-        def densify(state: StateLike) -> np.ndarray:
-            resolved = resolve_product_state(state, n)
-            if isinstance(resolved, list):
-                dense = np.array([1.0 + 0.0j])
-                for factor in resolved:
-                    dense = np.kron(dense, factor)
-                return dense
-            return resolved
-
-        x = densify(bra_state)
-        y = densify(ket_state)
+        x = dense_product_state(bra_state, n)
+        y = dense_product_state(ket_state, n)
         terms = [
             (0.25, x + y),
             (-0.25, x - y),

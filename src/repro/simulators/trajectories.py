@@ -16,32 +16,43 @@ Two backends are provided, matching the paper's Table III:
   state-independent distribution ``q_k = tr(E_k† E_k)/d`` and the estimator is
   importance-weighted accordingly (an unbiased estimator of the same
   quantity).
+
+Execution is delegated to the batched engine
+(:class:`repro.backends.engine.BatchedTrajectoryEngine`): the statevector
+backend evolves whole ``(batch, 2**n)`` arrays of trajectories at once, the
+TN backend reuses one cached network topology and contraction order across
+samples, and both support chunked multi-process execution (``workers=k``)
+with per-chunk seeded RNG streams.  With ``workers=None`` the engine consumes
+the RNG stream in exactly the order of the historical per-sample loop, so
+results for a given seed are unchanged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
 
 import numpy as np
 
 from repro.circuits.circuit import Circuit
-from repro.simulators.statevector import apply_matrix
-from repro.tensornetwork.circuit_to_tn import StateLike, operator_amplitude_network, resolve_product_state
-from repro.utils.states import zero_state
-from repro.utils.validation import ValidationError, check_statevector
+from repro.tensornetwork.circuit_to_tn import StateLike
+from repro.utils.validation import ValidationError
 
 __all__ = ["TrajectoryResult", "TrajectorySimulator"]
 
 
 @dataclass(frozen=True)
 class TrajectoryResult:
-    """Outcome of a trajectory estimation run."""
+    """Outcome of a trajectory estimation run.
+
+    ``samples`` is None unless the run was made with ``keep_samples=True``:
+    retaining a million-element tuple for a million-sample run serves no
+    purpose when the estimate and standard error are already exact.
+    """
 
     estimate: float
     standard_error: float
     num_samples: int
-    samples: tuple
+    samples: tuple | None = None
 
     def confidence_interval(self, z: float = 2.576) -> tuple:
         """Return a normal-approximation confidence interval (99% by default)."""
@@ -58,6 +69,15 @@ class TrajectorySimulator:
         self.max_intermediate_size = max_intermediate_size
 
     # ------------------------------------------------------------------
+    def _engine(self):
+        # Imported lazily: repro.backends wraps the simulators, so a module-level
+        # import here would be circular.
+        from repro.backends.engine import BatchedTrajectoryEngine
+
+        return BatchedTrajectoryEngine(
+            backend=self.backend, max_intermediate_size=self.max_intermediate_size
+        )
+
     def estimate_fidelity(
         self,
         circuit: Circuit,
@@ -65,130 +85,24 @@ class TrajectorySimulator:
         input_state: StateLike = None,
         output_state: StateLike = None,
         rng: np.random.Generator | int | None = None,
+        keep_samples: bool = False,
+        workers: int | None = None,
     ) -> TrajectoryResult:
-        """Estimate ``⟨v| E_N(|ψ⟩⟨ψ|) |v⟩`` from ``num_samples`` trajectories."""
-        if num_samples <= 0:
-            raise ValidationError("num_samples must be positive")
-        rng = np.random.default_rng(rng)
-        n = circuit.num_qubits
-        input_state = "0" * n if input_state is None else input_state
-        output_state = "0" * n if output_state is None else output_state
+        """Estimate ``⟨v| E_N(|ψ⟩⟨ψ|) |v⟩`` from ``num_samples`` trajectories.
 
-        if self.backend == "statevector":
-            values = self._run_statevector(circuit, num_samples, input_state, output_state, rng)
-        else:
-            values = self._run_tn(circuit, num_samples, input_state, output_state, rng)
-
-        values = np.asarray(values, dtype=float)
-        estimate = float(values.mean())
-        stderr = float(values.std(ddof=1) / np.sqrt(num_samples)) if num_samples > 1 else float("inf")
-        return TrajectoryResult(estimate, stderr, num_samples, tuple(values))
-
-    # ------------------------------------------------------------------
-    # Statevector (MM) backend: exact Born-rule Kraus sampling.
-    # ------------------------------------------------------------------
-    def _densify(self, state: StateLike, num_qubits: int) -> np.ndarray:
-        resolved = resolve_product_state(state, num_qubits)
-        if isinstance(resolved, list):
-            dense = np.array([1.0 + 0.0j])
-            for factor in resolved:
-                dense = np.kron(dense, factor)
-            return dense
-        return resolved
-
-    def _run_statevector(
-        self,
-        circuit: Circuit,
-        num_samples: int,
-        input_state: StateLike,
-        output_state: StateLike,
-        rng: np.random.Generator,
-    ) -> List[float]:
-        n = circuit.num_qubits
-        if n > 22:
-            raise MemoryError("statevector trajectory backend limited to 22 qubits")
-        psi0 = self._densify(input_state, n)
-        v = self._densify(output_state, n)
-        values: List[float] = []
-        for _ in range(num_samples):
-            state = psi0.copy()
-            for inst in circuit:
-                if inst.is_gate:
-                    state = apply_matrix(state, inst.operation.matrix, inst.qubits, n)
-                else:
-                    state = self._sample_kraus_exact(state, inst, n, rng)
-            values.append(float(abs(np.vdot(v, state)) ** 2))
-        return values
-
-    @staticmethod
-    def _sample_kraus_exact(state: np.ndarray, inst, num_qubits: int, rng: np.random.Generator) -> np.ndarray:
-        branches = []
-        probabilities = []
-        for op in inst.operation.kraus_operators:
-            branch = apply_matrix(state, op, inst.qubits, num_qubits)
-            prob = float(np.real(np.vdot(branch, branch)))
-            branches.append(branch)
-            probabilities.append(prob)
-        probabilities = np.asarray(probabilities)
-        total = probabilities.sum()
-        if total <= 0:
-            raise ValidationError("trajectory collapsed to zero norm (invalid channel?)")
-        probabilities = probabilities / total
-        index = int(rng.choice(len(branches), p=probabilities))
-        chosen = branches[index]
-        return chosen / np.linalg.norm(chosen)
-
-    # ------------------------------------------------------------------
-    # Tensor-network backend: state-independent Kraus sampling with
-    # importance weights, each trajectory a single amplitude contraction.
-    # ------------------------------------------------------------------
-    def _run_tn(
-        self,
-        circuit: Circuit,
-        num_samples: int,
-        input_state: StateLike,
-        output_state: StateLike,
-        rng: np.random.Generator,
-    ) -> List[float]:
-        n = circuit.num_qubits
-        # Pre-compute the sampling distribution q_k for every noise instruction.
-        noise_distributions = []
-        for inst in circuit:
-            if inst.is_noise:
-                weights = np.array(
-                    [np.real(np.trace(op.conj().T @ op)) for op in inst.operation.kraus_operators]
-                )
-                weights = weights / weights.sum()
-                noise_distributions.append(weights)
-
-        values: List[float] = []
-        for _ in range(num_samples):
-            operations = []
-            weight = 1.0
-            noise_index = 0
-            for inst in circuit:
-                if inst.is_gate:
-                    operations.append((inst.operation.matrix, inst.qubits))
-                else:
-                    q = noise_distributions[noise_index]
-                    k = int(rng.choice(len(q), p=q))
-                    op = inst.operation.kraus_operators[k]
-                    # Importance weight: the estimator of |⟨v|E_{k_d}…|ψ⟩|²/∏q
-                    # is unbiased for Σ_k |⟨v|E_k…|ψ⟩|² = ⟨v|E(ψ)|v⟩.
-                    weight /= q[k]
-                    operations.append((op, inst.qubits))
-                    noise_index += 1
-            network = operator_amplitude_network(
-                n,
-                operations,
-                input_state,
-                output_state,
-                name="trajectory",
-                max_intermediate_size=self.max_intermediate_size,
-            )
-            amplitude = network.contract_to_scalar()
-            values.append(float(abs(amplitude) ** 2) * weight)
-        return values
+        ``workers=None`` runs in-process on a single RNG stream; ``workers=k``
+        splits the samples into fixed-size seeded blocks executed by ``k``
+        processes, with results identical for every ``k``.
+        """
+        return self._engine().estimate_fidelity(
+            circuit,
+            num_samples,
+            input_state,
+            output_state,
+            rng=rng,
+            keep_samples=keep_samples,
+            workers=workers,
+        )
 
     # ------------------------------------------------------------------
     def samples_for_precision(

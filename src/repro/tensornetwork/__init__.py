@@ -17,6 +17,7 @@ from repro.tensornetwork.circuit_to_tn import (
 )
 from repro.tensornetwork.network import ContractionMemoryError, TensorNetwork, contract_nodes
 from repro.tensornetwork.node import Edge, Node, connect
+from repro.tensornetwork.plan import ContractionPlan
 from repro.tensornetwork.ordering import (
     contract_greedy,
     contract_sequential,
@@ -27,6 +28,7 @@ from repro.tensornetwork.ordering import (
 __all__ = [
     "TensorNetwork",
     "ContractionMemoryError",
+    "ContractionPlan",
     "contract_nodes",
     "Node",
     "Edge",

@@ -32,6 +32,7 @@ from repro.utils.validation import ValidationError
 __all__ = [
     "StateLike",
     "resolve_product_state",
+    "dense_product_state",
     "operator_amplitude_network",
     "circuit_amplitude_network",
     "noisy_doubled_network",
@@ -74,6 +75,17 @@ def resolve_product_state(state: StateLike, num_qubits: int) -> List[np.ndarray]
             f"state of length {dense.size} does not match {num_qubits} qubits"
         )
     return dense
+
+
+def dense_product_state(state: StateLike, num_qubits: int) -> np.ndarray:
+    """Return ``state`` as a dense ``2**n`` vector (Kronecker product of factors)."""
+    resolved = resolve_product_state(state, num_qubits)
+    if isinstance(resolved, list):
+        dense = np.array([1.0 + 0.0j])
+        for factor in resolved:
+            dense = np.kron(dense, factor)
+        return dense
+    return resolved
 
 
 def _add_boundary(

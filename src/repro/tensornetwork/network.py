@@ -72,6 +72,10 @@ class TensorNetwork:
         #: Maximum number of entries allowed in any intermediate tensor.  None
         #: disables the check.
         self.max_intermediate_size = max_intermediate_size
+        #: Optional callback ``observer(network, node_a, node_b)`` invoked
+        #: before every pairwise contraction; used by
+        #: :class:`repro.tensornetwork.plan.ContractionPlan` to record schedules.
+        self.observer = None
 
     # ------------------------------------------------------------------
     def add_node(self, tensor: np.ndarray, name: str | None = None) -> Node:
@@ -118,6 +122,8 @@ class TensorNetwork:
         """Contract two member nodes and replace them with the result."""
         if node_a not in self.nodes or node_b not in self.nodes:
             raise ValidationError("both nodes must belong to this network")
+        if self.observer is not None:
+            self.observer(self, node_a, node_b)
         shared_axes = sum(
             1
             for edge in node_a.edges

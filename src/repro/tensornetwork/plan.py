@@ -1,0 +1,102 @@
+"""Reusable contraction plans.
+
+The greedy ordering heuristic decides which node pair to contract from tensor
+*sizes* only, so two networks with the same topology and the same tensor
+shapes contract in the same order regardless of the tensor values.  The
+batched trajectory engine exploits this: every trajectory of a fixed circuit
+produces the same network topology (only the sampled Kraus tensor values
+change), so the ordering work and all node/edge bookkeeping can be paid once
+and replayed per trajectory as a flat sequence of ``np.tensordot`` calls.
+
+:meth:`ContractionPlan.record` contracts a template network while recording
+each pairwise step positionally (via the :attr:`TensorNetwork.observer`
+hook); :meth:`ContractionPlan.execute` replays the recorded schedule over a
+plain list of tensors.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.tensornetwork.network import TensorNetwork
+from repro.utils.validation import ValidationError
+
+__all__ = ["ContractionPlan"]
+
+#: One replay step: positions of the two operands in the evolving tensor list
+#: plus the contracted axes of each (empty axes = outer product).
+_Step = Tuple[int, int, Tuple[int, ...], Tuple[int, ...]]
+
+
+class ContractionPlan:
+    """A recorded pairwise contraction schedule, replayable on fresh tensors."""
+
+    def __init__(self, steps: List[_Step], num_inputs: int) -> None:
+        self.steps = steps
+        #: Number of tensors the plan expects (the template's node count).
+        self.num_inputs = num_inputs
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def record(cls, network: TensorNetwork, strategy: str = "greedy") -> Tuple["ContractionPlan", complex]:
+        """Contract ``network`` to a scalar, recording the schedule.
+
+        Returns ``(plan, value)`` where ``value`` is the template's own
+        contraction result.  The network is consumed (contraction is
+        destructive), so callers must snapshot node tensors beforehand if they
+        want to replay with partially swapped values.
+        """
+        num_inputs = network.num_nodes
+        steps: List[_Step] = []
+
+        def observer(net: TensorNetwork, node_a, node_b) -> None:
+            position_a = net.nodes.index(node_a)
+            position_b = net.nodes.index(node_b)
+            shared = []
+            for edge in node_a.edges:
+                if not edge.is_dangling and edge.other(node_a) is node_b and edge not in shared:
+                    shared.append(edge)
+            steps.append(
+                (
+                    position_a,
+                    position_b,
+                    tuple(edge.axis_of(node_a) for edge in shared),
+                    tuple(edge.axis_of(node_b) for edge in shared),
+                )
+            )
+
+        network.observer = observer
+        try:
+            value = network.contract_to_scalar(strategy=strategy)
+        finally:
+            network.observer = None
+        return cls(steps, num_inputs), value
+
+    # ------------------------------------------------------------------
+    def execute(self, tensors: List[np.ndarray]) -> complex:
+        """Replay the schedule over ``tensors`` and return the scalar result.
+
+        ``tensors`` must match the template's node order and shapes; only the
+        values may differ.  Mirrors ``contract_pair``'s list evolution (remove
+        both operands, append the result) so the recorded positions stay valid.
+        """
+        if len(tensors) != self.num_inputs:
+            raise ValidationError(
+                f"plan expects {self.num_inputs} tensors, got {len(tensors)}"
+            )
+        arrays = list(tensors)
+        for position_a, position_b, axes_a, axes_b in self.steps:
+            tensor_a = arrays[position_a]
+            tensor_b = arrays[position_b]
+            if axes_a:
+                result = np.tensordot(tensor_a, tensor_b, axes=(list(axes_a), list(axes_b)))
+            else:
+                result = np.tensordot(tensor_a, tensor_b, axes=0)
+            for position in sorted((position_a, position_b), reverse=True):
+                del arrays[position]
+            arrays.append(result)
+        if len(arrays) != 1 or arrays[0].size != 1:
+            raise ValidationError("plan did not reduce the network to a scalar")
+        return complex(arrays[0].reshape(()))

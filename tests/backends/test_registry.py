@@ -1,0 +1,175 @@
+"""Tests for the unified backend registry and its adapters."""
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    BackendUnsupportedError,
+    SimulationBackend,
+    SimulationTask,
+    available_backends,
+    backend_names,
+    capability_table,
+    get_backend,
+    register_backend,
+    resolve_backends,
+)
+from repro.backends.registry import _REGISTRY
+from repro.circuits.circuit import Circuit
+from repro.circuits.library import benchmark_circuit, ghz_circuit
+from repro.noise import NoiseModel, depolarizing_channel, two_qubit_depolarizing_channel
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture(scope="module")
+def noisy_circuit():
+    """A small noisy circuit with 1-qubit channels (every noisy backend applies)."""
+    ideal = benchmark_circuit("qaoa_4", seed=2)
+    return NoiseModel(depolarizing_channel(0.05), seed=2).insert_random(ideal, 3)
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        expected = {
+            "statevector",
+            "density_matrix",
+            "tn",
+            "tdd",
+            "mps",
+            "mpdo",
+            "trajectories",
+            "trajectories_tn",
+            "approximation",
+        }
+        assert expected <= set(backend_names())
+
+    def test_get_backend_unknown_name(self):
+        with pytest.raises(ValidationError, match="unknown backend"):
+            get_backend("does_not_exist")
+
+    def test_aliases_resolve(self):
+        assert get_backend("mm").name == "density_matrix"
+        assert get_backend("ours").name == "approximation"
+        assert get_backend("traj_tn").name == "trajectories_tn"
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValidationError, match="already registered"):
+
+            @register_backend("tn", noisy=True, exact=True)
+            class Duplicate(SimulationBackend):  # pragma: no cover - never used
+                def _run(self, circuit, task):
+                    raise NotImplementedError
+
+        assert _REGISTRY["tn"].name == "tn"
+
+    def test_capability_table_covers_all_backends(self):
+        rows = capability_table()
+        assert [row[0] for row in rows] == backend_names()
+        assert all(len(row) == 6 for row in rows)
+
+    def test_resolve_backends_specs(self, noisy_circuit):
+        assert resolve_backends("tn,mm") == ["tn", "density_matrix"]
+        assert resolve_backends(["tdd", "tdd"]) == ["tdd"]
+        assert set(resolve_backends("all", noisy_circuit)) == set(
+            available_backends(noisy_circuit)
+        )
+        with pytest.raises(ValidationError, match="unknown backend"):
+            resolve_backends("tn,bogus")
+
+
+class TestAvailability:
+    def test_noiseless_only_backends_excluded_for_noisy_circuit(self, noisy_circuit):
+        names = available_backends(noisy_circuit)
+        assert "statevector" not in names
+        assert "mps" not in names
+        assert {"density_matrix", "tn", "tdd", "trajectories", "approximation"} <= set(names)
+
+    def test_noiseless_circuit_includes_statevector(self):
+        names = available_backends(ghz_circuit(3))
+        assert "statevector" in names and "mps" in names
+
+    def test_mpdo_excluded_for_two_qubit_noise(self, noisy_circuit):
+        circuit = Circuit(2)
+        circuit.h(0).cx(0, 1)
+        circuit.append(two_qubit_depolarizing_channel(0.01), (0, 1))
+        assert "mpdo" not in available_backends(circuit)
+        assert "mpdo" in available_backends(noisy_circuit)
+
+    def test_qubit_ceiling_respected(self, noisy_circuit):
+        assert get_backend("density_matrix", max_qubits=2).supports(noisy_circuit) is not None
+        with pytest.raises(BackendUnsupportedError):
+            get_backend("statevector").run(noisy_circuit)
+
+    def test_task_options_can_raise_ceiling(self, noisy_circuit):
+        backend = get_backend("density_matrix", max_qubits=2)
+        task = SimulationTask(options={"max_qubits": 12})
+        assert backend.supports(noisy_circuit, task) is None
+        assert backend.run(noisy_circuit, task).value > 0
+
+    def test_product_state_capability_enforced(self, noisy_circuit):
+        dense = np.zeros(2**noisy_circuit.num_qubits, dtype=complex)
+        dense[0] = 1.0
+        task = SimulationTask(output_state=dense)
+        backend = get_backend("mpdo")
+        assert backend.supports(noisy_circuit, task) is not None
+        with pytest.raises(BackendUnsupportedError):
+            backend.run(noisy_circuit, task)
+        # Product descriptions pass the same check.
+        assert backend.supports(
+            noisy_circuit, SimulationTask(output_state="0" * noisy_circuit.num_qubits)
+        ) is None
+
+
+class TestConformance:
+    """Every applicable backend must agree on one small noisy circuit."""
+
+    def test_all_backends_agree_on_fidelity(self, noisy_circuit):
+        exact = get_backend("density_matrix").run(noisy_circuit).value
+        task = SimulationTask(num_samples=4000, seed=11, level=noisy_circuit.noise_count())
+        for name in available_backends(noisy_circuit):
+            backend = get_backend(name)
+            result = backend.run(noisy_circuit, task)
+            assert result.backend == name
+            assert result.elapsed_seconds >= 0.0
+            if backend.capabilities.stochastic:
+                tolerance = 6 * result.standard_error + 2e-3
+                assert result.num_samples == 4000
+            else:
+                tolerance = 1e-6
+            assert result.value == pytest.approx(exact, abs=tolerance), name
+
+    def test_noiseless_backends_agree_on_fidelity(self):
+        circuit = ghz_circuit(3)
+        # |⟨0…0|GHZ⟩|² = 1/2 for every exact noiseless method.
+        for name in available_backends(circuit):
+            result = get_backend(name).run(circuit, SimulationTask(num_samples=500, seed=3))
+            assert result.value == pytest.approx(0.5, abs=1e-6), name
+
+
+class TestResultMetadata:
+    def test_approximation_result_carries_bound(self, noisy_circuit):
+        result = get_backend("approximation").run(noisy_circuit, SimulationTask(level=1))
+        assert result.metadata["level"] == 1
+        assert result.metadata["error_bound"] > 0
+        assert result.num_contractions and result.num_contractions > 0
+
+    def test_trajectory_result_carries_stderr(self, noisy_circuit):
+        result = get_backend("trajectories").run(
+            noisy_circuit, SimulationTask(num_samples=256, seed=0)
+        )
+        assert result.standard_error > 0
+        low, high = result.confidence_interval()
+        assert low <= result.value <= high
+
+    def test_tn_counts_single_contraction(self, noisy_circuit):
+        assert get_backend("tn").run(noisy_circuit).num_contractions == 1
+
+    def test_task_options_override_budgets(self, noisy_circuit):
+        # Per-run overrides reach the wrapped simulator: a tiny TDD node
+        # budget must trip the memory-out guard that the default would not.
+        with pytest.raises(MemoryError):
+            get_backend("tdd").run(noisy_circuit, SimulationTask(options={"max_nodes": 8}))
+        with pytest.raises(MemoryError):
+            get_backend("tn").run(
+                noisy_circuit, SimulationTask(options={"max_intermediate_size": 2})
+            )

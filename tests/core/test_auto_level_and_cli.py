@@ -70,10 +70,36 @@ class TestCLI:
     def test_compare_command(self, capsys):
         assert cli.main([
             "compare", "--circuit", "qaoa_4", "--noises", "2", "--composite-gates",
-            "--channel", "depolarizing", "--parameter", "0.001",
+            "--channel", "depolarizing", "--parameter", "0.001", "--samples", "64",
         ]) == 0
         out = capsys.readouterr().out
-        assert "TN exact" in out and "Ours" in out
+        assert "tn" in out and "approximation" in out and "density_matrix" in out
+
+    def test_compare_command_backend_subset(self, capsys):
+        assert cli.main([
+            "compare", "--circuit", "qaoa_4", "--noises", "2", "--composite-gates",
+            "--channel", "depolarizing", "--parameter", "0.001",
+            "--backends", "tn,mm",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "tn" in out and "density_matrix" in out
+        assert "tdd" not in out
+
+    def test_compare_command_reports_failures(self, capsys):
+        # statevector cannot simulate noise channels: the row must report the
+        # failure instead of aborting the comparison.
+        assert cli.main([
+            "compare", "--circuit", "ghz_3", "--noises", "2",
+            "--channel", "depolarizing", "--parameter", "0.01",
+            "--backends", "statevector,tn",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "failed (BackendUnsupportedError)" in out
+
+    def test_list_backends_command(self, capsys):
+        assert cli.main(["list-backends"]) == 0
+        out = capsys.readouterr().out
+        assert "trajectories" in out and "density_matrix" in out and "Max qubits" in out
 
     def test_decompose_command(self, capsys):
         assert cli.main(["decompose", "--channel", "depolarizing", "--parameter", "0.02"]) == 0

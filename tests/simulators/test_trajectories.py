@@ -39,11 +39,18 @@ class TestStatevectorBackend:
         assert result.estimate == pytest.approx(0.5)
 
     def test_result_metadata(self, noisy_circuit):
-        result = TrajectorySimulator("statevector").estimate_fidelity(noisy_circuit, 16, rng=3)
+        result = TrajectorySimulator("statevector").estimate_fidelity(
+            noisy_circuit, 16, rng=3, keep_samples=True
+        )
         assert result.num_samples == 16
         assert len(result.samples) == 16
         low, high = result.confidence_interval()
         assert low <= result.estimate <= high
+
+    def test_samples_not_retained_by_default(self, noisy_circuit):
+        result = TrajectorySimulator("statevector").estimate_fidelity(noisy_circuit, 16, rng=3)
+        assert result.samples is None
+        assert result.num_samples == 16
 
     def test_invalid_sample_count(self, noisy_circuit):
         with pytest.raises(ValidationError):
