@@ -10,55 +10,33 @@ Reproduction scale: hf_4/hf_6, qaoa_4/qaoa_9, inst_2x2_6/inst_2x3_6 with 2 and
 appears at the same relative points (MM fails on the larger circuits, TN
 survives everywhere at this scale, the approximation is cheapest per noise).
 
-The methods are resolved through the backend registry
-(:mod:`repro.backends`); each cell is one ``backend.run(circuit, task)`` call
-with scaled-down memory budgets passed as adapter options.
+The grid — circuits, noise counts, methods, memory budgets — lives in
+``benchmarks/specs/table2.yaml`` (the same file ``repro sweep run`` executes);
+this module parametrises one timed pytest-benchmark cell per sweep cell, so
+the benchmark and the sweep CLI can never disagree about what Table II means.
 """
 
 from __future__ import annotations
 
 import time
+from pathlib import Path
 
 import pytest
 
 from benchmarks.conftest import run_once, write_report
 from repro.analysis import format_seconds, format_table
-from repro.backends import BackendUnsupportedError, SimulationTask, get_backend
-from repro.circuits.library import benchmark_circuit
-from repro.noise import NoiseModel, SYCAMORE_LIKE_SPEC
+from repro.backends import BackendUnsupportedError, get_backend
+from repro.sweeps import CircuitCache, load_spec
 from repro.tensornetwork import ContractionMemoryError
 
-#: (family, benchmark name) rows of the reproduced table.
-CIRCUITS = [
-    ("HF-VQE", "hf_4"),
-    ("HF-VQE", "hf_6"),
-    ("QAOA", "qaoa_4"),
-    ("QAOA", "qaoa_9"),
-    ("Supremacy", "inst_2x2_6"),
-    ("Supremacy", "inst_2x3_6"),
-]
-NOISE_COUNTS = [2, 8]
+SPEC = load_spec(Path(__file__).resolve().parent / "specs" / "table2.yaml")
+CELLS = SPEC.cells()
+_cache = CircuitCache(SPEC)
 
-#: Scaled-down memory budgets emulating the paper's 2048 GB cap.
-MM_MAX_QUBITS = 8
-TDD_MAX_NODES = 60_000
-TN_MAX_INTERMEDIATE = 2**24
-
-#: Registered backend per Table II column, with its scaled-down budget options.
-METHODS = [
-    ("MM", "density_matrix", {"max_qubits": MM_MAX_QUBITS}),
-    ("TDD", "tdd", {"max_nodes": TDD_MAX_NODES}),
-    ("TN", "tn", {"max_intermediate_size": TN_MAX_INTERMEDIATE}),
-    ("Ours", "approximation", {"max_intermediate_size": TN_MAX_INTERMEDIATE}),
-]
+#: Backend column labels in spec order (MM, TDD, TN, Ours).
+METHOD_LABELS = [backend.label for backend in SPEC.backends]
 
 _results: dict = {}
-
-
-def _noisy_circuit(name: str, num_noises: int):
-    ideal = benchmark_circuit(name, seed=7, native_gates=False)
-    model = NoiseModel(lambda arity, rng: SYCAMORE_LIKE_SPEC.gate_noise(arity, rng), seed=13)
-    return model.insert_random(ideal, num_noises)
 
 
 def _timed(func):
@@ -73,26 +51,24 @@ def _timed(func):
     return time.perf_counter() - start
 
 
-@pytest.mark.parametrize("num_noises", NOISE_COUNTS)
-@pytest.mark.parametrize("family,name", CIRCUITS)
-@pytest.mark.parametrize("method,backend_name,options", METHODS)
-def test_table2_method_runtime(benchmark, family, name, num_noises, method, backend_name, options):
+@pytest.mark.parametrize("cell", CELLS, ids=[cell.cell_id for cell in CELLS])
+def test_table2_method_runtime(benchmark, cell):
     """Time one (circuit, noise count, method) cell of Table II."""
-    circuit = _noisy_circuit(name, num_noises)
-    backend = get_backend(backend_name, **options)
-    task = SimulationTask(level=1)
+    circuit = _cache.circuit(cell)
+    backend = get_backend(cell.backend.name, **cell.backend.options)
+    task = cell.task()
     elapsed = run_once(benchmark, _timed, lambda: backend.run(circuit, task))
-    key = (family, name, num_noises)
+    key = (cell.circuit.family, cell.circuit.label, cell.noise.count)
     _results.setdefault(key, {"qubits": circuit.num_qubits, "gates": circuit.gate_count(),
                               "depth": circuit.depth()})
-    _results[key][method] = elapsed
+    _results[key][cell.backend.label] = elapsed
 
 
 def test_table2_report(benchmark):
     """Assemble and persist the Table II reproduction from the timed cells."""
     if not _results:
         pytest.skip("run with --benchmark-only to populate the table")
-    headers = ["Type", "Circuit", "Qubits", "Gates", "Depth", "#Noise", "MM", "TDD", "TN", "Ours"]
+    headers = ["Type", "Circuit", "Qubits", "Gates", "Depth", "#Noise"] + METHOD_LABELS
     rows = []
     records = []
     for (family, name, num_noises), data in sorted(_results.items(), key=lambda kv: (kv[0][0], kv[0][1], kv[0][2])):
@@ -104,11 +80,8 @@ def test_table2_report(benchmark):
                 data["gates"],
                 data["depth"],
                 num_noises,
-                format_seconds(data.get("MM")),
-                format_seconds(data.get("TDD")),
-                format_seconds(data.get("TN")),
-                format_seconds(data.get("Ours")),
             ]
+            + [format_seconds(data.get(label)) for label in METHOD_LABELS]
         )
         records.append({"family": family, "circuit": name, "num_noises": num_noises, **data})
     table = format_table(headers, rows, title="Table II (reproduction): runtime in seconds, MO = memory out")

@@ -11,59 +11,55 @@ simulator.  The claim being reproduced: at matched precision the approximation
 algorithm is faster than trajectories, and the trajectory precision does not
 beat ours.
 
-All methods run through the backend registry: ``approximation`` for the
-paper's algorithm and ``trajectories`` / ``trajectories_tn`` for the batched
-engine's two Monte-Carlo paths.
+The grid — circuits, noise model, backends — lives in
+``benchmarks/specs/table3.yaml`` (the same file ``repro sweep run`` executes);
+this module adds the paper's matched-precision pilot on top, overriding the
+spec's fixed sample count with one matched to the level-1 error per circuit.
 """
 
 from __future__ import annotations
 
 import time
+from pathlib import Path
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import run_once, write_report
 from repro.analysis import format_table
 from repro.backends import SimulationTask, get_backend
-from repro.circuits.library import qaoa_circuit
-from repro.noise import NoiseModel, depolarizing_channel
 from repro.simulators import TrajectorySimulator
+from repro.sweeps import CircuitCache, load_spec
 
-NOISE_PROBABILITY = 0.001
-NUM_NOISES = 8
-QUBIT_COUNTS = [4, 6, 9]
+SPEC = load_spec(Path(__file__).resolve().parent / "specs" / "table3.yaml")
+CELLS = SPEC.cells()
+_cache = CircuitCache(SPEC)
+
+OURS_CELLS = [cell for cell in CELLS if cell.backend.name == "approximation"]
+TRAJ_CELLS = [
+    cell for cell in CELLS if get_backend(cell.backend.name).capabilities.stochastic
+]
 
 _results: dict = {}
 
 
-def _noisy_qaoa(num_qubits: int):
-    ideal = qaoa_circuit(num_qubits, seed=3, native_gates=False)
-    return NoiseModel(depolarizing_channel(NOISE_PROBABILITY), seed=5).insert_random(
-        ideal, NUM_NOISES
-    )
+def _entry(cell):
+    label = cell.circuit.label
+    if label not in _results:
+        circuit = _cache.circuit(cell)
+        exact = get_backend(SPEC.reference).run(circuit).value
+        _results[label] = {"circuit": circuit, "exact": exact}
+    return _results[label]
 
 
-def _exact(circuit):
-    return get_backend("density_matrix").run(circuit).value
-
-
-def _entry(num_qubits: int):
-    if num_qubits not in _results:
-        circuit = _noisy_qaoa(num_qubits)
-        _results[num_qubits] = {"circuit": circuit, "exact": _exact(circuit)}
-    return _results[num_qubits]
-
-
-@pytest.mark.parametrize("num_qubits", QUBIT_COUNTS)
-def test_table3_ours(benchmark, num_qubits):
+@pytest.mark.parametrize("cell", OURS_CELLS, ids=[cell.cell_id for cell in OURS_CELLS])
+def test_table3_ours(benchmark, cell):
     """Level-1 approximation: runtime and precision."""
-    entry = _entry(num_qubits)
-    backend = get_backend("approximation")
+    entry = _entry(cell)
+    backend = get_backend(cell.backend.name, **cell.backend.options)
 
     def run():
         start = time.perf_counter()
-        result = backend.run(entry["circuit"], SimulationTask(level=1))
+        result = backend.run(entry["circuit"], SimulationTask(level=cell.level))
         return result.value, time.perf_counter() - start
 
     value, elapsed = run_once(benchmark, run)
@@ -72,21 +68,24 @@ def test_table3_ours(benchmark, num_qubits):
     entry["ours_error"] = abs(value - entry["exact"])
 
 
-@pytest.mark.parametrize("backend_name,label", [("trajectories", "traj_mm"), ("trajectories_tn", "traj_tn")])
-@pytest.mark.parametrize("num_qubits", QUBIT_COUNTS)
-def test_table3_trajectories(benchmark, num_qubits, backend_name, label):
+@pytest.mark.parametrize("cell", TRAJ_CELLS, ids=[cell.cell_id for cell in TRAJ_CELLS])
+def test_table3_trajectories(benchmark, cell):
     """Quantum trajectories at a sample count matched to the level-1 precision."""
-    entry = _entry(num_qubits)
+    entry = _entry(cell)
+    label = cell.backend.label
     target_error = max(entry.get("ours_error", 1e-4), 1e-5)
-    backend = get_backend(backend_name)
+    backend = get_backend(cell.backend.name, **cell.backend.options)
     # The adapter owns the engine-kind mapping; reuse it for the pilot too.
     samples = TrajectorySimulator(backend.engine.backend).samples_for_precision(
-        entry["circuit"], target_error, pilot_samples=256, rng=1, max_samples=2000
+        entry["circuit"], target_error, pilot_samples=256, rng=1,
+        max_samples=2 * cell.samples,
     )
 
     def run():
         start = time.perf_counter()
-        result = backend.run(entry["circuit"], SimulationTask(num_samples=samples, seed=2))
+        result = backend.run(
+            entry["circuit"], SimulationTask(num_samples=samples, seed=cell.seed)
+        )
         return result.value, time.perf_counter() - start
 
     value, elapsed = run_once(benchmark, run)
@@ -111,11 +110,12 @@ def test_table3_report(benchmark):
     ]
     rows = []
     records = []
-    for num_qubits in QUBIT_COUNTS:
-        entry = _results[num_qubits]
+    for circuit_spec in SPEC.circuits:
+        label = circuit_spec.label
+        entry = _results[label]
         rows.append(
             [
-                f"QAOA_{num_qubits}",
+                label.upper(),
                 entry.get("ours_error"),
                 entry.get("traj_mm_error"),
                 entry.get("traj_tn_error"),
@@ -127,14 +127,15 @@ def test_table3_report(benchmark):
         )
         records.append(
             {key: value for key, value in entry.items() if key != "circuit"}
-            | {"circuit": f"QAOA_{num_qubits}"}
+            | {"circuit": label}
         )
+    noise = SPEC.noises[0]
     table = format_table(
         headers,
         rows,
         title=(
             "Table III (reproduction): precision (|estimate − exact|) and runtime (s) at "
-            f"matched accuracy; depolarizing p={NOISE_PROBABILITY}, {NUM_NOISES} noises"
+            f"matched accuracy; depolarizing p={noise.parameter}, {noise.count} noises"
         ),
     )
     run_once(benchmark, write_report, "table3_vs_trajectories", table, data=records)

@@ -2,57 +2,69 @@
 
 This is the scenario the paper's introduction motivates: before running a QAOA
 workload on hardware, simulate it with the device's noise model to see how
-much signal survives.  The script sweeps the number of injected decoherence
-noises and reports
+much signal survives.  The whole experiment — circuit, device noise model,
+noise-count axis, method — is a declarative sweep spec
+(``examples/specs/qaoa_noise_study.yaml``); this script runs it through
+:mod:`repro.sweeps` and reports
 
 * the fidelity ``⟨v| E_N(|0…0⟩⟨0…0|) |v⟩`` with ``|v⟩ = U|0…0⟩`` (the ideal
-  output state), computed with the level-1 approximation algorithm, and
+  output state, requested by the spec's ``output_state: ideal``), and
 * the a-priori Theorem-1 error bound for each point, so the user knows how far
   to trust each number without running an exact simulation.
+
+The same spec runs from the CLI
+(``python -m repro.cli sweep run examples/specs/qaoa_noise_study.yaml``); a
+re-run resumes from the JSONL records instead of recomputing.
 
 Run:  python examples/qaoa_noise_study.py
 """
 
-import numpy as np
+from pathlib import Path
 
 from repro.analysis import format_table
-from repro.circuits.library import qaoa_circuit
-from repro.core import ApproximateNoisySimulator
-from repro.noise import NoiseModel, SYCAMORE_LIKE_SPEC, noise_rate
-from repro.simulators import StatevectorSimulator
+from repro.noise import SYCAMORE_LIKE_SPEC, noise_rate
+from repro.sweeps import run_sweep
+
+SPEC_PATH = Path(__file__).resolve().parent / "specs" / "qaoa_noise_study.yaml"
 
 
 def main() -> None:
-    num_qubits = 9
-    ideal = qaoa_circuit(num_qubits, seed=21)
-    ideal_output = StatevectorSimulator().run(ideal)
-    print(f"Workload: {ideal.summary()}")
-
-    spec = SYCAMORE_LIKE_SPEC
-    sample_channel = spec.gate_noise(1, rng=0)
-    print(f"Device model: T1={spec.t1_ns/1e3:.0f} µs, T2={spec.t2_ns/1e3:.0f} µs, "
+    sample_channel = SYCAMORE_LIKE_SPEC.gate_noise(1, rng=0)
+    print(f"Device model: T1={SYCAMORE_LIKE_SPEC.t1_ns/1e3:.0f} µs, "
+          f"T2={SYCAMORE_LIKE_SPEC.t2_ns/1e3:.0f} µs, "
           f"typical per-gate noise rate ≈ {noise_rate(sample_channel):.2e}\n")
 
-    simulator = ApproximateNoisySimulator(level=1)
-    rows = []
-    for num_noises in (0, 2, 4, 6, 8, 10):
-        model = NoiseModel(lambda arity, rng: spec.gate_noise(arity, rng), seed=33)
-        noisy = model.insert_random(ideal, num_noises)
-        result = simulator.fidelity(noisy, output_state=ideal_output)
-        rows.append([num_noises, result.value, result.error_bound, result.num_contractions])
+    result = run_sweep(SPEC_PATH, progress=print)
 
+    rows = []
+    for record in result.records:
+        if record["status"] != "ok":
+            rows.append([record["noise"], record["status"].upper(), None, None])
+            continue
+        metadata = record.get("metadata", {})
+        rows.append(
+            [
+                record["noise"],
+                record["value"],
+                metadata.get("error_bound"),
+                record["num_contractions"],
+            ]
+        )
+    print()
     print(
         format_table(
-            ["#Noises", "Fidelity to ideal output", "Theorem-1 bound", "Contractions"],
+            ["Noise", "Fidelity to ideal output", "Theorem-1 bound", "Contractions"],
             rows,
             title="QAOA-9 under superconducting decoherence (level-1 approximation)",
         )
     )
 
-    fidelities = [row[1] for row in rows]
-    drop = (1.0 - fidelities[-1] / fidelities[0]) * 100.0
-    print(f"\nWith {rows[-1][0]} decoherence events the ideal-output probability drops by "
-          f"{drop:.2f}% relative to the noiseless run.")
+    fidelities = [row[1] for row in rows if isinstance(row[1], float)]
+    if len(fidelities) >= 2 and fidelities[0] != 0.0:
+        drop = (1.0 - fidelities[-1] / fidelities[0]) * 100.0
+        print(f"\nWith {result.spec.noises[-1].count} decoherence events the ideal-output "
+              f"probability drops by {drop:.2f}% relative to the noiseless run.")
+    print(f"records: {result.path}")
 
 
 if __name__ == "__main__":

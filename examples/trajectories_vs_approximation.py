@@ -1,56 +1,51 @@
 """Head-to-head: the approximation algorithm vs quantum trajectories.
 
 Reproduces the spirit of the paper's Table III / Fig. 5 comparison as a
-runnable example: for a QAOA circuit with weak depolarizing noise, measure
+runnable example.  The empirical half is a declarative sweep spec
+(``examples/specs/trajectories_vs_approximation.yaml``): one noisy QAOA-6
+instance scored by the exact density-matrix simulator (the reference), the
+level-1 approximation and the batched trajectories engine, with precision
+reported as the total-variation distance to the reference.  The analytic half
+prints the paper's sample-count comparison for a range of noise counts.
 
-* the level-1 approximation's error and runtime (a deterministic method), and
-* how many trajectory samples the Monte-Carlo method needs to reach the same
-  accuracy, and what that costs in runtime,
-
-then print the analytic sample-count comparison for a range of noise counts.
+The same spec runs from the CLI (``python -m repro.cli sweep run
+examples/specs/trajectories_vs_approximation.yaml``); a re-run resumes from
+the JSONL records instead of recomputing.
 
 Run:  python examples/trajectories_vs_approximation.py
 """
 
-import time
+from pathlib import Path
 
-from repro.analysis import compare_sample_counts, format_series, format_table
-from repro.circuits.library import qaoa_circuit
-from repro.core import ApproximateNoisySimulator
-from repro.noise import NoiseModel, depolarizing_channel
-from repro.simulators import DensityMatrixSimulator, TrajectorySimulator
-from repro.utils import zero_state
+from repro.analysis import compare_sample_counts, format_series
+from repro.sweeps import pivot_table, run_sweep, summary_table
+
+SPEC_PATH = (
+    Path(__file__).resolve().parent / "specs" / "trajectories_vs_approximation.yaml"
+)
 
 
 def empirical_comparison() -> None:
-    p, num_noises = 0.001, 10
-    ideal = qaoa_circuit(6, seed=2, native_gates=False)
-    noisy = NoiseModel(depolarizing_channel(p), seed=2).insert_random(ideal, num_noises)
-    exact = DensityMatrixSimulator().fidelity(noisy, zero_state(6))
-
-    start = time.perf_counter()
-    ours = ApproximateNoisySimulator(level=1).fidelity(noisy)
-    ours_time = time.perf_counter() - start
-    ours_error = abs(ours.value - exact)
-
-    trajectories = TrajectorySimulator("statevector")
-    samples = trajectories.samples_for_precision(
-        noisy, max(ours_error, 1e-7), pilot_samples=64, rng=1, max_samples=20_000
-    )
-    start = time.perf_counter()
-    traj = trajectories.estimate_fidelity(noisy, samples, rng=1)
-    traj_time = time.perf_counter() - start
-
+    result = run_sweep(SPEC_PATH, progress=print)
+    reference = result.spec.reference
+    print()
     print(
-        format_table(
-            ["Method", "Estimate", "|error|", "Runtime (s)", "Samples / contractions"],
-            [
-                ["Ours (level 1)", ours.value, ours_error, ours_time, ours.num_contractions],
-                ["Trajectories", traj.estimate, abs(traj.estimate - exact), traj_time, samples],
-            ],
-            title=f"QAOA_6, {num_noises} depolarizing noises at p={p}: matched-accuracy comparison",
+        summary_table(
+            result.records,
+            reference=reference,
+            title="QAOA_6, 10 depolarizing noises at p=0.001: methods compared",
         )
     )
+    print()
+    print(
+        pivot_table(
+            result.records,
+            metric="precision",
+            reference=reference,
+            title=f"Precision (TVD vs {reference})",
+        )
+    )
+    print(f"records: {result.path}")
 
 
 def analytic_comparison() -> None:

@@ -10,6 +10,7 @@ from repro.analysis.fidelity import (
     density_matrix_fidelity,
     pure_state_fidelity,
     relative_error,
+    total_variation_distance,
     trace_distance,
 )
 from repro.analysis.reporting import format_series, format_table, format_seconds, format_value
@@ -31,6 +32,7 @@ __all__ = [
     "relative_error",
     "pure_state_fidelity",
     "density_matrix_fidelity",
+    "total_variation_distance",
     "trace_distance",
     "format_table",
     "format_series",

@@ -12,6 +12,7 @@ __all__ = [
     "relative_error",
     "pure_state_fidelity",
     "density_matrix_fidelity",
+    "total_variation_distance",
     "trace_distance",
 ]
 
@@ -27,6 +28,29 @@ def relative_error(estimate: float, reference: float) -> float:
     if reference == 0.0:
         return float("inf") if float(estimate) != 0.0 else 0.0
     return abs(float(estimate) - reference) / abs(reference)
+
+
+def total_variation_distance(p, q) -> float:
+    """Total variation distance ``½ Σ_x |p(x) − q(x)|`` between two distributions.
+
+    Inputs are arrays of probabilities (or non-negative weights; each side is
+    normalised first).  For the Bernoulli distributions induced by two
+    fidelities this reduces to the absolute fidelity error the paper's
+    precision columns report.
+
+    >>> total_variation_distance([0.5, 0.5], [0.75, 0.25])
+    0.25
+    """
+    p = np.asarray(p, dtype=float).ravel()
+    q = np.asarray(q, dtype=float).ravel()
+    if p.shape != q.shape:
+        raise ValidationError("distributions have different sizes")
+    if np.any(p < -1e-12) or np.any(q < -1e-12):
+        raise ValidationError("probabilities must be non-negative")
+    p_total, q_total = p.sum(), q.sum()
+    if p_total <= 0 or q_total <= 0:
+        raise ValidationError("distributions must have positive total weight")
+    return float(0.5 * np.abs(p / p_total - q / q_total).sum())
 
 
 def pure_state_fidelity(state: np.ndarray, rho: np.ndarray) -> float:

@@ -37,6 +37,7 @@ from repro.backends.base import (
 from repro.backends.engine import BatchedTrajectoryEngine, apply_matrix_batched
 from repro.backends.registry import (
     available_backends,
+    backend_aliases,
     backend_names,
     capability_table,
     get_backend,
@@ -56,6 +57,7 @@ __all__ = [
     "SimulationTask",
     "apply_matrix_batched",
     "available_backends",
+    "backend_aliases",
     "backend_names",
     "capability_table",
     "get_backend",

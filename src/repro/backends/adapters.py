@@ -250,6 +250,9 @@ class _TrajectoryBackendBase(SimulationBackend):
             rng=task.seed,
             keep_samples=task.keep_samples,
             workers=task.workers,
+            # A caller-owned process pool (e.g. a sweep's shared pool); the
+            # engine reuses it without shutting it down.
+            executor=task.options.get("executor"),
         )
         return BackendResult(
             backend=self.name,

@@ -67,6 +67,13 @@ class BackendCapabilities:
 class SimulationTask:
     """What to compute: fidelity ``⟨v| E_N(|ψ⟩⟨ψ|) |v⟩`` plus method knobs.
 
+    Example — a seeded 4-worker Monte-Carlo estimate::
+
+        >>> from repro.backends import SimulationTask
+        >>> task = SimulationTask(num_samples=1000, seed=7, workers=4)
+        >>> task.num_samples, task.seed
+        (1000, 7)
+
     ``input_state`` / ``output_state`` default to ``|0…0⟩``.  The remaining
     fields are method parameters that individual backends are free to ignore:
     ``num_samples``/``seed``/``workers``/``keep_samples`` drive the stochastic
@@ -108,7 +115,12 @@ class BackendResult:
     metadata: Mapping[str, Any] = field(default_factory=dict)
 
     def confidence_interval(self, z: float = 2.576) -> tuple:
-        """Normal-approximation confidence interval (99% by default)."""
+        """Normal-approximation confidence interval (99% by default).
+
+        >>> result = BackendResult(backend="tn", value=0.5, standard_error=0.01)
+        >>> tuple(round(bound, 3) for bound in result.confidence_interval(z=2.0))
+        (0.48, 0.52)
+        """
         return (self.value - z * self.standard_error, self.value + z * self.standard_error)
 
 
@@ -172,6 +184,14 @@ class SimulationBackend(ABC):
 
         Validates the circuit against the backend's capabilities, times the
         execution, and stamps the backend name onto the result.
+
+        Example — exact fidelity of a noiseless GHZ state with ``|00⟩``::
+
+            >>> from repro.backends import get_backend
+            >>> from repro.circuits.library import ghz_circuit
+            >>> result = get_backend("statevector").run(ghz_circuit(2))
+            >>> round(result.value, 6)
+            0.5
         """
         task = SimulationTask() if task is None else task
         self.check_supported(circuit, task)

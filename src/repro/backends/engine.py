@@ -224,13 +224,28 @@ class BatchedTrajectoryEngine:
         rng: np.random.Generator | int | None = None,
         keep_samples: bool = False,
         workers: int | None = None,
+        executor=None,
     ):
         """Estimate ``⟨v| E_N(|ψ⟩⟨ψ|) |v⟩`` from ``num_samples`` trajectories.
 
         Returns a :class:`repro.simulators.trajectories.TrajectoryResult`.
         With ``workers=None`` the estimate reproduces the historical
         per-sample loop for the same ``rng``; with ``workers=k`` the estimate
-        is identical for every ``k`` given the same integer seed.
+        is identical for every ``k`` given the same integer seed.  ``executor``
+        optionally supplies an already-running
+        :class:`~concurrent.futures.ProcessPoolExecutor` (it is *not* shut
+        down here), so callers running many estimates — e.g. a
+        :class:`repro.sweeps.SweepRunner` grid — pay the pool start-up cost
+        once instead of per call.
+
+        Example (noiseless GHZ, so the estimate is exact)::
+
+            >>> from repro.backends.engine import BatchedTrajectoryEngine
+            >>> from repro.circuits.library import ghz_circuit
+            >>> engine = BatchedTrajectoryEngine("statevector")
+            >>> result = engine.estimate_fidelity(ghz_circuit(2), 100, rng=7, workers=1)
+            >>> round(result.estimate, 6)
+            0.5
         """
         from repro.simulators.trajectories import TrajectoryResult
 
@@ -277,7 +292,7 @@ class BatchedTrajectoryEngine:
                     absorb(self._run_block(context, seed, block_index, block_samples))
             else:
                 for values in self._run_pool(
-                    circuit, input_state, output_state, seed, blocks, workers
+                    circuit, input_state, output_state, seed, blocks, workers, executor
                 ):
                     absorb(values)
 
@@ -334,12 +349,14 @@ class BatchedTrajectoryEngine:
         seed: int,
         blocks: List[Tuple[int, int]],
         workers: int,
+        executor=None,
     ):
         """Distribute contiguous block groups over a process pool.
 
         Block seeding makes the values independent of the distribution, so a
         pool failure (restricted environments) degrades to serial execution
-        with identical results.
+        with identical results.  A caller-supplied ``executor`` is reused and
+        left running; otherwise a pool is created and torn down per call.
         """
         groups: List[List[Tuple[int, int]]] = [[] for _ in range(min(workers, len(blocks)))]
         for position, block in enumerate(blocks):
@@ -358,20 +375,26 @@ class BatchedTrajectoryEngine:
             for group in groups
             if group
         ]
-        try:
-            pool = ProcessPoolExecutor(max_workers=len(payloads))
-        except (OSError, ValueError):  # pragma: no cover - pool-less environments
-            pool = None
-        if pool is None:
-            group_results = [_pool_worker(payload) for payload in payloads]
+        if executor is not None:
+            try:
+                group_results = list(executor.map(_pool_worker, payloads))
+            except BrokenProcessPool:  # pragma: no cover - crashed workers
+                group_results = [_pool_worker(payload) for payload in payloads]
         else:
-            # Worker exceptions (contraction budget, invalid channels, …)
-            # propagate as-is: only pool *creation* falls back to serial.
-            with pool:
-                try:
-                    group_results = list(pool.map(_pool_worker, payloads))
-                except BrokenProcessPool:  # pragma: no cover - crashed workers
-                    group_results = [_pool_worker(payload) for payload in payloads]
+            try:
+                pool = ProcessPoolExecutor(max_workers=len(payloads))
+            except (OSError, ValueError):  # pragma: no cover - pool-less environments
+                pool = None
+            if pool is None:
+                group_results = [_pool_worker(payload) for payload in payloads]
+            else:
+                # Worker exceptions (contraction budget, invalid channels, …)
+                # propagate as-is: only pool *creation* falls back to serial.
+                with pool:
+                    try:
+                        group_results = list(pool.map(_pool_worker, payloads))
+                    except BrokenProcessPool:  # pragma: no cover - crashed workers
+                        group_results = [_pool_worker(payload) for payload in payloads]
         # Re-emit in block order regardless of which worker ran which group.
         by_block = {}
         for payload, results in zip(payloads, group_results):

@@ -26,6 +26,7 @@ from repro.utils.validation import ValidationError
 __all__ = [
     "register_backend",
     "get_backend",
+    "backend_aliases",
     "backend_names",
     "available_backends",
     "resolve_backends",
@@ -81,6 +82,12 @@ def get_backend(name: str, **options) -> SimulationBackend:
 
     ``options`` are forwarded to the adapter constructor (e.g. ``max_qubits``
     for the density-matrix backend, ``max_nodes`` for TDD).
+
+    >>> from repro.backends import get_backend
+    >>> get_backend("mm").name                # aliases resolve to canonical names
+    'density_matrix'
+    >>> get_backend("tdd", max_nodes=1000).max_nodes
+    1000
     """
     key = _canonical(name)
     if key not in _REGISTRY:
@@ -94,8 +101,28 @@ def backend_names() -> List[str]:
     return sorted(_REGISTRY)
 
 
+def backend_aliases() -> Dict[str, List[str]]:
+    """Mapping of canonical backend name to its sorted aliases.
+
+    >>> from repro.backends import backend_aliases
+    >>> backend_aliases()["density_matrix"]
+    ['dm', 'mm']
+    """
+    aliases: Dict[str, List[str]] = {name: [] for name in _REGISTRY}
+    for alias, name in _ALIASES.items():
+        aliases[name].append(alias)
+    return {name: sorted(values) for name, values in aliases.items()}
+
+
 def available_backends(circuit: Circuit) -> List[str]:
-    """Names of every registered backend (at default configuration) able to simulate ``circuit``."""
+    """Names of every registered backend (at default configuration) able to simulate ``circuit``.
+
+    >>> from repro.backends import available_backends
+    >>> from repro.circuits.library import ghz_circuit
+    >>> names = available_backends(ghz_circuit(3))     # noiseless, 3 qubits
+    >>> "statevector" in names and "tn" in names
+    True
+    """
     names = []
     for name in backend_names():
         if get_backend(name).supports(circuit) is None:
@@ -109,6 +136,10 @@ def resolve_backends(spec: str | Iterable[str], circuit: Circuit | None = None) 
     ``spec`` is ``"all"`` (every backend, filtered by ``circuit`` capability
     when a circuit is given), a comma-separated string, or an iterable of
     names.  Unknown names raise :class:`ValidationError`.
+
+    >>> from repro.backends import resolve_backends
+    >>> resolve_backends("mm, ours")
+    ['density_matrix', 'approximation']
     """
     if isinstance(spec, str):
         if spec.strip().lower() == "all":

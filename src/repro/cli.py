@@ -5,22 +5,26 @@ Provides a small reproducibility tool around the library's main entry points::
     python -m repro.cli simulate      --circuit qaoa_9 --noises 6 --level 1
     python -m repro.cli compare       --circuit hf_6   --noises 4 --backends all
     python -m repro.cli list-backends
+    python -m repro.cli sweep run     benchmarks/specs/table3.yaml
+    python -m repro.cli sweep list
+    python -m repro.cli sweep report  sweep_results/table3.jsonl
     python -m repro.cli decompose     --channel depolarizing --parameter 0.01
     python -m repro.cli bound         --noises 20 --rate 0.001 --level 1
 
 ``simulate`` runs the approximation algorithm on a benchmark circuit with the
 paper's fault model, ``compare`` runs the selected registered backends on the
 same instance through :mod:`repro.backends`, ``list-backends`` prints the
-registry's capability table, ``decompose`` prints the SVD decomposition of a
-noise channel and ``bound`` evaluates the Theorem-1 formulas without any
-simulation.
+registry's capability table, ``sweep`` runs/lists/reports declarative
+experiment grids (:mod:`repro.sweeps`), ``decompose`` prints the SVD
+decomposition of a noise channel and ``bound`` evaluates the Theorem-1
+formulas without any simulation.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict
+from pathlib import Path
 
 import numpy as np
 
@@ -33,21 +37,10 @@ from repro.core import (
     decompose_noise,
     theorem1_error_bound,
 )
-from repro.noise import (
-    NoiseModel,
-    SYCAMORE_LIKE_SPEC,
-    amplitude_damping_channel,
-    depolarizing_channel,
-    phase_damping_channel,
-)
+from repro.noise import CHANNEL_FACTORIES as _CHANNEL_FACTORIES
+from repro.noise import NoiseModel, SYCAMORE_LIKE_SPEC
 
 __all__ = ["main", "build_parser"]
-
-_CHANNEL_FACTORIES: Dict[str, Callable[[float], object]] = {
-    "depolarizing": depolarizing_channel,
-    "amplitude_damping": amplitude_damping_channel,
-    "phase_damping": phase_damping_channel,
-}
 
 
 def _make_noisy_circuit(args) -> object:
@@ -118,6 +111,122 @@ def _cmd_list_backends(args) -> int:
             title="Registered simulation backends",
         )
     )
+    return 0
+
+
+#: Directories ``sweep list`` searches when no paths are given.
+_DEFAULT_SPEC_DIRS = ("benchmarks/specs", "examples/specs")
+
+
+def _cmd_sweep_run(args) -> int:
+    from repro.sweeps import load_spec, pivot_table, summary_table, SweepRunner
+
+    spec = load_spec(args.spec)
+    out = Path(args.out) if args.out else Path("sweep_results") / f"{spec.name}.jsonl"
+    runner = SweepRunner(
+        spec,
+        out_path=out,
+        workers=args.workers,
+        resume=not args.fresh,
+        max_cells=args.max_cells,
+    )
+    print(f"sweep {spec.name!r}: {len(spec.cells())} cells -> {out}")
+    result = runner.run(progress=print)
+    print()
+    print(
+        summary_table(
+            result.records,
+            reference=spec.reference,
+            title=f"Sweep {spec.name}: {spec.description or 'summary'}",
+        )
+    )
+    if spec.reference is not None:
+        print()
+        print(
+            pivot_table(
+                result.records,
+                metric="precision",
+                reference=spec.reference,
+                title=f"Precision (TVD vs {spec.reference})",
+            )
+        )
+    print(f"\nrecords: {result.path} ({result.executed} executed, {result.skipped} resumed)")
+    failed = [record for record in result.records if record.get("status") == "failed"]
+    if failed:
+        print(f"error: {len(failed)} cell(s) failed; re-running 'sweep run' retries them",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _spec_files(directory: Path) -> list:
+    return sorted(
+        path for suffix in ("*.yaml", "*.yml", "*.json") for path in directory.glob(suffix)
+    )
+
+
+def _cmd_sweep_list(args) -> int:
+    from repro.sweeps import load_spec
+
+    paths = []
+    if args.paths:
+        for entry in args.paths:
+            path = Path(entry)
+            if path.is_dir():
+                paths.extend(_spec_files(path))
+            else:
+                paths.append(path)
+    else:
+        for directory in _DEFAULT_SPEC_DIRS:
+            path = Path(directory)
+            if path.is_dir():
+                paths.extend(_spec_files(path))
+    if not paths:
+        print("no sweep specs found (searched: " + ", ".join(_DEFAULT_SPEC_DIRS) + ")",
+              file=sys.stderr)
+        return 2
+    rows = []
+    invalid = 0
+    for path in paths:
+        try:
+            spec = load_spec(path)
+        except Exception as exc:  # noqa: BLE001 - a broken spec should not hide the rest
+            rows.append([str(path), "-", "-", f"invalid: {exc}"])
+            invalid += 1
+            continue
+        rows.append([str(path), spec.name, len(spec.cells()), spec.description])
+    print(format_table(["Spec", "Name", "Cells", "Description"], rows,
+                       title="Sweep specifications"))
+    return 1 if invalid else 0
+
+
+def _cmd_sweep_report(args) -> int:
+    from repro.sweeps import load_records, pivot_table, summary_table
+    from repro.sweeps.spec import load_spec as _load
+
+    header, cells = load_records(args.records)
+    records = list(cells.values())
+    spec = _load(header["spec"])
+    reference = spec.reference
+    print(
+        summary_table(
+            records,
+            reference=reference,
+            title=f"Sweep {spec.name}: {spec.description or 'summary'}",
+        )
+    )
+    print()
+    print(
+        pivot_table(
+            records,
+            metric=args.pivot,
+            reference=reference,
+            title=f"Per-backend {args.pivot}",
+        )
+    )
+    missing = len(spec.cells()) - len(records)
+    if missing > 0:
+        print(f"\nnote: {missing} cell(s) not recorded yet (run 'sweep run' to resume)")
     return 0
 
 
@@ -199,6 +308,38 @@ def build_parser() -> argparse.ArgumentParser:
         "list-backends", help="print the backend registry's capability table"
     )
     list_backends.set_defaults(func=_cmd_list_backends)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run/list/report declarative experiment sweeps (repro.sweeps)"
+    )
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+
+    sweep_run = sweep_sub.add_parser("run", help="execute a sweep spec (YAML/JSON)")
+    sweep_run.add_argument("spec", help="path to the sweep spec file")
+    sweep_run.add_argument("--out", default=None,
+                           help="JSONL record file (default: sweep_results/<name>.jsonl)")
+    sweep_run.add_argument("--workers", type=int, default=None,
+                           help="shared process-pool size for the stochastic backends "
+                                "(values are identical for every setting)")
+    sweep_run.add_argument("--fresh", action="store_true",
+                           help="ignore existing records and start over")
+    sweep_run.add_argument("--max-cells", type=int, default=None,
+                           help="stop after this many pending cells (smoke runs)")
+    sweep_run.set_defaults(func=_cmd_sweep_run)
+
+    sweep_list = sweep_sub.add_parser("list", help="list available sweep specs")
+    sweep_list.add_argument("paths", nargs="*",
+                            help="spec files or directories (default: "
+                                 + ", ".join(_DEFAULT_SPEC_DIRS) + ")")
+    sweep_list.set_defaults(func=_cmd_sweep_list)
+
+    sweep_report = sweep_sub.add_parser(
+        "report", help="summarise a sweep's JSONL records"
+    )
+    sweep_report.add_argument("records", help="path to the JSONL record file")
+    sweep_report.add_argument("--pivot", choices=("runtime", "precision"), default="runtime",
+                              help="metric of the per-backend pivot table")
+    sweep_report.set_defaults(func=_cmd_sweep_report)
 
     decompose = subparsers.add_parser("decompose", help="SVD-decompose a noise channel")
     decompose.add_argument("--channel", default="depolarizing",

@@ -1,6 +1,7 @@
 """Quantum noise: Kraus channels, standard noise models and metrics."""
 
 from repro.noise.channels import (
+    CHANNEL_FACTORIES,
     amplitude_damping_channel,
     bit_flip_channel,
     bit_phase_flip_channel,
@@ -29,6 +30,7 @@ from repro.noise.superconducting import (
 )
 
 __all__ = [
+    "CHANNEL_FACTORIES",
     "KrausChannel",
     "NoiseModel",
     "insert_noise_after_gates",

@@ -19,6 +19,7 @@ from repro.noise.kraus import KrausChannel
 from repro.utils.validation import ValidationError, check_probability
 
 __all__ = [
+    "CHANNEL_FACTORIES",
     "depolarizing_channel",
     "bit_flip_channel",
     "phase_flip_channel",
@@ -149,3 +150,12 @@ def coherent_overrotation_channel(theta: float, axis: str = "z") -> KrausChannel
     gen = generators[axis]
     unitary = math.cos(theta / 2) * _I - 1j * math.sin(theta / 2) * gen
     return KrausChannel([unitary], name=f"overrotation({axis},θ={theta:g})")
+
+
+#: The single-parameter channels selectable by name in the CLI (``--channel``)
+#: and in sweep-spec noise axes — the one place the name→factory mapping lives.
+CHANNEL_FACTORIES = {
+    "depolarizing": depolarizing_channel,
+    "amplitude_damping": amplitude_damping_channel,
+    "phase_damping": phase_damping_channel,
+}

@@ -1,0 +1,62 @@
+"""Declarative experiment sweeps: config-driven grids over the backend registry.
+
+A sweep spec (Python dict or YAML/JSON file) names a grid over circuit
+families, noise models, registered backends, approximation levels and sample
+counts; the runner expands the grid, dispatches every cell through
+:func:`repro.backends.get_backend` (the stochastic cells through the batched
+trajectory engine with one shared process pool), caches constructed circuits
+across cells, and streams results to a resumable JSONL file::
+
+    from repro.sweeps import run_sweep
+
+    result = run_sweep("benchmarks/specs/table3.yaml", workers=4)
+    print(result.path, result.executed, "cells")
+
+or from the command line::
+
+    python -m repro.cli sweep run benchmarks/specs/table3.yaml
+    python -m repro.cli sweep report sweep_results/table3.jsonl
+
+See ``docs/sweep-spec.md`` for the full spec reference.
+"""
+
+from repro.sweeps.records import (
+    FINAL_STATUSES,
+    RecordError,
+    SweepRecords,
+    cell_record,
+    load_records,
+)
+from repro.sweeps.report import pivot_table, reference_values, summary_table
+from repro.sweeps.runner import CircuitCache, SweepResult, SweepRunner, run_sweep
+from repro.sweeps.spec import (
+    BackendSpec,
+    CircuitSpec,
+    NoiseSpec,
+    SweepCell,
+    SweepSpec,
+    load_spec,
+    stable_seed,
+)
+
+__all__ = [
+    "BackendSpec",
+    "CircuitCache",
+    "CircuitSpec",
+    "FINAL_STATUSES",
+    "NoiseSpec",
+    "RecordError",
+    "SweepCell",
+    "SweepRecords",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "cell_record",
+    "load_records",
+    "load_spec",
+    "pivot_table",
+    "reference_values",
+    "run_sweep",
+    "stable_seed",
+    "summary_table",
+]

@@ -1,0 +1,163 @@
+"""Resumable JSONL record streams for sweep runs.
+
+A sweep's output file is a stream of one JSON object per line:
+
+* line 1 is a ``header`` record carrying the spec (and its content hash, so
+  a resumed run refuses to append to records produced by a *different* spec);
+* every further line is a ``cell`` record with the cell's deterministic
+  parameters and its outcome.
+
+Records are appended and flushed cell by cell, so an interrupted run keeps
+everything it already computed; :func:`load_records` returns the last record
+per cell id, which is exactly the resume state.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Any, Dict, List, Mapping, Tuple
+
+from repro.utils.validation import ValidationError
+
+__all__ = [
+    "RecordError",
+    "SweepRecords",
+    "cell_record",
+    "load_records",
+]
+
+#: Cell statuses that are final (a resumed run does not re-execute them).
+#: ``failed`` — an unexpected exception — is retried on resume.
+FINAL_STATUSES = ("ok", "memory_out", "unsupported")
+
+
+class RecordError(ValidationError):
+    """Raised for malformed or mismatched sweep record files."""
+
+
+def cell_record(cell, status: str, result=None, error: str | None = None) -> Dict[str, Any]:
+    """Build the JSON payload for one executed cell.
+
+    Everything except ``elapsed_seconds`` is deterministic for a fixed spec
+    seed, which is what the resume tests assert.
+    """
+    record: Dict[str, Any] = {"kind": "cell", "cell_id": cell.cell_id}
+    record.update(cell.record_params())
+    record["status"] = status
+    if result is not None:
+        record["value"] = result.value
+        record["standard_error"] = result.standard_error
+        record["elapsed_seconds"] = result.elapsed_seconds
+        record["num_samples"] = result.num_samples
+        record["num_contractions"] = result.num_contractions
+        # "workers" is runtime configuration, not an outcome: dropping it keeps
+        # records identical across --workers settings.
+        record["metadata"] = {
+            key: value for key, value in dict(result.metadata or {}).items()
+            if key != "workers"
+        }
+    if error is not None:
+        record["error"] = error
+    return record
+
+
+@dataclass
+class _Header:
+    spec: Mapping[str, Any]
+    spec_hash: str
+
+
+def _parse_line(line: str, path: Path, number: int) -> Dict[str, Any]:
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise RecordError(f"{path}:{number}: invalid JSON record: {exc}") from exc
+    if not isinstance(record, dict) or "kind" not in record:
+        raise RecordError(f"{path}:{number}: not a sweep record (missing 'kind')")
+    return record
+
+
+def load_records(path: str | Path) -> Tuple[Dict[str, Any], Dict[str, Dict[str, Any]]]:
+    """Read a sweep JSONL file into ``(header, {cell_id: last record})``."""
+    path = Path(path)
+    if not path.exists():
+        raise RecordError(f"sweep record file not found: {path}")
+    header: Dict[str, Any] | None = None
+    cells: Dict[str, Dict[str, Any]] = {}
+    with path.open() as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            record = _parse_line(line, path, number)
+            if record["kind"] == "header":
+                if header is None:
+                    header = record
+                continue
+            if record["kind"] == "cell":
+                cells[record["cell_id"]] = record
+    if header is None:
+        raise RecordError(f"{path} has no header record (not a sweep output file?)")
+    return header, cells
+
+
+class SweepRecords:
+    """Append-only JSONL writer with resume support.
+
+    ``open_for(spec, path, resume=True)`` either creates the file with a
+    header or validates the existing header's spec hash and reopens the
+    stream for appending.
+    """
+
+    def __init__(self, path: Path, handle: IO[str], completed: Dict[str, Dict[str, Any]]):
+        self.path = path
+        self._handle = handle
+        #: Final records from a previous run, keyed by cell id.
+        self.completed = completed
+
+    @classmethod
+    def open_for(cls, spec, path: str | Path, resume: bool = True) -> "SweepRecords":
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        completed: Dict[str, Dict[str, Any]] = {}
+        if path.exists() and resume:
+            header, cells = load_records(path)
+            if header.get("spec_hash") != spec.spec_hash():
+                raise RecordError(
+                    f"{path} was produced by a different spec "
+                    f"(hash {header.get('spec_hash')} != {spec.spec_hash()}); "
+                    "use a fresh output file or pass --fresh to overwrite"
+                )
+            completed = {
+                cell_id: record
+                for cell_id, record in cells.items()
+                if record.get("status") in FINAL_STATUSES
+            }
+            handle = path.open("a")
+        else:
+            handle = path.open("w")
+            header = {
+                "kind": "header",
+                "name": spec.name,
+                "spec_hash": spec.spec_hash(),
+                "spec": spec.to_dict(),
+            }
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+            handle.flush()
+        return cls(path, handle, completed)
+
+    def append(self, record: Mapping[str, Any]) -> None:
+        """Write one record and flush, so interruption never loses a finished cell."""
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "SweepRecords":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

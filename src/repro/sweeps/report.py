@@ -1,0 +1,141 @@
+"""Summary tables over sweep records (the paper's table layouts).
+
+Two views over a list of cell records:
+
+* :func:`summary_table` — one row per cell with fidelity, standard error,
+  total-variation distance to the spec's reference backend and runtime
+  (the generic "what did this sweep measure" view);
+* :func:`pivot_table` — one row per (circuit, noise) with one column per
+  backend, holding runtime or precision — the layout of Tables II and III
+  (``MO`` marks memory-out cells, as in the paper).
+
+Both render through :func:`repro.analysis.format_table`; the precision
+column is :func:`repro.analysis.total_variation_distance` of the Bernoulli
+distributions induced by the fidelities, which for scalar fidelities reduces
+to the absolute error the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from repro.analysis import format_seconds, format_table, total_variation_distance
+
+__all__ = ["pivot_table", "reference_values", "summary_table"]
+
+_STATUS_MARKS = {"memory_out": "MO", "unsupported": "MO", "failed": "FAILED"}
+
+
+def _row_key(record: Mapping[str, Any]) -> Tuple[str, str]:
+    return (record["circuit"], record["noise"])
+
+
+def reference_values(
+    records: Sequence[Mapping[str, Any]], reference: str | None
+) -> Dict[Tuple[str, str], float]:
+    """Fidelity of the reference backend per (circuit, noise) row, when present."""
+    values: Dict[Tuple[str, str], float] = {}
+    if reference is None:
+        return values
+    for record in records:
+        if record.get("backend") == reference and record.get("status") == "ok":
+            values.setdefault(_row_key(record), record["value"])
+    return values
+
+
+def _precision(record: Mapping[str, Any], references: Mapping[Tuple[str, str], float]):
+    if record.get("status") != "ok":
+        return None
+    reference = references.get(_row_key(record))
+    if reference is None:
+        return None
+    value = record["value"]
+    return total_variation_distance([value, 1.0 - value], [reference, 1.0 - reference])
+
+
+def summary_table(
+    records: Sequence[Mapping[str, Any]],
+    reference: str | None = None,
+    title: str | None = None,
+) -> str:
+    """Per-cell summary: fidelity / std error / TVD vs reference / runtime."""
+    references = reference_values(records, reference)
+    rows: List[List[Any]] = []
+    for record in records:
+        status = record.get("status")
+        if status == "ok":
+            value = record.get("value")
+            stderr = record.get("standard_error") or None
+            elapsed = format_seconds(record.get("elapsed_seconds"))
+        else:
+            value = _STATUS_MARKS.get(status, status)
+            stderr = None
+            elapsed = "-"
+        rows.append(
+            [
+                record["circuit"],
+                record["noise"],
+                record.get("backend_label", record.get("backend")),
+                record.get("level"),
+                record.get("samples"),
+                value,
+                stderr,
+                _precision(record, references),
+                elapsed,
+            ]
+        )
+    headers = [
+        "Circuit",
+        "Noise",
+        "Backend",
+        "Level",
+        "Samples",
+        "Fidelity",
+        "Std. error",
+        f"TVD vs {reference}" if reference else "TVD vs ref",
+        "Time (s)",
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def pivot_table(
+    records: Sequence[Mapping[str, Any]],
+    metric: str = "runtime",
+    reference: str | None = None,
+    title: str | None = None,
+) -> str:
+    """Backend-per-column table of ``runtime`` or ``precision`` per grid row.
+
+    This is the shape of the paper's Table II (runtimes, ``MO`` = memory out)
+    and of the precision half of Table III.  When several (level, samples)
+    variants of a backend exist in a row, the first record wins.
+    """
+    if metric not in ("runtime", "precision"):
+        raise ValueError(f"unknown pivot metric {metric!r}")
+    references = reference_values(records, reference)
+    backends: List[str] = []
+    cells: Dict[Tuple[str, str], Dict[str, Any]] = {}
+    meta: Dict[Tuple[str, str], Mapping[str, Any]] = {}
+    for record in records:
+        label = record.get("backend_label", record.get("backend"))
+        if label not in backends:
+            backends.append(label)
+        key = _row_key(record)
+        meta.setdefault(key, record)
+        row = cells.setdefault(key, {})
+        if label in row:
+            continue
+        status = record.get("status")
+        if status != "ok":
+            row[label] = _STATUS_MARKS.get(status, status)
+        elif metric == "runtime":
+            row[label] = format_seconds(record.get("elapsed_seconds"))
+        else:
+            row[label] = _precision(record, references)
+    has_family = any(meta[key].get("family") for key in cells)
+    rows = []
+    for key, row in cells.items():
+        prefix = ([meta[key].get("family") or ""] if has_family else []) + [key[0], key[1]]
+        rows.append(prefix + [row.get(label) for label in backends])
+    headers = (["Type"] if has_family else []) + ["Circuit", "Noise"] + backends
+    return format_table(headers, rows, title=title)

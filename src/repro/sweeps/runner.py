@@ -1,0 +1,250 @@
+"""Sweep execution: cached circuit construction and cell dispatch.
+
+:class:`SweepRunner` walks the cell list of a :class:`~repro.sweeps.spec.SweepSpec`,
+dispatching every cell through :func:`repro.backends.get_backend` with a
+:class:`~repro.backends.SimulationTask` built from the cell's parameters:
+
+* constructed circuits, injected noise and ideal output states are cached in
+  a :class:`CircuitCache` shared across cells, so a grid of B backends per
+  (circuit, noise) row builds each noisy circuit once, not B times;
+* the stochastic backends share one :class:`~concurrent.futures.ProcessPoolExecutor`
+  across all cells (handed to the batched trajectory engine through the
+  task options) instead of spawning a fresh pool per cell;
+* results stream to a resumable JSONL file (:mod:`repro.sweeps.records`):
+  re-running an interrupted sweep executes only the missing cells and the
+  surviving records are byte-identical apart from wall-clock timings.
+
+Every stochastic cell runs in the engine's seeded block mode (``workers >= 1``),
+so a sweep's values are deterministic for a fixed spec seed regardless of the
+``--workers`` setting used to produce them.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.backends import BackendUnsupportedError, get_backend
+from repro.circuits.circuit import Circuit
+from repro.noise import CHANNEL_FACTORIES, NoiseModel, SYCAMORE_LIKE_SPEC
+from repro.sweeps.records import SweepRecords, cell_record, load_records
+from repro.sweeps.spec import NoiseSpec, SweepCell, SweepSpec, stable_seed
+from repro.tensornetwork import ContractionMemoryError
+
+__all__ = ["CircuitCache", "SweepResult", "SweepRunner", "run_sweep"]
+
+def noise_model_for(noise: NoiseSpec, seed: int) -> NoiseModel:
+    """Build the :class:`~repro.noise.NoiseModel` a noise-axis entry names."""
+    if noise.channel == "superconducting":
+        return NoiseModel(
+            lambda arity, rng: SYCAMORE_LIKE_SPEC.gate_noise(arity, rng), seed=seed
+        )
+    return NoiseModel(CHANNEL_FACTORIES[noise.channel](noise.parameter), seed=seed)
+
+
+class CircuitCache:
+    """Caches ideal circuits, noisy circuits and ideal output states per spec.
+
+    Keys are the stable axis labels, so all cells of a (circuit, noise) row —
+    every backend, level and sample count — share one constructed instance.
+    The injection seed is the noise entry's own seed when given, else derived
+    from the spec seed and the row labels, so the injected positions do not
+    depend on which backend asks first.
+    """
+
+    def __init__(self, spec: SweepSpec):
+        self.spec = spec
+        self._ideal: Dict[str, Circuit] = {}
+        self._noisy: Dict[Tuple[str, str], Circuit] = {}
+        self._outputs: Dict[str, np.ndarray] = {}
+
+    def ideal(self, cell: SweepCell) -> Circuit:
+        label = cell.circuit.label
+        if label not in self._ideal:
+            self._ideal[label] = cell.circuit.build(self.spec.seed, self.spec.base_dir)
+        return self._ideal[label]
+
+    def circuit(self, cell: SweepCell) -> Circuit:
+        """The (possibly noisy) circuit this cell simulates."""
+        key = (cell.circuit.label, cell.noise.label)
+        if key not in self._noisy:
+            ideal = self.ideal(cell)
+            if cell.noise.is_noiseless:
+                self._noisy[key] = ideal
+            else:
+                seed = cell.noise.seed
+                if seed is None:
+                    seed = stable_seed(self.spec.seed, "noise", *key)
+                model = noise_model_for(cell.noise, seed)
+                self._noisy[key] = model.insert_random(ideal, cell.noise.count)
+        return self._noisy[key]
+
+    def output_state(self, cell: SweepCell):
+        """Dense ideal output state when the spec asks for ``output_state: ideal``."""
+        if self.spec.output_state != "ideal":
+            return None
+        label = cell.circuit.label
+        if label not in self._outputs:
+            from repro.simulators import StatevectorSimulator
+
+            self._outputs[label] = StatevectorSimulator().run(self.ideal(cell))
+        return self._outputs[label]
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one :meth:`SweepRunner.run` call."""
+
+    spec: SweepSpec
+    path: Path
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    executed: int = 0
+    skipped: int = 0
+    elapsed_seconds: float = 0.0
+
+    def by_cell(self) -> Dict[str, Dict[str, Any]]:
+        return {record["cell_id"]: record for record in self.records}
+
+
+class SweepRunner:
+    """Execute a sweep spec, streaming results to a resumable JSONL file.
+
+    Parameters
+    ----------
+    spec:
+        The parsed sweep specification.
+    out_path:
+        JSONL output file (``sweep_results/<name>.jsonl`` by default).
+    workers:
+        Process count for the stochastic backends' shared pool.  Values are
+        identical for every setting (the engine's seeded block mode);
+        defaults to the spec's ``workers`` entry, else 1.
+    resume:
+        Re-use final records already present in ``out_path`` (default).
+        ``resume=False`` truncates and starts over.
+    max_cells:
+        Execute at most this many *pending* cells, then stop (useful for
+        smoke runs; the JSONL stays resumable).
+    """
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        out_path: str | Path | None = None,
+        workers: int | None = None,
+        resume: bool = True,
+        max_cells: int | None = None,
+    ):
+        self.spec = spec
+        self.out_path = Path(
+            out_path if out_path is not None else Path("sweep_results") / f"{spec.name}.jsonl"
+        )
+        self.workers = workers if workers is not None else (spec.workers or 1)
+        if self.workers < 1:
+            raise BackendUnsupportedError("workers must be >= 1")
+        self.resume = resume
+        self.max_cells = max_cells
+
+    # ------------------------------------------------------------------
+    def run(self, progress: Callable[[str], None] | None = None) -> SweepResult:
+        """Run all pending cells; returns the merged (previous + new) records."""
+        start = time.perf_counter()
+        note = progress or (lambda message: None)
+        cells = self.spec.cells()
+        cache = CircuitCache(self.spec)
+        executor = None
+        result = SweepResult(self.spec, self.out_path)
+        try:
+            with SweepRecords.open_for(self.spec, self.out_path, resume=self.resume) as records:
+                pending = [cell for cell in cells if cell.cell_id not in records.completed]
+                result.skipped = len(cells) - len(pending)
+                if result.skipped:
+                    note(f"resuming: {result.skipped}/{len(cells)} cells already recorded")
+                if self.max_cells is not None:
+                    pending = pending[: self.max_cells]
+                # Sized to the *pending* work: a fully-resumed re-run must not
+                # pay the pool start-up cost for nothing.
+                executor = self._make_executor(pending)
+                for index, cell in enumerate(pending, start=1):
+                    record = self._run_cell(cell, cache, executor)
+                    records.append(record)
+                    result.executed += 1
+                    note(self._progress_line(index, len(pending), record))
+        finally:
+            if executor is not None:
+                executor.shutdown()
+        # Re-read the file so the returned records are exactly what resumes see.
+        _, by_cell = load_records(self.out_path)
+        result.records = [
+            by_cell[cell.cell_id] for cell in cells if cell.cell_id in by_cell
+        ]
+        result.elapsed_seconds = time.perf_counter() - start
+        return result
+
+    # ------------------------------------------------------------------
+    def _make_executor(self, cells: List[SweepCell]) -> ProcessPoolExecutor | None:
+        if self.workers <= 1:
+            return None
+        needs_pool = any(
+            get_backend(cell.backend.name).capabilities.stochastic for cell in cells
+        )
+        if not needs_pool:
+            return None
+        try:
+            return ProcessPoolExecutor(max_workers=self.workers)
+        except (OSError, ValueError):  # pragma: no cover - pool-less environments
+            return None
+
+    def _run_cell(self, cell: SweepCell, cache: CircuitCache, executor) -> Dict[str, Any]:
+        try:
+            backend = get_backend(cell.backend.name, **cell.backend.options)
+            circuit = cache.circuit(cell)
+            stochastic = backend.capabilities.stochastic
+            task = cell.task(
+                workers=self.workers if stochastic else None,
+                output_state=cache.output_state(cell),
+                executor=executor if stochastic else None,
+            )
+            outcome = backend.run(circuit, task)
+        except BackendUnsupportedError as exc:
+            return cell_record(cell, "unsupported", error=str(exc))
+        except (MemoryError, ContractionMemoryError) as exc:
+            return cell_record(cell, "memory_out", error=str(exc))
+        except Exception as exc:  # noqa: BLE001 - recorded and retried on resume
+            return cell_record(cell, "failed", error=f"{type(exc).__name__}: {exc}")
+        return cell_record(cell, "ok", result=outcome)
+
+    @staticmethod
+    def _progress_line(index: int, total: int, record: Dict[str, Any]) -> str:
+        status = record["status"]
+        if status == "ok":
+            detail = (
+                f"F={record['value']:.6f}  ({record['elapsed_seconds']:.2f}s)"
+            )
+        else:
+            detail = status.upper()
+        return f"[{index}/{total}] {record['cell_id']}: {detail}"
+
+
+def run_sweep(
+    spec: SweepSpec | dict | str | Path,
+    out_path: str | Path | None = None,
+    workers: int | None = None,
+    resume: bool = True,
+    max_cells: int | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> SweepResult:
+    """One-call convenience wrapper: load (if needed), run, return the result."""
+    from repro.sweeps.spec import load_spec
+
+    if not isinstance(spec, SweepSpec):
+        spec = load_spec(spec)
+    runner = SweepRunner(
+        spec, out_path=out_path, workers=workers, resume=resume, max_cells=max_cells
+    )
+    return runner.run(progress=progress)

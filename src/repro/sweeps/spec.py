@@ -1,0 +1,463 @@
+"""Declarative sweep specifications: the grid a sweep runs over.
+
+A sweep spec is a plain dict (or a YAML/JSON file holding one) naming a grid
+over circuit families, noise models, registered backends, approximation
+levels and sample counts.  :func:`load_spec` parses and validates it into a
+:class:`SweepSpec`, and :meth:`SweepSpec.cells` expands the grid into the
+deterministic list of :class:`SweepCell` instances the runner executes::
+
+    >>> from repro.sweeps import load_spec
+    >>> spec = load_spec({
+    ...     "name": "demo",
+    ...     "grid": {"circuit": "ghz_2", "backend": "statevector"},
+    ... })
+    >>> [cell.cell_id for cell in spec.cells()]
+    ['ghz_2/noiseless/statevector/level=1/samples=1000']
+
+Every grid axis accepts either a scalar or a list; cells are the Cartesian
+product in the fixed order circuit x noise x backend x level x samples, so
+the cell sequence (and with it the JSONL record order) is reproducible.
+Per-cell seeds are derived from the spec's base ``seed`` and the cell's
+identity (not its position), so adding a grid point never changes the seeds
+of existing cells.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from repro.backends import SimulationTask, resolve_backends
+from repro.circuits.circuit import Circuit
+from repro.circuits.library import benchmark_circuit
+from repro.circuits.qasm import from_qasm
+from repro.noise import CHANNEL_FACTORIES as _CHANNEL_FACTORIES
+from repro.utils.validation import ValidationError
+
+__all__ = [
+    "BackendSpec",
+    "CircuitSpec",
+    "NoiseSpec",
+    "SweepCell",
+    "SweepSpec",
+    "load_spec",
+    "stable_seed",
+]
+
+#: Channels a noise axis entry may name: "none", every single-parameter
+#: factory in :data:`repro.noise.CHANNEL_FACTORIES`, and the calibration-style
+#: superconducting model (resolved in :mod:`repro.sweeps.runner`).
+NOISE_CHANNELS = ("none", *sorted(_CHANNEL_FACTORIES), "superconducting")
+
+_OUTPUT_STATES = ("zero", "ideal")
+
+
+def stable_seed(*parts: object) -> int:
+    """Deterministic 63-bit seed derived from the string forms of ``parts``.
+
+    Stable across processes and Python versions (unlike ``hash``), so sweep
+    cells keep their seeds when a grid is extended or records are resumed.
+    """
+    digest = hashlib.sha256("\x1f".join(str(part) for part in parts).encode()).digest()
+    return int.from_bytes(digest[:8], "big") % (2**63)
+
+
+def _require_mapping(value: Any, what: str) -> Mapping:
+    if not isinstance(value, Mapping):
+        raise ValidationError(f"{what} must be a mapping, got {type(value).__name__}")
+    return value
+
+
+def _check_keys(mapping: Mapping, allowed: Sequence[str], what: str) -> None:
+    unknown = sorted(set(mapping) - set(allowed))
+    if unknown:
+        raise ValidationError(
+            f"unknown {what} key(s) {', '.join(map(repr, unknown))}; "
+            f"allowed: {', '.join(sorted(allowed))}"
+        )
+
+
+def _as_list(value: Any) -> List:
+    if value is None:
+        return []
+    if isinstance(value, (list, tuple)):
+        return list(value)
+    return [value]
+
+
+@dataclass(frozen=True)
+class CircuitSpec:
+    """One entry of the ``circuit`` axis: a benchmark name or a QASM file.
+
+    ``name`` resolves through :func:`repro.circuits.library.benchmark_circuit`
+    (``qaoa_N``, ``hf_N``, ``inst_RxC_D``, ``ghz_N``, ``qft_N``); ``qasm``
+    loads an OpenQASM 2.0 file (path relative to the spec file).  ``family``
+    is a free-form reporting tag (e.g. the "Type" column of Table II).
+    """
+
+    name: str | None = None
+    qasm: str | None = None
+    seed: int | None = None
+    native_gates: bool = True
+    family: str | None = None
+
+    @classmethod
+    def parse(cls, entry: Any) -> "CircuitSpec":
+        if isinstance(entry, str):
+            if entry.endswith(".qasm"):
+                return cls(qasm=entry)
+            return cls(name=entry)
+        entry = _require_mapping(entry, "circuit entry")
+        _check_keys(entry, ("name", "qasm", "seed", "native_gates", "family"), "circuit")
+        spec = cls(
+            name=entry.get("name"),
+            qasm=entry.get("qasm"),
+            seed=None if entry.get("seed") is None else int(entry["seed"]),
+            native_gates=bool(entry.get("native_gates", True)),
+            family=entry.get("family"),
+        )
+        if (spec.name is None) == (spec.qasm is None):
+            raise ValidationError("a circuit entry needs exactly one of 'name' or 'qasm'")
+        return spec
+
+    @property
+    def label(self) -> str:
+        """Stable reporting/cell-id label (no '/' so cell ids stay parseable)."""
+        if self.name is not None:
+            return self.name
+        return Path(self.qasm).stem
+
+    def build(self, default_seed: int, base_dir: Path | None = None) -> Circuit:
+        """Construct the ideal circuit this entry names."""
+        if self.qasm is not None:
+            path = Path(self.qasm)
+            if not path.is_absolute() and base_dir is not None:
+                path = base_dir / path
+            if not path.exists():
+                raise ValidationError(f"QASM file not found: {path}")
+            circuit = from_qasm(path.read_text())
+            circuit.name = self.label
+            return circuit
+        seed = default_seed if self.seed is None else self.seed
+        return benchmark_circuit(self.name, seed=seed, native_gates=self.native_gates)
+
+
+@dataclass(frozen=True)
+class NoiseSpec:
+    """One entry of the ``noise`` axis: which channel to inject, how often.
+
+    ``count`` noises are appended after randomly chosen gates (the paper's
+    fault model, :meth:`repro.noise.NoiseModel.insert_random`); ``seed``
+    fixes the injection points so every backend of a row sees the *same*
+    noisy circuit (defaults to a seed derived from the spec seed).
+    """
+
+    channel: str = "none"
+    parameter: float = 0.001
+    count: int = 0
+    seed: int | None = None
+
+    @classmethod
+    def parse(cls, entry: Any) -> "NoiseSpec":
+        if isinstance(entry, str):
+            entry = {"channel": entry}
+        entry = _require_mapping(entry, "noise entry")
+        _check_keys(entry, ("channel", "parameter", "count", "seed"), "noise")
+        spec = cls(
+            channel=str(entry.get("channel", "none")),
+            parameter=float(entry.get("parameter", 0.001)),
+            count=int(entry.get("count", 0)),
+            seed=None if entry.get("seed") is None else int(entry["seed"]),
+        )
+        if spec.channel not in NOISE_CHANNELS:
+            raise ValidationError(
+                f"unknown noise channel {spec.channel!r}; known: {', '.join(NOISE_CHANNELS)}"
+            )
+        if spec.count < 0:
+            raise ValidationError("noise count must be non-negative")
+        return spec
+
+    @property
+    def is_noiseless(self) -> bool:
+        return self.channel == "none" or self.count == 0
+
+    @property
+    def label(self) -> str:
+        if self.is_noiseless:
+            return "noiseless"
+        if self.channel == "superconducting":
+            return f"superconducting-x{self.count}"
+        return f"{self.channel}-p{self.parameter:g}-x{self.count}"
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """One entry of the ``backend`` axis: a registry name plus adapter options.
+
+    ``options`` are forwarded to :func:`repro.backends.get_backend` (e.g. the
+    scaled-down ``max_qubits`` / ``max_nodes`` memory budgets of Table II);
+    ``label`` overrides the reporting name (e.g. ``MM`` for
+    ``density_matrix``).
+    """
+
+    name: str
+    label: str = ""
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, entry: Any) -> "BackendSpec":
+        if isinstance(entry, str):
+            entry = {"name": entry}
+        entry = _require_mapping(entry, "backend entry")
+        _check_keys(entry, ("name", "label", "options"), "backend")
+        if "name" not in entry:
+            raise ValidationError("a backend entry needs a 'name'")
+        # Canonicalise through the registry so aliases resolve and unknown
+        # names fail at parse time, not mid-sweep.
+        canonical = resolve_backends(str(entry["name"]))[0]
+        options = dict(_require_mapping(entry.get("options", {}), "backend options"))
+        return cls(name=canonical, label=str(entry.get("label") or canonical), options=options)
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid point: (circuit, noise, backend, level, samples) plus its seed.
+
+    ``seed`` is derived from the spec seed and the cell's identity via
+    :func:`stable_seed`; it drives the stochastic backends through
+    :meth:`task`.
+    """
+
+    circuit: CircuitSpec
+    noise: NoiseSpec
+    backend: BackendSpec
+    level: int
+    samples: int
+    seed: int
+
+    @property
+    def cell_id(self) -> str:
+        """Stable identifier used as the JSONL resume key."""
+        return (
+            f"{self.circuit.label}/{self.noise.label}/{self.backend.label}"
+            f"/level={self.level}/samples={self.samples}"
+        )
+
+    def task(
+        self,
+        workers: int | None = None,
+        output_state: Any = None,
+        executor: Any = None,
+    ) -> SimulationTask:
+        """Build the :class:`~repro.backends.SimulationTask` for this cell.
+
+        ``workers``/``executor`` configure the batched trajectory engine (the
+        executor rides in ``task.options`` so one process pool is shared
+        across all cells of a sweep).
+        """
+        options: Dict[str, Any] = dict(self.backend.options)
+        if executor is not None:
+            options["executor"] = executor
+        return SimulationTask(
+            level=self.level,
+            num_samples=self.samples,
+            seed=self.seed,
+            workers=workers,
+            output_state=output_state,
+            options=options,
+        )
+
+    def record_params(self) -> Dict[str, Any]:
+        """The deterministic cell parameters stored in each JSONL record."""
+        return {
+            "circuit": self.circuit.label,
+            "family": self.circuit.family,
+            "noise": self.noise.label,
+            "backend": self.backend.name,
+            "backend_label": self.backend.label,
+            "level": self.level,
+            "samples": self.samples,
+            "seed": self.seed,
+        }
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A validated sweep specification (see :func:`load_spec`)."""
+
+    name: str
+    description: str = ""
+    seed: int = 7
+    reference: str | None = None
+    output_state: str = "zero"
+    workers: int | None = None
+    circuits: Tuple[CircuitSpec, ...] = ()
+    noises: Tuple[NoiseSpec, ...] = (NoiseSpec(),)
+    backends: Tuple[BackendSpec, ...] = ()
+    levels: Tuple[int, ...] = (1,)
+    samples: Tuple[int, ...] = (1000,)
+    base_dir: Path | None = None
+
+    def cells(self) -> List[SweepCell]:
+        """Expand the grid into its deterministic cell list."""
+        cells = []
+        for circuit, noise, backend, level, num_samples in itertools.product(
+            self.circuits, self.noises, self.backends, self.levels, self.samples
+        ):
+            cell = SweepCell(circuit, noise, backend, level, num_samples, seed=0)
+            cells.append(
+                dataclasses.replace(
+                    cell, seed=stable_seed(self.seed, "cell", cell.cell_id)
+                )
+            )
+        return cells
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical plain-dict form (what the JSONL header stores and hashes)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "seed": self.seed,
+            "reference": self.reference,
+            "output_state": self.output_state,
+            "grid": {
+                "circuit": [
+                    {
+                        "name": c.name,
+                        "qasm": c.qasm,
+                        "seed": c.seed,
+                        "native_gates": c.native_gates,
+                        "family": c.family,
+                    }
+                    for c in self.circuits
+                ],
+                "noise": [
+                    {
+                        "channel": n.channel,
+                        "parameter": n.parameter,
+                        "count": n.count,
+                        "seed": n.seed,
+                    }
+                    for n in self.noises
+                ],
+                "backend": [
+                    {"name": b.name, "label": b.label, "options": dict(b.options)}
+                    for b in self.backends
+                ],
+                "level": list(self.levels),
+                "samples": list(self.samples),
+            },
+        }
+
+    def spec_hash(self) -> str:
+        """Content hash used to guard resumed JSONL files against spec drift."""
+        payload = json.dumps(self.to_dict(), sort_keys=True, default=str)
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+_SPEC_KEYS = ("name", "description", "seed", "reference", "output_state", "workers", "grid")
+_GRID_KEYS = ("circuit", "noise", "backend", "level", "samples")
+
+
+def _parse_spec(data: Mapping, base_dir: Path | None) -> SweepSpec:
+    data = _require_mapping(data, "sweep spec")
+    _check_keys(data, _SPEC_KEYS, "sweep spec")
+    if not data.get("name"):
+        raise ValidationError("a sweep spec needs a non-empty 'name'")
+    grid = _require_mapping(data.get("grid", {}), "'grid'")
+    _check_keys(grid, _GRID_KEYS, "grid")
+
+    circuits = tuple(CircuitSpec.parse(e) for e in _as_list(grid.get("circuit")))
+    if not circuits:
+        raise ValidationError("the grid needs at least one 'circuit' entry")
+    backends = tuple(BackendSpec.parse(e) for e in _as_list(grid.get("backend")))
+    if not backends:
+        raise ValidationError("the grid needs at least one 'backend' entry")
+    noise_entries = _as_list(grid.get("noise"))
+    noises = tuple(NoiseSpec.parse(e) for e in noise_entries) or (NoiseSpec(),)
+    levels = tuple(int(level) for level in _as_list(grid.get("level"))) or (1,)
+    samples = tuple(int(count) for count in _as_list(grid.get("samples"))) or (1000,)
+    if any(level < 0 for level in levels):
+        raise ValidationError("levels must be non-negative")
+    if any(count <= 0 for count in samples):
+        raise ValidationError("sample counts must be positive")
+
+    # Axis labels are the cell-id / cache / resume keys, so duplicates would
+    # silently alias distinct grid points onto one record.
+    for axis, entries in (
+        ("backend", [b.label for b in backends]),
+        ("circuit", [c.label for c in circuits]),
+        ("noise", [n.label for n in noises]),
+    ):
+        duplicates = sorted({label for label in entries if entries.count(label) > 1})
+        if duplicates:
+            raise ValidationError(
+                f"{axis} labels must be unique within a sweep "
+                f"(duplicated: {', '.join(duplicates)})"
+            )
+
+    reference = data.get("reference")
+    if reference is not None:
+        reference = resolve_backends(str(reference))[0]
+    output_state = str(data.get("output_state", "zero"))
+    if output_state not in _OUTPUT_STATES:
+        raise ValidationError(
+            f"output_state must be one of {', '.join(_OUTPUT_STATES)}, got {output_state!r}"
+        )
+
+    return SweepSpec(
+        name=str(data["name"]),
+        description=str(data.get("description", "")),
+        seed=int(data.get("seed", 7)),
+        reference=reference,
+        output_state=output_state,
+        workers=None if data.get("workers") is None else int(data["workers"]),
+        circuits=circuits,
+        noises=noises,
+        backends=backends,
+        levels=levels,
+        samples=samples,
+        base_dir=base_dir,
+    )
+
+
+def _load_file(path: Path) -> Mapping:
+    text = path.read_text()
+    if path.suffix in (".yaml", ".yml"):
+        try:
+            import yaml
+        except ImportError as exc:  # pragma: no cover - yaml is normally available
+            raise ValidationError(
+                f"PyYAML is not installed; convert {path.name} to JSON or install pyyaml"
+            ) from exc
+        try:
+            return yaml.safe_load(text)
+        except yaml.YAMLError as exc:
+            raise ValidationError(f"invalid YAML in {path}: {exc}") from exc
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"invalid JSON in {path}: {exc}") from exc
+
+
+def load_spec(source: Mapping | str | Path) -> SweepSpec:
+    """Parse a sweep spec from a dict or a YAML/JSON file path.
+
+    Raises :class:`~repro.utils.validation.ValidationError` on unknown keys,
+    unknown backends/channels, empty axes, or malformed files, so errors
+    surface before any simulation starts.
+    """
+    if isinstance(source, Mapping):
+        return _parse_spec(source, base_dir=None)
+    path = Path(source)
+    if not path.exists():
+        raise ValidationError(f"sweep spec file not found: {path}")
+    data = _load_file(path)
+    if data is None:
+        raise ValidationError(f"sweep spec file {path} is empty")
+    return _parse_spec(data, base_dir=path.resolve().parent)

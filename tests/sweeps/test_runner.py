@@ -1,0 +1,151 @@
+"""Sweep execution: caching, records, resume and determinism across workers."""
+
+import json
+
+import pytest
+
+from repro.sweeps import (
+    CircuitCache,
+    SweepRecords,
+    SweepRunner,
+    load_records,
+    load_spec,
+)
+from repro.sweeps.records import RecordError
+
+SPEC = {
+    "name": "runner_test",
+    "seed": 11,
+    "reference": "density_matrix",
+    "grid": {
+        "circuit": [{"name": "qaoa_4", "native_gates": False}],
+        "noise": [{"channel": "depolarizing", "parameter": 0.01, "count": 3}],
+        "backend": ["density_matrix", "approximation", "trajectories"],
+        "samples": [200],
+    },
+}
+
+
+def _strip_timing(record):
+    return {key: value for key, value in record.items() if key != "elapsed_seconds"}
+
+
+def _run(tmp_path, name, **kwargs):
+    spec = load_spec(SPEC)
+    return SweepRunner(spec, tmp_path / name, **kwargs).run()
+
+
+def test_run_writes_header_and_one_record_per_cell(tmp_path):
+    result = _run(tmp_path, "out.jsonl")
+    lines = [json.loads(line) for line in (tmp_path / "out.jsonl").read_text().splitlines()]
+    assert lines[0]["kind"] == "header"
+    assert lines[0]["spec_hash"] == load_spec(SPEC).spec_hash()
+    assert len(lines) == 1 + 3 and all(line["kind"] == "cell" for line in lines[1:])
+    assert result.executed == 3 and result.skipped == 0
+    assert all(record["status"] == "ok" for record in result.records)
+    # all three methods agree on this instance to Monte-Carlo precision
+    values = [record["value"] for record in result.records]
+    assert max(values) - min(values) < 5e-3
+
+
+def test_interrupted_run_resumes_with_identical_records(tmp_path):
+    full = _run(tmp_path, "full.jsonl")
+    partial = _run(tmp_path, "resumed.jsonl", max_cells=2)
+    assert partial.executed == 2
+    resumed = _run(tmp_path, "resumed.jsonl")
+    assert resumed.executed == 1 and resumed.skipped == 2
+    _, full_records = load_records(tmp_path / "full.jsonl")
+    _, resumed_records = load_records(tmp_path / "resumed.jsonl")
+    assert {k: _strip_timing(v) for k, v in full_records.items()} == {
+        k: _strip_timing(v) for k, v in resumed_records.items()
+    }
+
+
+def test_resume_executes_nothing_when_complete(tmp_path):
+    _run(tmp_path, "out.jsonl")
+    again = _run(tmp_path, "out.jsonl")
+    assert again.executed == 0 and again.skipped == 3
+
+
+def test_values_identical_across_worker_counts(tmp_path):
+    serial = _run(tmp_path, "w1.jsonl", workers=1)
+    pooled = _run(tmp_path, "w2.jsonl", workers=2)
+    assert [
+        (record["cell_id"], record["value"], record["standard_error"])
+        for record in serial.records
+    ] == [
+        (record["cell_id"], record["value"], record["standard_error"])
+        for record in pooled.records
+    ]
+
+
+def test_resume_refuses_records_of_a_different_spec(tmp_path):
+    _run(tmp_path, "out.jsonl")
+    changed = json.loads(json.dumps(SPEC))
+    changed["seed"] = 12
+    with pytest.raises(RecordError, match="different spec"):
+        SweepRunner(load_spec(changed), tmp_path / "out.jsonl").run()
+
+
+def test_fresh_overwrites_mismatched_records(tmp_path):
+    _run(tmp_path, "out.jsonl")
+    changed = json.loads(json.dumps(SPEC))
+    changed["seed"] = 12
+    result = SweepRunner(load_spec(changed), tmp_path / "out.jsonl", resume=False).run()
+    assert result.executed == 3 and result.skipped == 0
+
+
+def test_memory_out_cells_are_recorded_and_final(tmp_path):
+    spec = load_spec(
+        {
+            "name": "mo",
+            "grid": {
+                "circuit": ["qaoa_4"],
+                "noise": [{"channel": "depolarizing", "count": 2}],
+                "backend": [
+                    {"name": "density_matrix", "label": "MM", "options": {"max_qubits": 2}},
+                    {"name": "tn", "label": "TN"},
+                ],
+            },
+        }
+    )
+    result = SweepRunner(spec, tmp_path / "mo.jsonl").run()
+    by_label = {record["backend_label"]: record for record in result.records}
+    assert by_label["MM"]["status"] in ("memory_out", "unsupported")
+    assert "value" not in by_label["MM"]
+    assert by_label["TN"]["status"] == "ok"
+    # memory-out is deterministic, so resume must not retry it
+    again = SweepRunner(spec, tmp_path / "mo.jsonl").run()
+    assert again.executed == 0 and again.skipped == 2
+
+
+def test_circuit_cache_shares_noisy_circuit_across_backends():
+    spec = load_spec(SPEC)
+    cache = CircuitCache(spec)
+    cells = spec.cells()
+    assert cache.circuit(cells[0]) is cache.circuit(cells[1])
+    assert cache.circuit(cells[0]).noise_count() == 3
+
+
+def test_ideal_output_state_mode(tmp_path):
+    spec = load_spec(
+        {
+            "name": "ideal",
+            "output_state": "ideal",
+            "grid": {
+                "circuit": ["ghz_2"],
+                "noise": [{"channel": "none"}],
+                "backend": ["approximation"],
+            },
+        }
+    )
+    result = SweepRunner(spec, tmp_path / "ideal.jsonl").run()
+    # scored against its own ideal output, the noiseless run has fidelity 1
+    assert result.records[0]["value"] == pytest.approx(1.0, abs=1e-9)
+
+
+def test_records_open_for_rejects_non_record_file(tmp_path):
+    path = tmp_path / "junk.jsonl"
+    path.write_text('{"no": "kind"}\n')
+    with pytest.raises(RecordError):
+        SweepRecords.open_for(load_spec(SPEC), path)
