@@ -25,13 +25,15 @@ import pytest
 
 from benchmarks.conftest import run_once, write_report
 from repro.analysis import format_seconds, format_table
-from repro.backends import BackendUnsupportedError, get_backend
+from repro.api import Session
+from repro.backends import BackendUnsupportedError
 from repro.sweeps import CircuitCache, load_spec
 from repro.tensornetwork import ContractionMemoryError
 
 SPEC = load_spec(Path(__file__).resolve().parent / "specs" / "table2.yaml")
 CELLS = SPEC.cells()
 _cache = CircuitCache(SPEC)
+_session = Session()
 
 #: Backend column labels in spec order (MM, TDD, TN, Ours).
 METHOD_LABELS = [backend.label for backend in SPEC.backends]
@@ -55,9 +57,17 @@ def _timed(func):
 def test_table2_method_runtime(benchmark, cell):
     """Time one (circuit, noise count, method) cell of Table II."""
     circuit = _cache.circuit(cell)
-    backend = get_backend(cell.backend.name, **cell.backend.options)
     task = cell.task()
-    elapsed = run_once(benchmark, _timed, lambda: backend.run(circuit, task))
+    elapsed = run_once(
+        benchmark,
+        _timed,
+        lambda: _session.run(
+            circuit,
+            backend=cell.backend.name,
+            backend_options=cell.backend.options,
+            task=task,
+        ),
+    )
     key = (cell.circuit.family, cell.circuit.label, cell.noise.count)
     _results.setdefault(key, {"qubits": circuit.num_qubits, "gates": circuit.gate_count(),
                               "depth": circuit.depth()})

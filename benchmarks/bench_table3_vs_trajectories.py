@@ -25,14 +25,15 @@ from pathlib import Path
 import pytest
 
 from benchmarks.conftest import run_once, write_report
+from repro.api import Session
 from repro.analysis import format_table
-from repro.backends import SimulationTask, get_backend
-from repro.simulators import TrajectorySimulator
+from repro.backends import get_backend
 from repro.sweeps import CircuitCache, load_spec
 
 SPEC = load_spec(Path(__file__).resolve().parent / "specs" / "table3.yaml")
 CELLS = SPEC.cells()
 _cache = CircuitCache(SPEC)
+_session = Session()
 
 OURS_CELLS = [cell for cell in CELLS if cell.backend.name == "approximation"]
 TRAJ_CELLS = [
@@ -46,7 +47,7 @@ def _entry(cell):
     label = cell.circuit.label
     if label not in _results:
         circuit = _cache.circuit(cell)
-        exact = get_backend(SPEC.reference).run(circuit).value
+        exact = _session.run(circuit, backend=SPEC.reference).value
         _results[label] = {"circuit": circuit, "exact": exact}
     return _results[label]
 
@@ -55,11 +56,15 @@ def _entry(cell):
 def test_table3_ours(benchmark, cell):
     """Level-1 approximation: runtime and precision."""
     entry = _entry(cell)
-    backend = get_backend(cell.backend.name, **cell.backend.options)
 
     def run():
         start = time.perf_counter()
-        result = backend.run(entry["circuit"], SimulationTask(level=cell.level))
+        result = _session.run(
+            entry["circuit"],
+            backend=cell.backend.name,
+            backend_options=cell.backend.options,
+            level=cell.level,
+        )
         return result.value, time.perf_counter() - start
 
     value, elapsed = run_once(benchmark, run)
@@ -74,17 +79,21 @@ def test_table3_trajectories(benchmark, cell):
     entry = _entry(cell)
     label = cell.backend.label
     target_error = max(entry.get("ours_error", 1e-4), 1e-5)
-    backend = get_backend(cell.backend.name, **cell.backend.options)
-    # The adapter owns the engine-kind mapping; reuse it for the pilot too.
-    samples = TrajectorySimulator(backend.engine.backend).samples_for_precision(
-        entry["circuit"], target_error, pilot_samples=256, rng=1,
-        max_samples=2 * cell.samples,
+    # The adapter owns the engine-kind mapping; the session's pilot helper
+    # reuses it for the matched-precision sample count too.
+    samples = _session.samples_for_precision(
+        entry["circuit"], target_error, backend=cell.backend.name,
+        pilot_samples=256, seed=1, max_samples=2 * cell.samples,
     )
 
     def run():
         start = time.perf_counter()
-        result = backend.run(
-            entry["circuit"], SimulationTask(num_samples=samples, seed=cell.seed)
+        result = _session.run(
+            entry["circuit"],
+            backend=cell.backend.name,
+            backend_options=cell.backend.options,
+            samples=samples,
+            seed=cell.seed,
         )
         return result.value, time.perf_counter() - start
 

@@ -3,49 +3,62 @@
 A runnable version of the paper's Table IV analysis on a laptop-scale circuit:
 sweep the approximation level, report value, measured error, the a-priori
 Theorem-1 bound and the contraction count, and show how the a-priori bound can
-be used to pick a level *before* spending any compute.
+be used to pick a level *before* spending any compute.  All simulations run
+through one :class:`repro.api.Session`; the exact reference is the
+density-matrix backend scored against the circuit's ideal output state.
 
 Run:  python examples/approximation_levels.py
 """
 
-import numpy as np
-
 from repro.analysis import format_table
+from repro.api import Session, apply_noise
 from repro.circuits.library import qaoa_circuit
-from repro.core import ApproximateNoisySimulator, contraction_count, theorem1_error_bound
-from repro.noise import NoiseModel, depolarizing_channel, noise_rate
-from repro.simulators import DensityMatrixSimulator, StatevectorSimulator
+from repro.core import contraction_count, theorem1_error_bound
+from repro.noise import depolarizing_channel, noise_rate
 
 
 def main() -> None:
     p, num_noises = 0.01, 6
     ideal = qaoa_circuit(9, seed=11, native_gates=False)
-    noisy = NoiseModel(depolarizing_channel(p), seed=17).insert_random(ideal, num_noises)
-    v = StatevectorSimulator().run(ideal)
-    exact = float(np.real(np.vdot(v, DensityMatrixSimulator().run(noisy) @ v)))
-    rate = noise_rate(depolarizing_channel(p))
-    print(f"Workload: {noisy.summary()}  (noise rate {rate:.3e}, exact fidelity {exact:.8f})\n")
-
-    # A-priori planning: bounds and costs known before running anything.
-    planning_rows = [
-        [level, theorem1_error_bound(num_noises, rate, level), contraction_count(num_noises, level)]
-        for level in range(num_noises + 1)
-    ]
-    print(
-        format_table(
-            ["Level", "Theorem-1 bound", "Contractions"],
-            planning_rows,
-            title="A-priori planning table (no simulation needed)",
-        )
+    noisy = apply_noise(
+        ideal, {"channel": "depolarizing", "parameter": p, "count": num_noises, "seed": 17}
     )
+    rate = noise_rate(depolarizing_channel(p))
 
-    # A-posteriori: run levels 0-3 and compare with the exact value.
-    rows = []
-    for level in range(4):
-        result = ApproximateNoisySimulator(level=level).fidelity(noisy, output_state=v)
-        rows.append(
-            [level, result.elapsed_seconds, result.value, abs(result.value - exact), result.num_contractions]
+    # max_parallel=1: the Time column below reports per-level cost, so each
+    # level must run alone rather than contend with its batch-mates.
+    with Session(max_parallel=1) as session:
+        exact = session.run(noisy, backend="density_matrix", output_state="ideal").value
+        print(f"Workload: {noisy.summary()}  (noise rate {rate:.3e}, "
+              f"exact fidelity {exact:.8f})\n")
+
+        # A-priori planning: bounds and costs known before running anything.
+        planning_rows = [
+            [level, theorem1_error_bound(num_noises, rate, level),
+             contraction_count(num_noises, level)]
+            for level in range(num_noises + 1)
+        ]
+        print(
+            format_table(
+                ["Level", "Theorem-1 bound", "Contractions"],
+                planning_rows,
+                title="A-priori planning table (no simulation needed)",
+            )
         )
+
+        # A-posteriori: batch-submit levels 0-3 and compare with the exact value.
+        futures = [
+            session.submit(noisy, backend="approximation", level=level,
+                           output_state="ideal")
+            for level in range(4)
+        ]
+        rows = []
+        for level, future in enumerate(futures):
+            result = future.result()
+            rows.append(
+                [level, result.elapsed_seconds, result.value,
+                 abs(result.value - exact), result.num_contractions]
+            )
     print()
     print(
         format_table(

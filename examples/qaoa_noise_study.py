@@ -5,7 +5,8 @@ workload on hardware, simulate it with the device's noise model to see how
 much signal survives.  The whole experiment — circuit, device noise model,
 noise-count axis, method — is a declarative sweep spec
 (``examples/specs/qaoa_noise_study.yaml``); this script runs it through
-:mod:`repro.sweeps` and reports
+:mod:`repro.sweeps`, whose runner dispatches every cell through the unified
+session layer (:class:`repro.api.Session`), and reports
 
 * the fidelity ``⟨v| E_N(|0…0⟩⟨0…0|) |v⟩`` with ``|v⟩ = U|0…0⟩`` (the ideal
   output state, requested by the spec's ``output_state: ideal``), and

@@ -3,17 +3,21 @@
 Builds a small QAOA circuit, injects realistic superconducting decoherence
 noise after randomly chosen gates (the paper's fault model), and compares
 
-* the exact TN-based fidelity ``⟨0…0| E_N(|0…0⟩⟨0…0|) |0…0⟩``,
+* the exact TN-based fidelity ``⟨v| E_N(|0…0⟩⟨0…0|) |v⟩``,
 * the level-0/1/2 approximations (Algorithm 1) with their Theorem-1 bounds,
-* a quantum-trajectories estimate.
+* a quantum-trajectories estimate,
+
+all through the one typed entry point the whole library shares:
+:func:`repro.api.simulate` / :class:`repro.api.Session`.
 
 Run:  python examples/quickstart.py
 """
 
+from repro.api import Session, apply_noise
 from repro.circuits.library import qaoa_circuit
-from repro.core import ApproximateNoisySimulator
-from repro.noise import NoiseModel, SYCAMORE_LIKE_SPEC, noise_rate
-from repro.simulators import StatevectorSimulator, TNSimulator, TrajectorySimulator
+from repro.noise import noise_rate
+
+SUPERCONDUCTING_NOISE = {"channel": "superconducting", "count": 6, "seed": 11}
 
 
 def main() -> None:
@@ -22,37 +26,44 @@ def main() -> None:
     print(f"Ideal circuit : {ideal.summary()}")
 
     # 2. Inject 6 decoherence noises after randomly chosen gates.
-    model = NoiseModel(lambda arity, rng: SYCAMORE_LIKE_SPEC.gate_noise(arity, rng), seed=11)
-    noisy = model.insert_random(ideal, 6)
+    noisy = apply_noise(ideal, SUPERCONDUCTING_NOISE)
     rates = [noise_rate(inst.operation) for inst in noisy.noise_instructions]
     print(f"Noisy circuit : {noisy.summary()}")
     print(f"Noise rates   : min={min(rates):.2e}  max={max(rates):.2e}")
 
-    # 3. Target state |v> = U|0...0>, the ideal circuit's output, so the
-    #    fidelity measures how much of the intended computation survives.
-    ideal_output = StatevectorSimulator().run(ideal)
+    # One session for the whole study: every method, one dispatch layer.
+    # ``output_state="ideal"`` scores against |v> = U|0...0>, the ideal
+    # circuit's output, so the fidelity measures how much of the intended
+    # computation survives.
+    with Session(seed=3) as session:
+        # 3. Exact reference from the doubled tensor-network diagram
+        #    (Section III).
+        exact = session.run(noisy, backend="tn", output_state="ideal").value
+        print(f"\nExact fidelity <v|E(|0><0|)|v> = {exact:.8f}   (|v> = ideal output)")
 
-    # 4. Exact reference from the doubled tensor-network diagram (Section III).
-    exact = TNSimulator().fidelity(noisy, output_state=ideal_output)
-    print(f"\nExact fidelity <v|E(|0><0|)|v> = {exact:.8f}   (|v> = ideal output)")
+        # 4. The approximation algorithm at levels 0-2 (Section IV /
+        #    Algorithm 1), batch-submitted as futures over the session.
+        futures = [
+            session.submit(noisy, backend="approximation", level=level,
+                           output_state="ideal")
+            for level in (0, 1, 2)
+        ]
+        print("\nlevel   A(l)          |A(l)-exact|   Theorem-1 bound   contractions")
+        for level, future in enumerate(futures):
+            result = future.result()
+            print(
+                f"  {level}    {result.value:.8f}   {abs(result.value - exact):.2e}"
+                f"      {result.error_bound:.2e}          {result.num_contractions}"
+            )
 
-    # 5. The approximation algorithm at levels 0-2 (Section IV / Algorithm 1).
-    print("\nlevel   A(l)          |A(l)-exact|   Theorem-1 bound   contractions")
-    for level in (0, 1, 2):
-        result = ApproximateNoisySimulator(level=level).fidelity(noisy, output_state=ideal_output)
-        print(
-            f"  {level}    {result.value:.8f}   {abs(result.value - exact):.2e}"
-            f"      {result.error_bound:.2e}          {result.num_contractions}"
+        # 5. The quantum-trajectories baseline at a comparable budget.
+        trajectories = session.run(
+            noisy, backend="trajectories", samples=200, output_state="ideal"
         )
-
-    # 6. The quantum-trajectories baseline at a comparable budget.
-    trajectories = TrajectorySimulator("statevector").estimate_fidelity(
-        noisy, 200, output_state=ideal_output, rng=3
-    )
     print(
-        f"\nTrajectories (200 samples): {trajectories.estimate:.8f} "
+        f"\nTrajectories (200 samples): {trajectories.value:.8f} "
         f"± {trajectories.standard_error:.2e} "
-        f"(|err| = {abs(trajectories.estimate - exact):.2e})"
+        f"(|err| = {abs(trajectories.value - exact):.2e})"
     )
 
 

@@ -3,9 +3,10 @@
 Reproduces the spirit of the paper's Table III / Fig. 5 comparison as a
 runnable example.  The empirical half is a declarative sweep spec
 (``examples/specs/trajectories_vs_approximation.yaml``): one noisy QAOA-6
-instance scored by the exact density-matrix simulator (the reference), the
-level-1 approximation and the batched trajectories engine, with precision
-reported as the total-variation distance to the reference.  The analytic half
+instance scored by the exact density-matrix backend (the reference), the
+level-1 approximation and the batched trajectories engine — every cell
+dispatched through the unified session layer (:class:`repro.api.Session`) —
+with precision reported as the total-variation distance to the reference.  The analytic half
 prints the paper's sample-count comparison for a range of noise counts.
 
 The same spec runs from the CLI (``python -m repro.cli sweep run

@@ -17,21 +17,34 @@ The package is organised around the paper's structure:
 * :mod:`repro.analysis` — error metrics, sample-count formulas and report
   formatting used by the benchmark harness.
 
+* :mod:`repro.backends` — the unified backend registry dispatching every
+  simulator behind one contract, plus the batched trajectory engine.
+* :mod:`repro.api` — the session layer: :func:`~repro.api.simulate` and
+  :class:`~repro.api.Session` (blocking ``run`` / async ``submit`` over one
+  shared process pool), the single typed entry point every higher layer
+  (CLI, sweeps, benchmarks) shares.
+
 Quickstart::
 
+    from repro import simulate
     from repro.circuits.library import qaoa_circuit
-    from repro.noise import depolarizing_channel, NoiseModel
-    from repro.core import ApproximateNoisySimulator
-    from repro.simulators import TNSimulator
 
-    ideal = qaoa_circuit(9)
-    noisy = NoiseModel(depolarizing_channel(0.001), seed=1).insert_random(ideal, 10)
-
-    exact = TNSimulator().fidelity(noisy)
-    approx = ApproximateNoisySimulator(level=1).fidelity(noisy)
-    print(exact, approx.value, approx.error_bound)
+    result = simulate(
+        qaoa_circuit(9),
+        noise={"channel": "depolarizing", "parameter": 0.001,
+               "count": 10, "seed": 1},
+        backend="approximation", level=1,
+    )
+    print(result.value, result.error_bound, result.config_hash)
 """
 
+from repro.api import Session, SimulationResult, simulate
+from repro.backends import (
+    BackendResult,
+    SimulationTask,
+    available_backends,
+    get_backend,
+)
 from repro.circuits import Circuit, Gate
 from repro.core import ApproximateNoisySimulator, ApproximationResult
 from repro.noise import KrausChannel, NoiseModel, depolarizing_channel, noise_rate
@@ -44,15 +57,26 @@ from repro.simulators import (
     TrajectorySimulator,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # circuit/noise IR
     "Circuit",
     "Gate",
     "KrausChannel",
     "NoiseModel",
     "depolarizing_channel",
     "noise_rate",
+    # session layer (the front door)
+    "Session",
+    "SimulationResult",
+    "simulate",
+    # backend layer
+    "BackendResult",
+    "SimulationTask",
+    "available_backends",
+    "get_backend",
+    # the paper's algorithm and the seed-era simulator classes
     "ApproximateNoisySimulator",
     "ApproximationResult",
     "StatevectorSimulator",

@@ -1,0 +1,45 @@
+"""`repro.api` — the unified session layer over every simulation method.
+
+One typed front door for the whole library: the CLI, the sweep subsystem,
+the benchmark harness and user code all dispatch simulations through this
+package instead of constructing simulator classes by hand::
+
+    from repro.api import Session, simulate
+
+    # one-shot
+    result = simulate(circuit, noise={"channel": "depolarizing",
+                                      "parameter": 0.001, "count": 8,
+                                      "seed": 7},
+                      backend="approximation", level=1)
+    result.value, result.error_bound, result.config_hash
+
+    # async batch over one shared process pool
+    with Session(workers=4, seed=7) as session:
+        futures = [session.submit(circuit, backend=name, samples=10_000)
+                   for name in ("trajectories", "trajectories_tn")]
+        results = [future.result() for future in futures]
+
+Every entry point returns a :class:`SimulationResult` — value, standard
+error, Theorem-1 error bound (when available), wall-clock time and full
+provenance (backend name, resolved seed, task config hash) — so CLI tables,
+sweep JSONL records and ``BENCH_*`` perf records serialize one schema.
+
+Layering: ``repro.api`` sits directly on :mod:`repro.backends` (registry +
+engine) and below :mod:`repro.sweeps` and :mod:`repro.cli`, which are both
+implemented on top of it.
+"""
+
+from repro.api.noise import NOISE_CHANNELS, apply_noise, noise_model
+from repro.api.result import SimulationResult, task_config_hash
+from repro.api.session import Session, ideal_output_state, simulate
+
+__all__ = [
+    "NOISE_CHANNELS",
+    "Session",
+    "SimulationResult",
+    "apply_noise",
+    "ideal_output_state",
+    "noise_model",
+    "simulate",
+    "task_config_hash",
+]

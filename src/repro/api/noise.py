@@ -1,0 +1,103 @@
+"""Noise resolution for the session layer.
+
+:func:`apply_noise` turns the ``noise=...`` argument of
+:func:`repro.api.simulate` / :meth:`repro.api.Session.run` into a concrete
+noisy circuit using the paper's fault model (a channel appended after
+randomly chosen gates).  It accepts
+
+* ``None`` — the circuit is simulated as-is;
+* a mapping ``{"channel": ..., "parameter": ..., "count": ..., "seed": ...}``
+  naming one of the registered single-parameter channels or the
+  calibration-style ``"superconducting"`` model.
+
+Callers holding a custom :class:`~repro.noise.NoiseModel` inject it
+themselves (``model.insert_random(circuit, count)``) and pass the resulting
+noisy circuit directly.
+
+The CLI's ``--channel/--parameter/--noises`` flags and the sweep subsystem's
+noise axis both resolve through this module, so every layer injects noise
+identically for identical seeds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.circuits.circuit import Circuit
+from repro.noise import CHANNEL_FACTORIES, NoiseModel, SYCAMORE_LIKE_SPEC
+from repro.utils.validation import ValidationError
+
+__all__ = ["NOISE_CHANNELS", "apply_noise", "noise_model"]
+
+#: Channel names ``noise`` mappings may use: every single-parameter factory in
+#: :data:`repro.noise.CHANNEL_FACTORIES` plus the superconducting model.
+NOISE_CHANNELS = (*sorted(CHANNEL_FACTORIES), "superconducting")
+
+_NOISE_KEYS = ("channel", "parameter", "count", "seed")
+
+
+def noise_model(channel: str, parameter: float = 0.001, seed: int | None = None) -> NoiseModel:
+    """Build the :class:`~repro.noise.NoiseModel` a channel name resolves to.
+
+    >>> from repro.api.noise import noise_model
+    >>> type(noise_model("depolarizing", 0.01, seed=3)).__name__
+    'NoiseModel'
+    """
+    if channel == "superconducting":
+        return NoiseModel(
+            lambda arity, rng: SYCAMORE_LIKE_SPEC.gate_noise(arity, rng), seed=seed
+        )
+    if channel not in CHANNEL_FACTORIES:
+        raise ValidationError(
+            f"unknown noise channel {channel!r}; known: {', '.join(NOISE_CHANNELS)}"
+        )
+    return NoiseModel(CHANNEL_FACTORIES[channel](parameter), seed=seed)
+
+
+def apply_noise(circuit: Circuit, noise: Any, seed: int | None = None) -> Circuit:
+    """Return the noisy circuit ``noise`` describes (or ``circuit`` unchanged).
+
+    ``seed`` is the fallback injection seed used when the noise mapping does
+    not carry its own ``seed`` entry; the input circuit is never mutated.
+    """
+    if noise is None:
+        return circuit
+    if isinstance(noise, NoiseModel):
+        raise ValidationError(
+            "a bare NoiseModel does not say how many noises to inject; call "
+            "model.insert_random(circuit, count) and pass the noisy circuit, "
+            "or pass a mapping with 'channel' and 'count'"
+        )
+    noise = dict(_require_mapping(noise))
+    unknown = sorted(set(noise) - set(_NOISE_KEYS))
+    if unknown:
+        raise ValidationError(
+            f"unknown noise key(s) {', '.join(map(repr, unknown))}; "
+            f"allowed: {', '.join(_NOISE_KEYS)}"
+        )
+    if "count" not in noise:
+        # Defaulting to 0 would silently simulate the noiseless circuit.
+        raise ValidationError("a noise mapping needs an explicit 'count'")
+    count = int(noise["count"])
+    if count < 0:
+        raise ValidationError("noise count must be non-negative")
+    if count == 0:
+        return circuit
+    channel = str(noise.get("channel", "depolarizing"))
+    parameter = float(noise.get("parameter", 0.001))
+    # An explicit "seed": None means "unseeded" was *not* decided — fall back,
+    # exactly as if the key were absent, so the session's resolved seed wins.
+    injection_seed = noise.get("seed")
+    if injection_seed is None:
+        injection_seed = seed
+    model = noise_model(channel, parameter, seed=injection_seed)
+    return model.insert_random(circuit, count)
+
+
+def _require_mapping(value: Any) -> Mapping:
+    if not isinstance(value, Mapping):
+        raise ValidationError(
+            f"noise must be None or a mapping with keys {', '.join(_NOISE_KEYS)}, "
+            f"got {type(value).__name__}"
+        )
+    return value

@@ -1,0 +1,155 @@
+"""The unified result schema every `repro.api` entry point returns.
+
+:class:`SimulationResult` is a strict superset of the backend layer's
+:class:`~repro.backends.BackendResult`: the same outcome fields (value,
+standard error, timings, counters, metadata) plus the provenance the service
+layers need — the resolved backend name, the resolved RNG seed, the paper's
+Theorem-1 error bound (when the approximation backend ran) and a content hash
+of the task configuration.  CLI tables, sweep JSONL records and ``BENCH_*``
+perf records all serialize this one schema via :meth:`SimulationResult.to_dict`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping
+
+import numpy as np
+
+from repro.backends.base import BackendResult, SimulationTask
+
+__all__ = ["SimulationResult", "task_config_hash"]
+
+
+def _state_token(value: Any) -> Any:
+    """JSON-stable token for a task field (dense states hash, not dump)."""
+    if isinstance(value, np.ndarray):
+        digest = hashlib.sha256(np.ascontiguousarray(value).tobytes()).hexdigest()[:12]
+        return f"ndarray[{value.shape}]:{digest}"
+    if isinstance(value, (list, tuple)):
+        return [_state_token(item) for item in value]
+    if isinstance(value, Mapping):
+        return {str(key): _state_token(val) for key, val in value.items()}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+def task_config_hash(
+    backend: str,
+    task: SimulationTask,
+    backend_options: Mapping[str, Any] | None = None,
+) -> str:
+    """Content hash of one task configuration (the provenance key).
+
+    Covers the backend name, its construction options and every *semantic*
+    task field.  The worker *count* and the executor handle are excluded —
+    the engine's seeded block mode gives identical values for every
+    ``workers=k`` — but the RNG regime bit (``workers=None``'s legacy serial
+    stream vs the blocked mode) is included, because those two regimes
+    compute different estimates for the same seed.
+
+    >>> from repro.backends import SimulationTask
+    >>> a = task_config_hash("tn", SimulationTask(seed=7, workers=1))
+    >>> a == task_config_hash("tn", SimulationTask(seed=7, workers=8))
+    True
+    >>> a == task_config_hash("tn", SimulationTask(seed=7, workers=None))
+    False
+    >>> a == task_config_hash("tn", SimulationTask(seed=8, workers=1))
+    False
+    """
+    payload = {
+        "backend": backend,
+        "backend_options": {
+            str(key): _state_token(value)
+            for key, value in dict(backend_options or {}).items()
+        },
+        "input_state": _state_token(task.input_state),
+        "output_state": _state_token(task.output_state),
+        "num_samples": task.num_samples,
+        "level": task.level,
+        "seed": task.seed,
+        "rng_regime": "serial" if task.workers is None else "blocked",
+        "keep_samples": task.keep_samples,
+        "max_bond_dim": task.max_bond_dim,
+        "options": {
+            str(key): _state_token(value)
+            for key, value in task.options.items()
+            if key != "executor"
+        },
+    }
+    digest = hashlib.sha256(json.dumps(payload, sort_keys=True).encode())
+    return digest.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Uniform outcome of one simulation dispatched through :mod:`repro.api`."""
+
+    #: Canonical name of the backend that produced the value.
+    backend: str
+    #: The fidelity value (estimate for stochastic backends).
+    value: float
+    #: Statistical standard error (0 for deterministic backends).
+    standard_error: float = 0.0
+    #: Theorem-1 a-priori bound on the approximation error (None when the
+    #: backend provides no such guarantee).
+    error_bound: float | None = None
+    #: Wall-clock time of the run.
+    elapsed_seconds: float = 0.0
+    #: Monte-Carlo samples drawn (None for deterministic backends).
+    num_samples: int | None = None
+    #: Tensor-network contractions performed (None when not applicable).
+    num_contractions: int | None = None
+    #: The RNG seed that actually drove the run (resolved by the session, so
+    #: a recorded result can always be reproduced).
+    seed: int | None = None
+    #: Content hash of the task configuration (see :func:`task_config_hash`).
+    config_hash: str = ""
+    #: Backend-specific extras (level, bond dimensions, …).
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_backend_result(
+        cls,
+        result: BackendResult,
+        *,
+        seed: int | None = None,
+        config_hash: str = "",
+    ) -> "SimulationResult":
+        """Lift a backend-layer result into the unified schema."""
+        metadata = dict(result.metadata or {})
+        error_bound = metadata.get("error_bound")
+        return cls(
+            backend=result.backend,
+            value=result.value,
+            standard_error=result.standard_error,
+            error_bound=None if error_bound is None else float(error_bound),
+            elapsed_seconds=result.elapsed_seconds,
+            num_samples=result.num_samples,
+            num_contractions=result.num_contractions,
+            seed=seed,
+            config_hash=config_hash,
+            metadata=metadata,
+        )
+
+    # Same normal-approximation interval as the backend layer (duck-typed on
+    # value/standard_error), shared rather than re-implemented.
+    confidence_interval = BackendResult.confidence_interval
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable view (the schema CLI/sweep/bench records share)."""
+        return {
+            "backend": self.backend,
+            "value": self.value,
+            "standard_error": self.standard_error,
+            "error_bound": self.error_bound,
+            "elapsed_seconds": self.elapsed_seconds,
+            "num_samples": self.num_samples,
+            "num_contractions": self.num_contractions,
+            "seed": self.seed,
+            "config_hash": self.config_hash,
+            "metadata": {str(key): _state_token(value) for key, value in self.metadata.items()},
+        }

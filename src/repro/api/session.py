@@ -1,0 +1,484 @@
+"""The session layer: one typed entry point for every simulation.
+
+:class:`Session` is the front door the CLI, the sweep subsystem, the
+benchmark harness and the examples all share.  It
+
+* resolves backends through the registry (names, aliases, or ``"auto"``) and
+  checks their capability flags against the circuit *before* dispatch;
+* owns the shared :class:`~concurrent.futures.ProcessPoolExecutor` the
+  batched trajectory engine distributes over, so many tasks amortise one
+  pool start-up;
+* resolves RNG seeds eagerly (session seed → per-submission derived seed) so
+  every result carries the seed that actually drove it;
+* exposes blocking :meth:`Session.run` and non-blocking
+  :meth:`Session.submit` returning a :class:`~concurrent.futures.Future`, so
+  callers can batch-dispatch many tasks over one pool;
+* returns one unified :class:`~repro.api.SimulationResult` from every path.
+
+Example — one blocking call and a two-backend async batch::
+
+    >>> from repro.api import Session
+    >>> from repro.circuits.library import ghz_circuit
+    >>> with Session(seed=7) as session:
+    ...     blocking = session.run(ghz_circuit(2), backend="statevector")
+    ...     futures = [session.submit(ghz_circuit(2), backend=name)
+    ...                for name in ("statevector", "tn")]
+    ...     batch = [future.result() for future in futures]
+    >>> round(blocking.value, 6)
+    0.5
+    >>> [round(result.value, 6) for result in batch]
+    [0.5, 0.5]
+
+:func:`simulate` wraps a one-shot session for the common single-call case::
+
+    >>> from repro.api import simulate
+    >>> result = simulate(ghz_circuit(2), noise={"channel": "depolarizing",
+    ...                                          "parameter": 0.01, "count": 2,
+    ...                                          "seed": 1}, backend="tn")
+    >>> result.backend, result.value < 1.0
+    ('tn', True)
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import hashlib
+import os
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.api.noise import apply_noise
+from repro.api.result import SimulationResult, task_config_hash
+from repro.backends.base import SimulationBackend, SimulationTask
+from repro.backends.registry import get_backend
+from repro.circuits.circuit import Circuit
+from repro.utils.validation import ValidationError
+
+__all__ = ["Session", "ideal_output_state", "simulate"]
+
+#: Preference order of the ``backend="auto"`` resolution: the first backend
+#: whose capability flags accept the circuit wins (exact backends first).
+_AUTO_PREFERENCE = ("statevector", "tn")
+
+
+def ideal_output_state(circuit: Circuit) -> np.ndarray:
+    """Dense ideal output state ``U|0…0⟩`` of ``circuit`` with noise stripped.
+
+    This is what ``output_state="ideal"`` resolves to: the fidelity then
+    measures how much of the intended computation survives the noise.
+    """
+    from repro.simulators import StatevectorSimulator
+
+    ideal = circuit.without_noise() if circuit.noise_count() else circuit
+    return StatevectorSimulator().run(ideal)
+
+
+def _derive_seed(*parts: object) -> int:
+    """Deterministic 63-bit seed from string parts (stable across processes)."""
+    digest = hashlib.sha256("\x1f".join(str(part) for part in parts).encode()).digest()
+    return int.from_bytes(digest[:8], "big") % (2**63)
+
+
+def _noise_needs_seed(noise: Any) -> bool:
+    """True when a noise mapping would consume the task seed for injection."""
+    return (
+        isinstance(noise, Mapping)
+        and noise.get("seed") is None
+        and int(noise.get("count", 0) or 0) > 0
+    )
+
+
+class Session:
+    """Shared-resource facade over the backend registry (see module docs).
+
+    Parameters
+    ----------
+    workers:
+        Default process count for the stochastic backends *and* the size of
+        the session's shared process pool.  ``None`` leaves stochastic tasks
+        in the engine's single-stream serial mode (the seed-compatible
+        default); ``k >= 1`` selects the engine's seeded block mode, whose
+        values are identical for every ``k``.
+    max_parallel:
+        Concurrent :meth:`submit` dispatches (default: CPU count, capped at 8).
+    seed:
+        Base seed for tasks that do not carry their own: submission ``i``
+        of a stochastic task derives the stable seed ``(seed, i)``, so a
+        session's batch is reproducible end-to-end.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        max_parallel: int | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValidationError("workers must be >= 1 (or None for serial mode)")
+        if max_parallel is not None and max_parallel < 1:
+            raise ValidationError("max_parallel must be >= 1")
+        self.workers = workers
+        self.seed = seed
+        self._max_parallel = max_parallel or min(8, os.cpu_count() or 2)
+        self._lock = threading.Lock()
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_failed = False
+        self._dispatcher: ThreadPoolExecutor | None = None
+        self._submissions = 0
+        self._closed = False
+        # Ideal output states per circuit identity, so a batch of
+        # output_state="ideal" tasks on one circuit simulates |v> once.  The
+        # strong circuit reference pins the id while cached; LRU-bounded so a
+        # long-lived service session streaming distinct circuits cannot
+        # accumulate 2**n-sized states without limit.
+        self._ideal_outputs: "collections.OrderedDict" = collections.OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the session's pools; further dispatches raise."""
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+            dispatcher, self._dispatcher = self._dispatcher, None
+        if dispatcher is not None:
+            dispatcher.shutdown(wait=True)
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValidationError("session is closed")
+
+    # ------------------------------------------------------------------
+    # Shared executors
+    # ------------------------------------------------------------------
+    def _shared_pool(self) -> ProcessPoolExecutor | None:
+        """Lazily-created process pool (None when workers<=1 or unavailable)."""
+        if self.workers is None or self.workers <= 1:
+            return None
+        with self._lock:
+            if self._pool is None and not self._pool_failed:
+                try:
+                    self._pool = ProcessPoolExecutor(max_workers=self.workers)
+                except (OSError, ValueError):  # pragma: no cover - pool-less envs
+                    self._pool_failed = True
+            return self._pool
+
+    def _dispatch_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._dispatcher is None:
+                self._dispatcher = ThreadPoolExecutor(
+                    max_workers=self._max_parallel,
+                    thread_name_prefix="repro-session",
+                )
+            return self._dispatcher
+
+    # ------------------------------------------------------------------
+    # Backend / task resolution
+    # ------------------------------------------------------------------
+    def backend(self, name: str = "auto", circuit: Circuit | None = None, **options) -> SimulationBackend:
+        """Resolve ``name`` (a registry name, alias, or ``"auto"``) to an adapter."""
+        if name == "auto":
+            if circuit is None:
+                raise ValidationError("backend='auto' needs a circuit to inspect")
+            for candidate in _AUTO_PREFERENCE:
+                backend = get_backend(candidate, **options)
+                if backend.supports(circuit) is None:
+                    return backend
+            raise ValidationError(
+                f"no auto backend accepts this circuit "
+                f"({circuit.num_qubits} qubits, {circuit.noise_count()} noises)"
+            )
+        return get_backend(name, **options)
+
+    def _build_task(
+        self,
+        *,
+        task: SimulationTask | None,
+        level: int | None,
+        samples: int | None,
+        seed: int | None,
+        workers: int | None,
+        input_state: Any,
+        output_state: Any,
+        keep_samples: bool,
+        max_bond_dim: int | None,
+        options: Mapping[str, Any] | None,
+    ) -> SimulationTask:
+        if task is not None:
+            overrides = {
+                "level": level, "samples": samples, "seed": seed,
+                "input_state": input_state, "max_bond_dim": max_bond_dim,
+                "options": options,
+            }
+            conflicting = sorted(key for key, value in overrides.items() if value is not None)
+            if conflicting or keep_samples:
+                raise ValidationError(
+                    "pass either a prepared task or per-field arguments, not both "
+                    f"(got task plus {', '.join(conflicting) or 'keep_samples'})"
+                )
+            built = task
+            if workers is not None:
+                built = dataclasses.replace(built, workers=workers)
+            if output_state is not None:
+                built = dataclasses.replace(built, output_state=output_state)
+        else:
+            if samples is not None and samples <= 0:
+                raise ValidationError("samples must be positive")
+            if level is not None and level < 0:
+                raise ValidationError("level must be non-negative")
+            built = SimulationTask(
+                input_state=input_state,
+                output_state=output_state,
+                num_samples=1000 if samples is None else int(samples),
+                level=1 if level is None else int(level),
+                seed=seed,
+                workers=workers,
+                keep_samples=keep_samples,
+                max_bond_dim=max_bond_dim,
+                options=dict(options or {}),
+            )
+        if built.workers is not None and built.workers < 1:
+            raise ValidationError("workers must be >= 1 (or None for serial mode)")
+        return built
+
+    def _prepare(
+        self,
+        circuit: Circuit,
+        backend_name: str,
+        noise: Any,
+        backend_options: Mapping[str, Any] | None,
+        task: SimulationTask,
+    ):
+        """Resolve everything up front so submit() fails fast and runs pure."""
+        self._check_open()
+        with self._lock:
+            index = self._submissions
+            self._submissions += 1
+
+        def submission_seed() -> int:
+            """One seed per submission: session-derived, else freshly drawn."""
+            if self.seed is not None:
+                return _derive_seed(self.seed, "task", index)
+            return int(np.random.default_rng().integers(2**63))
+
+        # Noise injection consumes the task seed as its fallback; resolve it
+        # *before* applying noise so the recorded seed is the one that placed
+        # the noises and a replay with result.seed reproduces the run.
+        if task.seed is None and _noise_needs_seed(noise):
+            task = dataclasses.replace(task, seed=submission_seed())
+        circuit = apply_noise(circuit, noise, seed=task.seed)
+        if isinstance(task.output_state, str) and task.output_state == "ideal":
+            task = dataclasses.replace(task, output_state=self._ideal_output(circuit))
+        backend = self.backend(backend_name, circuit, **dict(backend_options or {}))
+        stochastic = backend.capabilities.stochastic
+        if stochastic:
+            if task.workers is None and self.workers is not None:
+                task = dataclasses.replace(task, workers=self.workers)
+            if task.seed is None:
+                task = dataclasses.replace(task, seed=submission_seed())
+            if (
+                task.executor is None
+                and task.workers is not None
+                and task.workers > 1
+            ):
+                pool = self._shared_pool()
+                if pool is not None:
+                    task = dataclasses.replace(task, executor=pool)
+        backend.check_supported(circuit, task)
+        config_hash = task_config_hash(backend.name, task, backend_options)
+        return backend, circuit, task, config_hash
+
+    #: Distinct circuits whose ideal output states a session keeps cached.
+    _IDEAL_CACHE_SIZE = 8
+
+    def _ideal_output(self, circuit: Circuit) -> np.ndarray:
+        """Session-cached :func:`ideal_output_state` (one |v> per circuit)."""
+        key = id(circuit)
+        with self._lock:
+            cached = self._ideal_outputs.get(key)
+            if cached is not None and cached[0] is circuit:
+                self._ideal_outputs.move_to_end(key)
+                return cached[1]
+        state = ideal_output_state(circuit)
+        with self._lock:
+            self._ideal_outputs[key] = (circuit, state)
+            self._ideal_outputs.move_to_end(key)
+            while len(self._ideal_outputs) > self._IDEAL_CACHE_SIZE:
+                self._ideal_outputs.popitem(last=False)
+        return state
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        circuit: Circuit,
+        backend: str = "auto",
+        *,
+        noise: Any = None,
+        task: SimulationTask | None = None,
+        backend_options: Mapping[str, Any] | None = None,
+        level: int | None = None,
+        samples: int | None = None,
+        seed: int | None = None,
+        workers: int | None = None,
+        input_state: Any = None,
+        output_state: Any = None,
+        keep_samples: bool = False,
+        max_bond_dim: int | None = None,
+        options: Mapping[str, Any] | None = None,
+    ) -> SimulationResult:
+        """Simulate ``circuit`` on ``backend``, blocking until the result.
+
+        Either pass a prepared :class:`~repro.backends.SimulationTask` via
+        ``task`` or the individual method knobs (``level``, ``samples``,
+        ``seed``, …) — not both.  ``output_state="ideal"`` scores against the
+        circuit's own ideal output ``U|0…0⟩``.
+        """
+        built = self._build_task(
+            task=task, level=level, samples=samples, seed=seed, workers=workers,
+            input_state=input_state, output_state=output_state,
+            keep_samples=keep_samples, max_bond_dim=max_bond_dim, options=options,
+        )
+        resolved, circuit, built, config_hash = self._prepare(
+            circuit, backend, noise, backend_options, built
+        )
+        outcome = resolved.run(circuit, built)
+        return SimulationResult.from_backend_result(
+            outcome, seed=built.seed, config_hash=config_hash
+        )
+
+    def submit(
+        self,
+        circuit: Circuit,
+        backend: str = "auto",
+        *,
+        noise: Any = None,
+        task: SimulationTask | None = None,
+        backend_options: Mapping[str, Any] | None = None,
+        level: int | None = None,
+        samples: int | None = None,
+        seed: int | None = None,
+        workers: int | None = None,
+        input_state: Any = None,
+        output_state: Any = None,
+        keep_samples: bool = False,
+        max_bond_dim: int | None = None,
+        options: Mapping[str, Any] | None = None,
+    ) -> "Future[SimulationResult]":
+        """Non-blocking :meth:`run`: dispatch now, read the result later.
+
+        Backend resolution, capability checking and seed resolution happen
+        *before* this method returns (invalid submissions raise immediately,
+        and seeds depend only on submission order), so for identical seeds a
+        ``submit()`` batch is value-identical to sequential ``run()`` calls.
+        """
+        built = self._build_task(
+            task=task, level=level, samples=samples, seed=seed, workers=workers,
+            input_state=input_state, output_state=output_state,
+            keep_samples=keep_samples, max_bond_dim=max_bond_dim, options=options,
+        )
+        resolved, circuit, built, config_hash = self._prepare(
+            circuit, backend, noise, backend_options, built
+        )
+
+        def execute() -> SimulationResult:
+            outcome = resolved.run(circuit, built)
+            return SimulationResult.from_backend_result(
+                outcome, seed=built.seed, config_hash=config_hash
+            )
+
+        return self._dispatch_pool().submit(execute)
+
+    # ------------------------------------------------------------------
+    # Method-specific helpers
+    # ------------------------------------------------------------------
+    def samples_for_precision(
+        self,
+        circuit: Circuit,
+        target_standard_error: float,
+        backend: str = "trajectories",
+        *,
+        pilot_samples: int = 64,
+        seed: int | None = None,
+        max_samples: int = 1_000_000,
+        input_state: Any = None,
+        output_state: Any = None,
+    ) -> int:
+        """Trajectory count for ``backend`` to reach ``target_standard_error``.
+
+        Runs the stochastic backend's short pilot (see
+        :meth:`repro.simulators.TrajectorySimulator.samples_for_precision`);
+        raises :class:`~repro.utils.validation.ValidationError` for
+        non-stochastic backends.
+        """
+        self._check_open()
+        resolved = self.backend(backend, circuit)
+        estimator = getattr(resolved, "samples_for_precision", None)
+        if not resolved.capabilities.stochastic or estimator is None:
+            raise ValidationError(
+                f"backend {resolved.name!r} is not stochastic; "
+                "samples_for_precision applies to the trajectory backends only"
+            )
+        return estimator(
+            circuit,
+            target_standard_error,
+            pilot_samples=pilot_samples,
+            rng=seed,
+            max_samples=max_samples,
+            input_state=input_state,
+            output_state=output_state,
+        )
+
+
+def simulate(
+    circuit: Circuit,
+    *,
+    noise: Any = None,
+    backend: str = "auto",
+    level: int | None = None,
+    samples: int | None = None,
+    seed: int | None = None,
+    workers: int | None = None,
+    input_state: Any = None,
+    output_state: Any = None,
+    keep_samples: bool = False,
+    max_bond_dim: int | None = None,
+    backend_options: Mapping[str, Any] | None = None,
+    options: Mapping[str, Any] | None = None,
+) -> SimulationResult:
+    """One-call convenience: run ``circuit`` through a one-shot :class:`Session`.
+
+    >>> from repro.api import simulate
+    >>> from repro.circuits.library import ghz_circuit
+    >>> round(simulate(ghz_circuit(2), backend="statevector").value, 6)
+    0.5
+    """
+    with Session(workers=workers) as session:
+        return session.run(
+            circuit,
+            backend,
+            noise=noise,
+            level=level,
+            samples=samples,
+            seed=seed,
+            input_state=input_state,
+            output_state=output_state,
+            keep_samples=keep_samples,
+            max_bond_dim=max_bond_dim,
+            backend_options=backend_options,
+            options=options,
+        )

@@ -1,7 +1,9 @@
 """Unified backend registry and batched execution engine.
 
 This package is the single dispatch layer over every simulator in the
-library.  All backends share one contract::
+library; the session facade (:mod:`repro.api`) is built directly on it and
+is the preferred entry point for running simulations.  All backends share
+one contract::
 
     from repro.backends import get_backend, SimulationTask
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
+import warnings
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, ClassVar, Dict, Mapping
@@ -78,7 +79,11 @@ class SimulationTask:
     fields are method parameters that individual backends are free to ignore:
     ``num_samples``/``seed``/``workers``/``keep_samples`` drive the stochastic
     backends, ``level`` drives the paper's approximation algorithm and
-    ``max_bond_dim`` the MPS/MPDO truncation.  ``options`` carries per-run
+    ``max_bond_dim`` the MPS/MPDO truncation.  ``executor`` optionally hands
+    the stochastic backends an already-running
+    :class:`~concurrent.futures.ProcessPoolExecutor` (owned by the caller —
+    typically a :class:`repro.api.Session` — and never shut down by the
+    backend), so batches of tasks share one pool.  ``options`` carries per-run
     overrides of adapter configuration (``max_qubits``, ``max_nodes``,
     ``max_intermediate_size``, ``strategy``, ``truncation_threshold``); keys a
     backend does not define are ignored.
@@ -92,7 +97,27 @@ class SimulationTask:
     workers: int | None = None
     keep_samples: bool = False
     max_bond_dim: int | None = None
+    executor: Any = None
     options: Mapping[str, Any] = field(default_factory=dict)
+
+    def resolved_executor(self) -> Any:
+        """The caller-owned process pool, honouring the legacy options key.
+
+        Before the ``executor`` field existed, pools were threaded through
+        ``options["executor"]`` by convention; that spelling still works but
+        warns, so callers migrate to the typed field.
+        """
+        if self.executor is not None:
+            return self.executor
+        legacy = self.options.get("executor")
+        if legacy is not None:
+            warnings.warn(
+                "SimulationTask.options['executor'] is deprecated; pass the "
+                "pool via the typed SimulationTask(executor=...) field",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return legacy
 
 
 @dataclass(frozen=True)

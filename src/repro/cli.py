@@ -12,12 +12,12 @@ Provides a small reproducibility tool around the library's main entry points::
     python -m repro.cli bound         --noises 20 --rate 0.001 --level 1
 
 ``simulate`` runs the approximation algorithm on a benchmark circuit with the
-paper's fault model, ``compare`` runs the selected registered backends on the
-same instance through :mod:`repro.backends`, ``list-backends`` prints the
-registry's capability table, ``sweep`` runs/lists/reports declarative
-experiment grids (:mod:`repro.sweeps`), ``decompose`` prints the SVD
-decomposition of a noise channel and ``bound`` evaluates the Theorem-1
-formulas without any simulation.
+paper's fault model, ``compare`` batch-dispatches the selected registered
+backends on the same instance through one :class:`repro.api.Session`,
+``list-backends`` prints the registry's capability table, ``sweep``
+runs/lists/reports declarative experiment grids (:mod:`repro.sweeps`),
+``decompose`` prints the SVD decomposition of a noise channel and ``bound``
+evaluates the Theorem-1 formulas without any simulation.
 """
 
 from __future__ import annotations
@@ -29,16 +29,12 @@ from pathlib import Path
 import numpy as np
 
 from repro.analysis import format_table
-from repro.backends import SimulationTask, capability_table, get_backend, resolve_backends
+from repro.api import Session, apply_noise, simulate
+from repro.backends import capability_table, get_backend, resolve_backends
 from repro.circuits.library import benchmark_circuit
-from repro.core import (
-    ApproximateNoisySimulator,
-    contraction_count,
-    decompose_noise,
-    theorem1_error_bound,
-)
+from repro.core import contraction_count, decompose_noise, theorem1_error_bound
 from repro.noise import CHANNEL_FACTORIES as _CHANNEL_FACTORIES
-from repro.noise import NoiseModel, SYCAMORE_LIKE_SPEC
+from repro.noise import SYCAMORE_LIKE_SPEC
 
 __all__ = ["main", "build_parser"]
 
@@ -47,22 +43,22 @@ def _make_noisy_circuit(args) -> object:
     circuit = benchmark_circuit(args.circuit, seed=args.seed, native_gates=not args.composite_gates)
     if args.noises <= 0:
         return circuit
-    if args.channel == "superconducting":
-        model = NoiseModel(
-            lambda arity, rng: SYCAMORE_LIKE_SPEC.gate_noise(arity, rng), seed=args.seed
-        )
-    else:
-        factory = _CHANNEL_FACTORIES[args.channel]
-        model = NoiseModel(factory(args.parameter), seed=args.seed)
-    return model.insert_random(circuit, args.noises)
+    return apply_noise(
+        circuit,
+        {
+            "channel": args.channel,
+            "parameter": args.parameter,
+            "count": args.noises,
+            "seed": args.seed,
+        },
+    )
 
 
 def _cmd_simulate(args) -> int:
     circuit = _make_noisy_circuit(args)
     print(circuit.summary())
-    simulator = ApproximateNoisySimulator(level=args.level)
-    result = simulator.fidelity(circuit)
-    print(f"A({result.level})            = {result.value:.10f}")
+    result = simulate(circuit, backend="approximation", level=args.level)
+    print(f"A({result.metadata['level']})            = {result.value:.10f}")
     print(f"Theorem-1 bound  = {result.error_bound:.3e}")
     print(f"contractions     = {result.num_contractions}")
     print(f"elapsed          = {result.elapsed_seconds:.3f} s")
@@ -77,22 +73,38 @@ def _cmd_compare(args) -> int:
         print("error: no backends selected (see 'list-backends' for the registry)",
               file=sys.stderr)
         return 2
-    task = SimulationTask(
-        level=args.level,
-        num_samples=args.samples,
-        seed=args.seed,
-        workers=args.workers,
-    )
     rows = []
-    for name in names:
-        backend = get_backend(name)
-        try:
-            result = backend.run(circuit, task)
-        except Exception as exc:  # noqa: BLE001 - report and continue
-            rows.append([name, f"failed ({type(exc).__name__})", None, None])
-            continue
-        stderr = result.standard_error if backend.capabilities.stochastic else None
-        rows.append([name, result.value, stderr, result.elapsed_seconds])
+    # max_parallel=1 keeps the Time(s) column meaningful: each backend is
+    # timed alone (as the old sequential loop did), while the submit() batch
+    # still exercises the session's async front door end to end.
+    with Session(workers=args.workers, max_parallel=1) as session:
+        futures = []
+        for name in names:
+            stochastic = get_backend(name).capabilities.stochastic
+            try:
+                future = session.submit(
+                    circuit,
+                    backend=name,
+                    level=args.level,
+                    samples=args.samples,
+                    seed=args.seed,
+                    workers=args.workers,
+                )
+            except Exception as exc:  # noqa: BLE001 - report and continue
+                futures.append((name, stochastic, None, exc))
+                continue
+            futures.append((name, stochastic, future, None))
+        for name, stochastic, future, error in futures:
+            if future is not None:
+                try:
+                    result = future.result()
+                except Exception as exc:  # noqa: BLE001 - report and continue
+                    error = exc
+            if error is not None:
+                rows.append([name, f"failed ({type(error).__name__})", None, None])
+                continue
+            stderr = result.standard_error if stochastic else None
+            rows.append([name, result.value, stderr, result.elapsed_seconds])
     print(
         format_table(
             ["Backend", "Fidelity", "Std. error", "Time (s)"],

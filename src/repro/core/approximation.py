@@ -69,6 +69,12 @@ class ApproximationResult:
 class ApproximateNoisySimulator:
     """Implementation of Algorithm 1 (ApproximationNoisySimulation).
 
+    This is the algorithm-level class; at the service level the same
+    computation is dispatched through the registry as backend
+    ``"approximation"`` (alias ``"ours"``) — e.g.
+    ``repro.api.simulate(circuit, backend="approximation", level=1)`` — whose
+    unified result carries ``error_bound`` and provenance.
+
     Example — a level-1 run on a noisy GHZ circuit, checked against the exact
     value (level ``N``) and the Theorem-1 a-priori bound::
 

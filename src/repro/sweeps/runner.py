@@ -1,15 +1,15 @@
 """Sweep execution: cached circuit construction and cell dispatch.
 
 :class:`SweepRunner` walks the cell list of a :class:`~repro.sweeps.spec.SweepSpec`,
-dispatching every cell through :func:`repro.backends.get_backend` with a
+dispatching every cell through one shared :class:`repro.api.Session` with a
 :class:`~repro.backends.SimulationTask` built from the cell's parameters:
 
 * constructed circuits, injected noise and ideal output states are cached in
   a :class:`CircuitCache` shared across cells, so a grid of B backends per
   (circuit, noise) row builds each noisy circuit once, not B times;
-* the stochastic backends share one :class:`~concurrent.futures.ProcessPoolExecutor`
-  across all cells (handed to the batched trajectory engine through the
-  task options) instead of spawning a fresh pool per cell;
+* the stochastic backends share the session's
+  :class:`~concurrent.futures.ProcessPoolExecutor` across all cells instead
+  of spawning a fresh pool per cell;
 * results stream to a resumable JSONL file (:mod:`repro.sweeps.records`):
   re-running an interrupted sweep executes only the missing cells and the
   surviving records are byte-identical apart from wall-clock timings.
@@ -22,29 +22,38 @@ so a sweep's values are deterministic for a fixed spec seed regardless of the
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Tuple
 
 import numpy as np
 
+from repro.api import Session, apply_noise, ideal_output_state
+from repro.api import noise_model as _api_noise_model
 from repro.backends import BackendUnsupportedError, get_backend
 from repro.circuits.circuit import Circuit
-from repro.noise import CHANNEL_FACTORIES, NoiseModel, SYCAMORE_LIKE_SPEC
+from repro.noise import NoiseModel
 from repro.sweeps.records import SweepRecords, cell_record, load_records
 from repro.sweeps.spec import NoiseSpec, SweepCell, SweepSpec, stable_seed
 from repro.tensornetwork import ContractionMemoryError
+from repro.utils.validation import ValidationError
 
 __all__ = ["CircuitCache", "SweepResult", "SweepRunner", "run_sweep"]
 
 def noise_model_for(noise: NoiseSpec, seed: int) -> NoiseModel:
-    """Build the :class:`~repro.noise.NoiseModel` a noise-axis entry names."""
-    if noise.channel == "superconducting":
-        return NoiseModel(
-            lambda arity, rng: SYCAMORE_LIKE_SPEC.gate_noise(arity, rng), seed=seed
-        )
-    return NoiseModel(CHANNEL_FACTORIES[noise.channel](noise.parameter), seed=seed)
+    """Deprecated shim: build the model a noise-axis entry names.
+
+    The implementation moved to :func:`repro.api.noise.noise_model`; this
+    wrapper stays so seed-era callers keep working.
+    """
+    warnings.warn(
+        "repro.sweeps.runner.noise_model_for is deprecated; use "
+        "repro.api.noise_model (or apply_noise) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _api_noise_model(noise.channel, noise.parameter, seed=seed)
 
 
 class CircuitCache:
@@ -80,8 +89,15 @@ class CircuitCache:
                 seed = cell.noise.seed
                 if seed is None:
                     seed = stable_seed(self.spec.seed, "noise", *key)
-                model = noise_model_for(cell.noise, seed)
-                self._noisy[key] = model.insert_random(ideal, cell.noise.count)
+                self._noisy[key] = apply_noise(
+                    ideal,
+                    {
+                        "channel": cell.noise.channel,
+                        "parameter": cell.noise.parameter,
+                        "count": cell.noise.count,
+                        "seed": seed,
+                    },
+                )
         return self._noisy[key]
 
     def output_state(self, cell: SweepCell):
@@ -90,9 +106,7 @@ class CircuitCache:
             return None
         label = cell.circuit.label
         if label not in self._outputs:
-            from repro.simulators import StatevectorSimulator
-
-            self._outputs[label] = StatevectorSimulator().run(self.ideal(cell))
+            self._outputs[label] = ideal_output_state(self.ideal(cell))
         return self._outputs[label]
 
 
@@ -146,7 +160,7 @@ class SweepRunner:
         )
         self.workers = workers if workers is not None else (spec.workers or 1)
         if self.workers < 1:
-            raise BackendUnsupportedError("workers must be >= 1")
+            raise ValidationError("workers must be >= 1")
         self.resume = resume
         self.max_cells = max_cells
 
@@ -157,9 +171,11 @@ class SweepRunner:
         note = progress or (lambda message: None)
         cells = self.spec.cells()
         cache = CircuitCache(self.spec)
-        executor = None
         result = SweepResult(self.spec, self.out_path)
-        try:
+        # The session owns the shared process pool for the stochastic cells;
+        # it is created lazily on first use, so a fully-resumed re-run never
+        # pays the pool start-up cost.
+        with Session(workers=self.workers if self.workers > 1 else None) as session:
             with SweepRecords.open_for(self.spec, self.out_path, resume=self.resume) as records:
                 pending = [cell for cell in cells if cell.cell_id not in records.completed]
                 result.skipped = len(cells) - len(pending)
@@ -167,17 +183,11 @@ class SweepRunner:
                     note(f"resuming: {result.skipped}/{len(cells)} cells already recorded")
                 if self.max_cells is not None:
                     pending = pending[: self.max_cells]
-                # Sized to the *pending* work: a fully-resumed re-run must not
-                # pay the pool start-up cost for nothing.
-                executor = self._make_executor(pending)
                 for index, cell in enumerate(pending, start=1):
-                    record = self._run_cell(cell, cache, executor)
+                    record = self._run_cell(cell, cache, session)
                     records.append(record)
                     result.executed += 1
                     note(self._progress_line(index, len(pending), record))
-        finally:
-            if executor is not None:
-                executor.shutdown()
         # Re-read the file so the returned records are exactly what resumes see.
         _, by_cell = load_records(self.out_path)
         result.records = [
@@ -187,30 +197,20 @@ class SweepRunner:
         return result
 
     # ------------------------------------------------------------------
-    def _make_executor(self, cells: List[SweepCell]) -> ProcessPoolExecutor | None:
-        if self.workers <= 1:
-            return None
-        needs_pool = any(
-            get_backend(cell.backend.name).capabilities.stochastic for cell in cells
-        )
-        if not needs_pool:
-            return None
+    def _run_cell(self, cell: SweepCell, cache: CircuitCache, session: Session) -> Dict[str, Any]:
         try:
-            return ProcessPoolExecutor(max_workers=self.workers)
-        except (OSError, ValueError):  # pragma: no cover - pool-less environments
-            return None
-
-    def _run_cell(self, cell: SweepCell, cache: CircuitCache, executor) -> Dict[str, Any]:
-        try:
-            backend = get_backend(cell.backend.name, **cell.backend.options)
+            stochastic = get_backend(cell.backend.name).capabilities.stochastic
             circuit = cache.circuit(cell)
-            stochastic = backend.capabilities.stochastic
             task = cell.task(
                 workers=self.workers if stochastic else None,
                 output_state=cache.output_state(cell),
-                executor=executor if stochastic else None,
             )
-            outcome = backend.run(circuit, task)
+            outcome = session.run(
+                circuit,
+                backend=cell.backend.name,
+                backend_options=cell.backend.options,
+                task=task,
+            )
         except BackendUnsupportedError as exc:
             return cell_record(cell, "unsupported", error=str(exc))
         except (MemoryError, ContractionMemoryError) as exc:

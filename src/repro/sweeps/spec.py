@@ -178,6 +178,12 @@ class NoiseSpec:
             raise ValidationError(
                 f"unknown noise channel {spec.channel!r}; known: {', '.join(NOISE_CHANNELS)}"
             )
+        if spec.channel != "none" and "count" not in entry:
+            # Defaulting to 0 would silently run the noiseless circuit.
+            raise ValidationError(
+                f"a {spec.channel!r} noise entry needs an explicit 'count' "
+                "(use channel 'none' for a noiseless row)"
+            )
         if spec.count < 0:
             raise ValidationError("noise count must be non-negative")
         return spec
@@ -256,20 +262,20 @@ class SweepCell:
     ) -> SimulationTask:
         """Build the :class:`~repro.backends.SimulationTask` for this cell.
 
-        ``workers``/``executor`` configure the batched trajectory engine (the
-        executor rides in ``task.options`` so one process pool is shared
-        across all cells of a sweep).
+        ``workers``/``executor`` configure the batched trajectory engine
+        through the task's typed fields, so one process pool is shared across
+        all cells of a sweep (the session layer injects its own pool when
+        ``executor`` is left unset).  The backend's adapter options are *not*
+        copied into ``task.options``: they are applied exactly once, through
+        the adapter constructor (``backend_options`` at the dispatch site).
         """
-        options: Dict[str, Any] = dict(self.backend.options)
-        if executor is not None:
-            options["executor"] = executor
         return SimulationTask(
             level=self.level,
             num_samples=self.samples,
             seed=self.seed,
             workers=workers,
             output_state=output_state,
-            options=options,
+            executor=executor,
         )
 
     def record_params(self) -> Dict[str, Any]:

@@ -1,0 +1,44 @@
+"""Report tables over sweep records: precision column edge cases."""
+
+from repro.sweeps import pivot_table, summary_table
+
+
+def _record(backend, value, noise="depolarizing-p0.01-x2"):
+    return {
+        "kind": "cell",
+        "cell_id": f"ghz_2/{noise}/{backend}/level=1/samples=100",
+        "circuit": "ghz_2",
+        "noise": noise,
+        "backend": backend,
+        "backend_label": backend,
+        "level": 1,
+        "samples": 100,
+        "status": "ok",
+        "value": value,
+        "standard_error": 0.0,
+        "elapsed_seconds": 0.01,
+    }
+
+
+def test_precision_tolerates_estimates_above_one():
+    # The approximation can overshoot the exact fidelity within its
+    # Theorem-1 bound, and importance-weighted TN trajectories can exceed 1;
+    # the precision column must report |v - r|, not crash on a "negative
+    # probability".
+    records = [
+        _record("density_matrix", 0.9999),
+        _record("approximation", 1.0003),
+    ]
+    summary = summary_table(records, reference="density_matrix")
+    pivot = pivot_table(records, metric="precision", reference="density_matrix")
+    assert "4.000E-04" in summary
+    assert "4.000E-04" in pivot
+
+
+def test_precision_is_absolute_error_against_reference():
+    records = [
+        _record("density_matrix", 0.5),
+        _record("tn", 0.5004),
+    ]
+    summary = summary_table(records, reference="density_matrix")
+    assert "4.000E-04" in summary

@@ -87,6 +87,11 @@ def test_backend_aliases_canonicalise_and_unknown_backend_rejected():
         (lambda d: d.update(
             grid={"circuit": "ghz_2", "backend": "tn",
                   "noise": {"channel": "cosmic_rays"}}), "unknown noise channel"),
+        # a noisy channel without a count would silently run noiseless
+        (lambda d: d.update(
+            grid={"circuit": "ghz_2", "backend": "tn",
+                  "noise": {"channel": "depolarizing", "parameter": 0.01}}),
+         "explicit 'count'"),
         (lambda d: d.update(
             grid={"circuit": {"name": "ghz_2", "qasm": "x.qasm"}, "backend": "tn"}),
          "exactly one"),
