@@ -23,6 +23,9 @@ The package is organised around the paper's structure:
   :class:`~repro.api.Session` (blocking ``run`` / async ``submit`` over one
   shared process pool), the single typed entry point every higher layer
   (CLI, sweeps, benchmarks) shares.
+* :mod:`repro.verify` — the differential conformance harness: seeded random
+  workload families, cross-backend metamorphic oracles, failure shrinking
+  and replayable artifacts (``repro verify`` on the command line).
 
 Quickstart::
 
@@ -56,6 +59,7 @@ from repro.simulators import (
     TNSimulator,
     TrajectorySimulator,
 )
+from repro.verify import run_conformance
 
 __version__ = "1.1.0"
 
@@ -71,6 +75,8 @@ __all__ = [
     "Session",
     "SimulationResult",
     "simulate",
+    # conformance harness
+    "run_conformance",
     # backend layer
     "BackendResult",
     "SimulationTask",

@@ -11,6 +11,15 @@ circuits (GHZ, QFT, Grover, random) are used by tests and examples.
 from __future__ import annotations
 
 from repro.circuits.circuit import Circuit
+from repro.circuits.library.families import (
+    FAMILY_BUILDERS,
+    brickwork_circuit,
+    clifford_t_circuit,
+    deep_narrow_circuit,
+    ghz_ladder_circuit,
+    qaoa_like_circuit,
+    wide_shallow_circuit,
+)
 from repro.circuits.library.hf_vqe import givens_layer_pattern, hf_circuit
 from repro.circuits.library.qaoa import (
     QAOAProblem,
@@ -53,18 +62,50 @@ __all__ = [
     "qft_circuit",
     "grover_circuit",
     "random_circuit",
+    "FAMILY_BUILDERS",
+    "brickwork_circuit",
+    "clifford_t_circuit",
+    "qaoa_like_circuit",
+    "ghz_ladder_circuit",
+    "deep_narrow_circuit",
+    "wide_shallow_circuit",
     "benchmark_circuit",
 ]
+
+#: Conformance-family benchmark names: ``<prefix>_N`` resolves to the family
+#: builder at its default size parameter (``<prefix>_NxS`` pins the size).
+_FAMILY_PREFIXES = {
+    "brickwork": "brickwork",
+    "cliffordt": "clifford_t",
+    "qaoalike": "qaoa_like",
+    "ghzladder": "ghz_ladder",
+    "deepnarrow": "deep_narrow",
+    "wideshallow": "wide_shallow",
+}
 
 
 def benchmark_circuit(name: str, seed: int | None = 7, native_gates: bool = True) -> Circuit:
     """Resolve a paper-style benchmark name into a circuit.
 
     Supported forms: ``qaoa_N``, ``hf_N``, ``inst_RxC_D``, ``ghz_N``,
-    ``qft_N``.
+    ``qft_N``, plus the conformance families of
+    :mod:`repro.circuits.library.families` as ``brickwork_N`` /
+    ``brickwork_NxS``, ``cliffordt_N``, ``qaoalike_N``, ``ghzladder_N``,
+    ``deepnarrow_N`` and ``wideshallow_N`` (``S`` pins the depth/layer/rung
+    count, otherwise the family default applies).
     """
     parts = name.split("_")
     family = parts[0].lower()
+    if family in _FAMILY_PREFIXES and len(parts) == 2:
+        builder = FAMILY_BUILDERS[_FAMILY_PREFIXES[family]]
+        size = parts[1]
+        try:
+            if "x" in size:
+                width, _, depth = size.partition("x")
+                return builder(int(width), int(depth), seed=seed)
+            return builder(int(size), seed=seed)
+        except ValueError as exc:
+            raise ValidationError(f"malformed benchmark circuit name {name!r}") from exc
     if family == "qaoa" and len(parts) == 2:
         return qaoa_circuit(int(parts[1]), seed=seed, native_gates=native_gates)
     if family == "hf" and len(parts) == 2:

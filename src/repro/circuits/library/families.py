@@ -1,0 +1,219 @@
+"""Parametrised conformance-workload circuit families.
+
+Six seeded families spanning the structural axes on which the simulators
+behave differently — entanglement growth, non-Clifford content, diagonal
+two-qubit structure, width vs depth:
+
+* :func:`brickwork_circuit` — alternating random single-qubit rotation layers
+  and brick-pattern CZ layers (hardware-style random circuits);
+* :func:`clifford_t_circuit` — random Clifford gates sprinkled with T/T†
+  (the canonical universality benchmark, stresses phase bookkeeping);
+* :func:`qaoa_like_circuit` — ZZ cost layers over a random graph alternating
+  with Rx mixer layers (diagonal-entangler workloads);
+* :func:`ghz_ladder_circuit` — a GHZ backbone decorated with CZ rungs and
+  local rotations (maximal long-range correlations);
+* :func:`deep_narrow_circuit` — few qubits, many layers (deep sequential
+  structure, stresses accumulated floating-point error);
+* :func:`wide_shallow_circuit` — many qubits, one or two layers (stresses
+  width limits and contraction ordering).
+
+Every builder is deterministic for a fixed ``seed`` and emits only 1- and
+2-qubit gates from :data:`repro.circuits.gates.GATE_FACTORIES`, so the
+circuits transpile, export to OpenQASM and run on every registered backend.
+The families are resolvable through
+:func:`repro.circuits.library.benchmark_circuit` (``brickwork_5``,
+``cliffordt_4``, …), which makes them available to sweep specs and the CLI,
+and they parametrise the differential-testing workloads of
+:mod:`repro.verify`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.circuits import gates as glib
+from repro.circuits.circuit import Circuit
+from repro.utils.validation import ValidationError
+
+__all__ = [
+    "FAMILY_BUILDERS",
+    "brickwork_circuit",
+    "clifford_t_circuit",
+    "deep_narrow_circuit",
+    "ghz_ladder_circuit",
+    "qaoa_like_circuit",
+    "wide_shallow_circuit",
+]
+
+#: Single-qubit Clifford generators used by :func:`clifford_t_circuit`.
+_CLIFFORD_1Q = ("h", "s", "sdg", "x", "y", "z")
+
+
+def _check_size(num_qubits: int, minimum: int, family: str) -> None:
+    if num_qubits < minimum:
+        raise ValidationError(f"{family} circuits need at least {minimum} qubits")
+
+
+def _rotation_layer(circuit: Circuit, rng: np.random.Generator) -> None:
+    """One layer of random Rx/Ry/Rz rotations on every qubit."""
+    for qubit in range(circuit.num_qubits):
+        axis = int(rng.integers(3))
+        theta = float(rng.uniform(0.0, 2.0 * math.pi))
+        if axis == 0:
+            circuit.rx(theta, qubit)
+        elif axis == 1:
+            circuit.ry(theta, qubit)
+        else:
+            circuit.rz(theta, qubit)
+
+
+def brickwork_circuit(num_qubits: int, depth: int = 8, seed: int | None = 7) -> Circuit:
+    """Brickwork random circuit: rotation layers alternating with CZ bricks.
+
+    >>> from repro.circuits.library import brickwork_circuit
+    >>> circuit = brickwork_circuit(4, depth=4, seed=1)
+    >>> circuit.num_qubits, circuit.noise_count()
+    (4, 0)
+    """
+    _check_size(num_qubits, 2, "brickwork")
+    if depth < 1:
+        raise ValidationError("brickwork depth must be positive")
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(num_qubits, name=f"brickwork_{num_qubits}x{depth}")
+    for layer in range(depth):
+        _rotation_layer(circuit, rng)
+        offset = layer % 2
+        for qubit in range(offset, num_qubits - 1, 2):
+            circuit.cz(qubit, qubit + 1)
+    _rotation_layer(circuit, rng)
+    return circuit
+
+
+def clifford_t_circuit(
+    num_qubits: int, depth: int = 10, seed: int | None = 7, t_fraction: float = 0.25
+) -> Circuit:
+    """Random Clifford+T circuit (``t_fraction`` of the 1-qubit slots are T/T†).
+
+    The circuit always contains at least one T gate, so the family never
+    degenerates into a pure stabilizer workload.
+    """
+    _check_size(num_qubits, 2, "clifford_t")
+    if depth < 1:
+        raise ValidationError("clifford_t depth must be positive")
+    if not 0.0 <= t_fraction <= 1.0:
+        raise ValidationError("t_fraction must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(num_qubits, name=f"cliffordt_{num_qubits}x{depth}")
+    t_emitted = 0
+    for _ in range(depth):
+        for qubit in range(num_qubits):
+            if rng.random() < t_fraction:
+                name = "t" if rng.random() < 0.5 else "tdg"
+                t_emitted += 1
+            else:
+                name = _CLIFFORD_1Q[int(rng.integers(len(_CLIFFORD_1Q)))]
+            circuit.append(glib.GATE_FACTORIES[name](), qubit)
+        a, b = rng.choice(num_qubits, size=2, replace=False)
+        if rng.random() < 0.5:
+            circuit.cx(int(a), int(b))
+        else:
+            circuit.cz(int(a), int(b))
+    if t_emitted == 0:
+        circuit.t(int(rng.integers(num_qubits)))
+    return circuit
+
+
+def qaoa_like_circuit(num_qubits: int, layers: int = 2, seed: int | None = 7) -> Circuit:
+    """QAOA-style circuit over a random ring-plus-chords graph.
+
+    Each layer applies ``ZZ(γ)`` on every edge followed by ``Rx(β)`` on every
+    qubit, with per-layer random angles — the diagonal-entangler structure of
+    the paper's qaoa benchmarks at randomised sizes.
+    """
+    _check_size(num_qubits, 3, "qaoa_like")
+    if layers < 1:
+        raise ValidationError("qaoa_like needs at least one layer")
+    rng = np.random.default_rng(seed)
+    edges = [(qubit, (qubit + 1) % num_qubits) for qubit in range(num_qubits)]
+    num_chords = int(rng.integers(0, max(1, num_qubits // 2) + 1))
+    for _ in range(num_chords):
+        a, b = rng.choice(num_qubits, size=2, replace=False)
+        edge = (int(min(a, b)), int(max(a, b)))
+        if edge not in edges:
+            edges.append(edge)
+    circuit = Circuit(num_qubits, name=f"qaoalike_{num_qubits}x{layers}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for _ in range(layers):
+        gamma = float(rng.uniform(0.0, math.pi))
+        beta = float(rng.uniform(0.0, math.pi))
+        for a, b in edges:
+            circuit.zz(gamma, a, b)
+        for qubit in range(num_qubits):
+            circuit.rx(beta, qubit)
+    return circuit
+
+
+def ghz_ladder_circuit(num_qubits: int, rungs: int | None = None, seed: int | None = 7) -> Circuit:
+    """A GHZ backbone decorated with CZ rungs and random local rotations."""
+    _check_size(num_qubits, 3, "ghz_ladder")
+    rng = np.random.default_rng(seed)
+    if rungs is None:
+        rungs = num_qubits
+    if rungs < 0:
+        raise ValidationError("rungs must be non-negative")
+    circuit = Circuit(num_qubits, name=f"ghzladder_{num_qubits}x{rungs}")
+    circuit.h(0)
+    for qubit in range(1, num_qubits):
+        circuit.cx(qubit - 1, qubit)
+    for _ in range(rungs):
+        qubit = int(rng.integers(num_qubits - 1))
+        circuit.rz(float(rng.uniform(0.0, 2.0 * math.pi)), qubit)
+        circuit.cz(qubit, qubit + 1)
+        circuit.ry(float(rng.uniform(0.0, math.pi)), qubit + 1)
+    return circuit
+
+
+def deep_narrow_circuit(num_qubits: int = 3, depth: int = 24, seed: int | None = 7) -> Circuit:
+    """Few qubits, many random layers: deep sequential structure."""
+    _check_size(num_qubits, 2, "deep_narrow")
+    if num_qubits > 4:
+        raise ValidationError("deep_narrow circuits are 2-4 qubits wide by definition")
+    if depth < 1:
+        raise ValidationError("deep_narrow depth must be positive")
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(num_qubits, name=f"deepnarrow_{num_qubits}x{depth}")
+    for _ in range(depth):
+        _rotation_layer(circuit, rng)
+        a, b = rng.choice(num_qubits, size=2, replace=False)
+        circuit.cx(int(a), int(b))
+    return circuit
+
+
+def wide_shallow_circuit(num_qubits: int = 8, depth: int = 2, seed: int | None = 7) -> Circuit:
+    """Many qubits, one or two layers: stresses width, not depth."""
+    _check_size(num_qubits, 4, "wide_shallow")
+    if not 1 <= depth <= 3:
+        raise ValidationError("wide_shallow depth must be 1-3 by definition")
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(num_qubits, name=f"wideshallow_{num_qubits}x{depth}")
+    for layer in range(depth):
+        _rotation_layer(circuit, rng)
+        offset = layer % 2
+        for qubit in range(offset, num_qubits - 1, 2):
+            circuit.cx(qubit, qubit + 1)
+    return circuit
+
+
+#: Family name -> ``builder(num_qubits, <size>, seed)``; the registry the
+#: benchmark-name resolver and :mod:`repro.verify.generators` share.
+FAMILY_BUILDERS = {
+    "brickwork": brickwork_circuit,
+    "clifford_t": clifford_t_circuit,
+    "qaoa_like": qaoa_like_circuit,
+    "ghz_ladder": ghz_ladder_circuit,
+    "deep_narrow": deep_narrow_circuit,
+    "wide_shallow": wide_shallow_circuit,
+}

@@ -38,9 +38,12 @@ _QASM_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
 
 
 def _format_params(params) -> str:
+    # repr() is the shortest string that round-trips the float exactly, so
+    # parse -> emit -> parse is the identity (%.12g silently truncated the
+    # mantissa, which the verify fuzz corpus surfaced as a round-trip drift).
     if not params:
         return ""
-    return "(" + ",".join(f"{p:.12g}" for p in params) + ")"
+    return "(" + ",".join(repr(float(p)) for p in params) + ")"
 
 
 def to_qasm(circuit: Circuit) -> str:
@@ -57,16 +60,16 @@ def to_qasm(circuit: Circuit) -> str:
                 (theta,) = params
                 a, b = inst.qubits
                 lines.append(f"cx q[{a}],q[{b}];")
-                lines.append(f"rz({theta:.12g}) q[{b}];")
+                lines.append(f"rz({float(theta)!r}) q[{b}];")
                 lines.append(f"cx q[{a}],q[{b}];")
                 continue
             if name == "sx":
                 (q,) = inst.qubits
-                lines.append(f"rx({math.pi / 2:.12g}) q[{q}];")
+                lines.append(f"rx({math.pi / 2!r}) q[{q}];")
                 continue
             if name == "sy":
                 (q,) = inst.qubits
-                lines.append(f"ry({math.pi / 2:.12g}) q[{q}];")
+                lines.append(f"ry({math.pi / 2!r}) q[{q}];")
                 continue
             raise QasmError(f"gate {name!r} has no OpenQASM 2.0 spelling")
         args = ",".join(f"q[{q}]" for q in inst.qubits)

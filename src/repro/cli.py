@@ -5,19 +5,23 @@ Provides a small reproducibility tool around the library's main entry points::
     python -m repro.cli simulate      --circuit qaoa_9 --noises 6 --level 1
     python -m repro.cli compare       --circuit hf_6   --noises 4 --backends all
     python -m repro.cli list-backends
+    python -m repro.cli verify        --families all --cases 200 --seed 7
     python -m repro.cli sweep run     benchmarks/specs/table3.yaml
     python -m repro.cli sweep list
     python -m repro.cli sweep report  sweep_results/table3.jsonl
+    python -m repro.cli replay        verify_artifacts/<artifact>.json
     python -m repro.cli decompose     --channel depolarizing --parameter 0.01
     python -m repro.cli bound         --noises 20 --rate 0.001 --level 1
 
 ``simulate`` runs the approximation algorithm on a benchmark circuit with the
 paper's fault model, ``compare`` batch-dispatches the selected registered
 backends on the same instance through one :class:`repro.api.Session`,
-``list-backends`` prints the registry's capability table, ``sweep``
-runs/lists/reports declarative experiment grids (:mod:`repro.sweeps`),
-``decompose`` prints the SVD decomposition of a noise channel and ``bound``
-evaluates the Theorem-1 formulas without any simulation.
+``list-backends`` prints the registry's capability table, ``verify`` runs
+the differential conformance harness (:mod:`repro.verify`) and ``replay``
+re-checks one of its failure artifacts, ``sweep`` runs/lists/reports
+declarative experiment grids (:mod:`repro.sweeps`), ``decompose`` prints the
+SVD decomposition of a noise channel and ``bound`` evaluates the Theorem-1
+formulas without any simulation.
 """
 
 from __future__ import annotations
@@ -124,6 +128,44 @@ def _cmd_list_backends(args) -> int:
         )
     )
     return 0
+
+
+def _cmd_verify(args) -> int:
+    from repro.verify import ConformanceRunner
+
+    runner = ConformanceRunner(
+        families=args.families,
+        cases=args.cases,
+        seed=args.seed,
+        samples=args.samples,
+        level=args.level,
+        workers=args.workers,
+        artifact_dir=args.artifacts,
+        shrink=not args.no_shrink,
+    )
+    report = runner.run(progress=print if not args.quiet else None)
+    print(report.summary_table())
+    if report.violations:
+        print(f"\n{len(report.violations)} violation(s); artifacts:", file=sys.stderr)
+        for path in report.artifacts:
+            print(f"  {path}", file=sys.stderr)
+        return 1
+    print(f"\nall {report.checks} checks passed ({report.skipped} skipped)")
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    from repro.verify import load_artifact, replay_artifact
+
+    failing = 0
+    for path in args.artifacts:
+        artifact = load_artifact(path)
+        still = replay_artifact(artifact)
+        status = "STILL FAILING" if still else "fixed"
+        print(f"{path}: {artifact['oracle']} {artifact['family']}#{artifact['case_index']} "
+              f"-> {status}")
+        failing += int(still)
+    return 1 if failing else 0
 
 
 #: Directories ``sweep list`` searches when no paths are given.
@@ -320,6 +362,38 @@ def build_parser() -> argparse.ArgumentParser:
         "list-backends", help="print the backend registry's capability table"
     )
     list_backends.set_defaults(func=_cmd_list_backends)
+
+    verify = subparsers.add_parser(
+        "verify", help="run the differential conformance harness (repro.verify)"
+    )
+    verify.add_argument("--families", default="all",
+                        help="comma-separated workload families, or 'all' "
+                             "(brickwork, clifford_t, qaoa_like, ghz_ladder, "
+                             "deep_narrow, wide_shallow)")
+    verify.add_argument("--cases", type=int, default=50,
+                        help="number of generated workloads (round-robin over families)")
+    verify.add_argument("--seed", type=int, default=7,
+                        help="base seed; the whole run is reproducible from it")
+    verify.add_argument("--samples", type=int, default=320,
+                        help="trajectory count for the stochastic checks")
+    verify.add_argument("--level", type=int, default=1,
+                        help="approximation level for the approximation backend")
+    verify.add_argument("--workers", type=int, default=2,
+                        help="shared process-pool size (>= 2; also the alternate "
+                             "worker count of the determinism oracle)")
+    verify.add_argument("--artifacts", default="verify_artifacts",
+                        help="directory for failure artifacts (created on demand)")
+    verify.add_argument("--no-shrink", action="store_true",
+                        help="skip minimising failing circuits")
+    verify.add_argument("--quiet", action="store_true",
+                        help="suppress per-case progress lines")
+    verify.set_defaults(func=_cmd_verify)
+
+    replay = subparsers.add_parser(
+        "replay", help="re-check conformance failure artifacts"
+    )
+    replay.add_argument("artifacts", nargs="+", help="artifact JSON file(s)")
+    replay.set_defaults(func=_cmd_replay)
 
     sweep = subparsers.add_parser(
         "sweep", help="run/list/report declarative experiment sweeps (repro.sweeps)"

@@ -1,0 +1,192 @@
+"""Replayable failure artifacts: JSON in, the same failing check out.
+
+Every oracle violation is written as a self-contained JSON artifact holding
+the (shrunk) failing circuit — gates by factory name and parameters, noise
+channels by their Kraus matrices — plus the oracle name and the parameters
+its :meth:`~repro.verify.oracles.Oracle.violates` predicate needs.  A saved
+artifact replays with::
+
+    from repro.verify import load_artifact, replay_artifact
+    artifact = load_artifact("verify_artifacts/cross_backend-....json")
+    still_failing = replay_artifact(artifact)
+
+so a CI fuzz failure reproduces locally from the uploaded file alone, with
+no access to the original RNG state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping
+
+import numpy as np
+
+from repro.circuits import gates as glib
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import Gate
+from repro.noise.kraus import KrausChannel
+from repro.utils.validation import ValidationError
+
+__all__ = [
+    "ARTIFACT_SCHEMA",
+    "artifact_name",
+    "circuit_from_dict",
+    "circuit_to_dict",
+    "load_artifact",
+    "replay_artifact",
+    "save_artifact",
+]
+
+ARTIFACT_SCHEMA = "repro.verify/1"
+
+
+def _matrix_to_lists(matrix: np.ndarray) -> List[List[List[float]]]:
+    """Complex matrix -> nested ``[[re, im], ...]`` rows (JSON-safe, lossless)."""
+    return [[[float(entry.real), float(entry.imag)] for entry in row] for row in matrix]
+
+
+def _matrix_from_lists(rows: List[List[List[float]]]) -> np.ndarray:
+    return np.array([[complex(re, im) for re, im in row] for row in rows])
+
+
+def circuit_to_dict(circuit: Circuit) -> Dict[str, Any]:
+    """Serialise a circuit (gates and noise channels) to plain JSON data.
+
+    >>> from repro.circuits import Circuit
+    >>> payload = circuit_to_dict(Circuit(2, name="demo").h(0).cx(0, 1))
+    >>> payload["num_qubits"], [i["name"] for i in payload["instructions"]]
+    (2, ['h', 'cx'])
+    """
+    instructions = []
+    for inst in circuit:
+        if inst.is_gate:
+            gate = inst.operation
+            entry: Dict[str, Any] = {
+                "kind": "gate",
+                "name": gate.name,
+                "qubits": list(inst.qubits),
+                "params": list(gate.params),
+            }
+            if gate.name not in glib.GATE_FACTORIES:
+                entry["matrix"] = _matrix_to_lists(gate.matrix)
+        else:
+            channel = inst.operation
+            entry = {
+                "kind": "noise",
+                "name": channel.name,
+                "qubits": list(inst.qubits),
+                "kraus": [_matrix_to_lists(op) for op in channel.kraus_operators],
+            }
+        instructions.append(entry)
+    return {
+        "num_qubits": circuit.num_qubits,
+        "name": circuit.name,
+        "instructions": instructions,
+    }
+
+
+def circuit_from_dict(payload: Mapping[str, Any]) -> Circuit:
+    """Rebuild the circuit :func:`circuit_to_dict` serialised."""
+    circuit = Circuit(int(payload["num_qubits"]), name=str(payload.get("name", "artifact")))
+    for entry in payload["instructions"]:
+        kind = entry.get("kind")
+        qubits = tuple(int(qubit) for qubit in entry["qubits"])
+        if kind == "gate":
+            name = str(entry["name"])
+            params = tuple(float(param) for param in entry.get("params", ()))
+            if "matrix" in entry:
+                matrix = _matrix_from_lists(entry["matrix"])
+                operation = Gate(name, len(qubits), matrix, params)
+            else:
+                factory = glib.GATE_FACTORIES.get(name)
+                if factory is None:
+                    raise ValidationError(f"artifact names unknown gate {name!r}")
+                operation = factory(*params)
+        elif kind == "noise":
+            operation = KrausChannel(
+                [_matrix_from_lists(rows) for rows in entry["kraus"]],
+                name=str(entry.get("name", "channel")),
+            )
+        else:
+            raise ValidationError(f"artifact instruction has unknown kind {kind!r}")
+        circuit.append(operation, qubits)
+    return circuit
+
+
+def artifact_name(violation) -> str:
+    """Deterministic file name for a violation's artifact.
+
+    The detail hash keeps two violations of the same oracle on the same case
+    (e.g. two disagreeing backends) from overwriting each other.
+    """
+    digest = hashlib.sha256(
+        json.dumps(violation.details, sort_keys=True, default=str).encode()
+    ).hexdigest()[:8]
+    return f"{violation.oracle}-{violation.family}-case{violation.case_index}-{digest}.json"
+
+
+def save_artifact(
+    violation,
+    directory: str | Path,
+    shrunk_circuit: Circuit | None = None,
+) -> Path:
+    """Write one violation (plus its shrunk circuit, if any) as JSON."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema": ARTIFACT_SCHEMA,
+        "oracle": violation.oracle,
+        "family": violation.family,
+        "case_index": violation.case_index,
+        "workload_seed": violation.workload_seed,
+        "deviation": violation.deviation,
+        "tolerance": violation.tolerance,
+        "details": violation.details,
+        "circuit": circuit_to_dict(violation.circuit),
+    }
+    if shrunk_circuit is not None:
+        payload["shrunk_circuit"] = circuit_to_dict(shrunk_circuit)
+    path = directory / artifact_name(violation)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_artifact(path: str | Path) -> Dict[str, Any]:
+    """Read an artifact back; validates the schema marker."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ValidationError(f"cannot read artifact {path}: {exc}") from exc
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"artifact {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("schema") != ARTIFACT_SCHEMA:
+        schema = payload.get("schema") if isinstance(payload, dict) else None
+        raise ValidationError(f"not a repro.verify artifact (schema={schema!r})")
+    return payload
+
+
+def replay_artifact(artifact: Mapping[str, Any] | str | Path, oracle=None) -> bool:
+    """Re-run a recorded failure; True when it still reproduces.
+
+    Replays the shrunk circuit when present (else the original), through a
+    fresh default oracle of the recorded name — or ``oracle`` when the caller
+    wants custom thresholds.
+    """
+    from repro.api import Session
+    from repro.verify.oracles import DEFAULT_ORACLES
+
+    if not isinstance(artifact, Mapping):
+        artifact = load_artifact(artifact)
+    if oracle is None:
+        by_name = {candidate.name: candidate for candidate in DEFAULT_ORACLES()}
+        oracle = by_name.get(artifact["oracle"])
+        if oracle is None:
+            raise ValidationError(f"unknown oracle {artifact['oracle']!r} in artifact")
+    circuit = circuit_from_dict(artifact.get("shrunk_circuit") or artifact["circuit"])
+    with Session(seed=int(artifact["workload_seed"]) % (2**31)) as session:
+        return bool(oracle.violates(circuit, dict(artifact["details"]), session))

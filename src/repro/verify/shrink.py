@@ -1,0 +1,80 @@
+"""Failure minimisation: shrink a failing circuit to a minimal reproducer.
+
+Classic delta debugging adapted to circuits: repeatedly try to delete spans
+of instructions (halving the span size down to single instructions) while
+the caller's predicate still reports a failure, then drop qubits no
+remaining instruction touches.  The predicate sees candidate
+:class:`~repro.circuits.Circuit` objects and returns True when the failure
+still reproduces; any exception it raises counts as "does not reproduce", so
+shrinking can never escalate an oracle violation into a crash.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+from repro.circuits.circuit import Circuit
+
+__all__ = ["compact_qubits", "shrink_circuit"]
+
+Predicate = Callable[[Circuit], bool]
+
+
+def compact_qubits(circuit: Circuit) -> Circuit:
+    """Drop qubits no instruction touches and renumber the rest densely."""
+    used = sorted({qubit for inst in circuit for qubit in inst.qubits})
+    if not used or len(used) == circuit.num_qubits and used[-1] == len(used) - 1:
+        return circuit
+    mapping = {old: new for new, old in enumerate(used)}
+    compact = Circuit(len(used), name=circuit.name)
+    for inst in circuit:
+        compact.append(inst.operation, tuple(mapping[qubit] for qubit in inst.qubits))
+    return compact
+
+
+def _without_span(circuit: Circuit, start: int, length: int) -> Circuit:
+    candidate = Circuit(circuit.num_qubits, name=circuit.name)
+    for index, inst in enumerate(circuit):
+        if not start <= index < start + length:
+            candidate.append(inst.operation, inst.qubits)
+    return candidate
+
+
+def shrink_circuit(
+    circuit: Circuit,
+    still_fails: Predicate,
+    max_checks: int = 500,
+) -> Tuple[Circuit, int]:
+    """Greedy ddmin: smallest circuit for which ``still_fails`` holds.
+
+    Returns ``(shrunk_circuit, checks_spent)``.  The input circuit is assumed
+    to fail; it is returned unchanged if no smaller failing candidate is
+    found within ``max_checks`` predicate evaluations.
+    """
+    checks = 0
+
+    def fails(candidate: Circuit) -> bool:
+        nonlocal checks
+        checks += 1
+        try:
+            return bool(still_fails(candidate))
+        except Exception:  # noqa: BLE001 - a crashing candidate is not a reproducer
+            return False
+
+    best = circuit
+    span = max(1, len(best) // 2)
+    while span >= 1 and checks < max_checks:
+        index = 0
+        while index < len(best) and checks < max_checks:
+            candidate = _without_span(best, index, span)
+            if len(candidate) > 0 and fails(candidate):
+                best = candidate  # keep the cursor: the next span slid into place
+            else:
+                index += span
+        span //= 2
+
+    if checks < max_checks:
+        compacted = compact_qubits(best)
+        if compacted.num_qubits < best.num_qubits and fails(compacted):
+            best = compacted
+    return best, checks

@@ -1,0 +1,137 @@
+"""Unit tests for fault detection, including detection under readout noise.
+
+Readout error is modelled as symmetric bit-flip channels appended at the end
+of the circuit under test, which is mathematically identical to pushing the
+ideal measurement probabilities through the tensor-product confusion matrix
+of :class:`repro.noise.ReadoutErrorModel` (checked explicitly below).  The
+detection flow must keep separating faulty from fault-free signatures as
+long as the threshold sits above the simulator accuracy, and the degradation
+must match the assignment fidelity the readout model predicts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.atpg import (
+    FaultDetector,
+    MissingGateFault,
+    basis_patterns,
+    enumerate_single_gate_faults,
+    ideal_output_pattern,
+)
+from repro.circuits import Circuit
+from repro.circuits.library import ghz_circuit
+from repro.noise import ReadoutErrorModel, bit_flip_channel
+from repro.simulators import DensityMatrixSimulator, StatevectorSimulator
+from repro.tensornetwork.circuit_to_tn import dense_product_state
+from repro.utils.validation import ValidationError
+
+
+class _DMEstimator:
+    """Density-matrix fidelity estimator (exact, any pattern alphabet)."""
+
+    def __init__(self, readout_flip: float = 0.0):
+        self.readout_flip = float(readout_flip)
+        self._sim = DensityMatrixSimulator()
+
+    def fidelity(self, circuit, input_state, output_state):
+        n = circuit.num_qubits
+        measured = circuit
+        if self.readout_flip > 0.0:
+            measured = circuit.copy()
+            for qubit in range(n):
+                measured.append(bit_flip_channel(self.readout_flip), qubit)
+        return self._sim.fidelity(
+            measured,
+            dense_product_state(output_state, n),
+            dense_product_state(input_state, n),
+        )
+
+
+class TestDetectorValidation:
+    def test_estimator_must_expose_fidelity(self):
+        with pytest.raises(ValidationError):
+            FaultDetector(object())
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            FaultDetector(_DMEstimator(), threshold=0.0)
+
+    def test_pattern_width_mismatch_rejected(self):
+        detector = FaultDetector(_DMEstimator())
+        with pytest.raises(ValidationError):
+            detector.signature(ghz_circuit(3), basis_patterns(2)[0])
+
+    def test_run_requires_patterns(self):
+        detector = FaultDetector(_DMEstimator())
+        with pytest.raises(ValidationError):
+            detector.run(ghz_circuit(2), [MissingGateFault(0)], [])
+
+
+class TestReadoutNoiseModelEquivalence:
+    def test_end_of_circuit_bit_flips_match_confusion_matrix(self):
+        # ⟨0…0| readout of the GHZ state through bit-flip channels equals the
+        # confusion-matrix-corrected probability of the 0…0 outcome.
+        flip = 0.04
+        circuit = ghz_circuit(3)
+        noisy_signature = _DMEstimator(readout_flip=flip).fidelity(circuit, "000", "000")
+        probabilities = np.abs(StatevectorSimulator().run(circuit)) ** 2
+        model = ReadoutErrorModel(3, p01=flip, p10=flip)
+        expected = model.apply_to_probabilities(probabilities)[0]
+        assert noisy_signature == pytest.approx(expected, abs=1e-12)
+
+
+class TestDetectionUnderReadoutNoise:
+    def _flow(self, readout_flip, threshold=0.05):
+        circuit = ghz_circuit(3)
+        faults = enumerate_single_gate_faults(circuit, kinds=("missing",))
+        patterns = basis_patterns(3) + [ideal_output_pattern(circuit)]
+        detector = FaultDetector(_DMEstimator(readout_flip=readout_flip), threshold=threshold)
+        return detector.run(circuit, faults, patterns), faults, patterns
+
+    def test_missing_gate_faults_detected_without_readout_noise(self):
+        result, faults, _ = self._flow(readout_flip=0.0)
+        assert result.coverage == 1.0
+        assert sorted(result.detected_faults) == list(range(len(faults)))
+
+    def test_detection_survives_moderate_readout_noise(self):
+        result, faults, _ = self._flow(readout_flip=0.02)
+        assert result.coverage == 1.0
+        # The selected pattern set must actually cover every detected fault.
+        for fault_index in result.detected_faults:
+            assert any(
+                result.detectability[(fault_index, name)] > result.threshold
+                for name in result.selected_patterns
+            )
+
+    def test_readout_noise_shrinks_detectability_margin(self):
+        clean, _, patterns = self._flow(readout_flip=0.0)
+        noisy, _, _ = self._flow(readout_flip=0.08)
+        name = ideal_output_pattern(ghz_circuit(3)).name
+        clean_margin = max(clean.detectability[(0, name)], 0.0)
+        noisy_margin = max(noisy.detectability[(0, name)], 0.0)
+        # Readout scrambling contracts signatures toward each other on the
+        # most discriminating pattern.
+        assert noisy_margin < clean_margin
+
+    def test_threshold_above_signal_detects_nothing(self):
+        result, faults, _ = self._flow(readout_flip=0.02, threshold=2.0)
+        assert result.detected_faults == []
+        assert result.undetected_faults == list(range(len(faults)))
+        assert result.coverage == 0.0
+        assert result.selected_patterns == []
+
+    def test_best_pattern_for(self):
+        result, _, _ = self._flow(readout_flip=0.02)
+        best = result.best_pattern_for(0)
+        assert best is not None
+        value = result.detectability[(0, best)]
+        assert all(value >= other for (index, _), other in result.detectability.items()
+                   if index == 0)
+        assert result.best_pattern_for(10_000) is None
+
+    def test_partitions_are_disjoint_and_complete(self):
+        result, faults, _ = self._flow(readout_flip=0.05, threshold=0.2)
+        detected, undetected = set(result.detected_faults), set(result.undetected_faults)
+        assert detected.isdisjoint(undetected)
+        assert detected | undetected == set(range(len(faults)))

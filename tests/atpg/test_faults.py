@@ -1,0 +1,108 @@
+"""Unit tests for fault enumeration edge cases (repro.atpg.faults)."""
+
+import pytest
+
+from repro.atpg import (
+    MissingGateFault,
+    OverRotationFault,
+    StuckNoiseFault,
+    WrongGateFault,
+    enumerate_single_gate_faults,
+)
+from repro.circuits import Circuit, gates as glib
+from repro.circuits.library import ghz_circuit
+from repro.noise import NoiseModel, depolarizing_channel
+from repro.utils.validation import ValidationError
+
+
+def _noisy_ghz(num_qubits=3, noises=2, seed=5):
+    return NoiseModel(depolarizing_channel(0.05), seed=seed).insert_random(
+        ghz_circuit(num_qubits), noises
+    )
+
+
+class TestEnumeration:
+    def test_noise_instructions_are_never_fault_sites(self):
+        circuit = _noisy_ghz()
+        faults = enumerate_single_gate_faults(circuit, kinds=("missing",))
+        assert len(faults) == circuit.gate_count()
+        for fault in faults:
+            assert circuit[fault.position].is_gate
+
+    def test_kinds_filtering(self):
+        circuit = Circuit(2).h(0).rz(0.4, 1).cx(0, 1)
+        missing_only = enumerate_single_gate_faults(circuit, kinds=("missing",))
+        assert all(isinstance(fault, MissingGateFault) for fault in missing_only)
+        assert len(missing_only) == 3
+        overrot_only = enumerate_single_gate_faults(circuit, kinds=("overrotation",))
+        # Only the parameterised rz qualifies for an over-rotation fault.
+        assert [type(fault) for fault in overrot_only] == [OverRotationFault]
+        assert overrot_only[0].position == 1
+
+    def test_empty_kinds_yields_no_faults(self):
+        assert enumerate_single_gate_faults(ghz_circuit(3), kinds=()) == []
+
+    def test_max_faults_subset_is_deterministic_and_sorted(self):
+        circuit = ghz_circuit(5)
+        first = enumerate_single_gate_faults(circuit, kinds=("missing",), max_faults=3, rng=11)
+        second = enumerate_single_gate_faults(circuit, kinds=("missing",), max_faults=3, rng=11)
+        assert [fault.position for fault in first] == [fault.position for fault in second]
+        assert len(first) == 3
+        positions = [fault.position for fault in first]
+        assert positions == sorted(positions)
+
+    def test_max_faults_larger_than_population_returns_all(self):
+        circuit = ghz_circuit(3)
+        faults = enumerate_single_gate_faults(circuit, kinds=("missing",), max_faults=100)
+        assert len(faults) == circuit.gate_count()
+
+    def test_unparameterised_gates_never_get_overrotation_faults(self):
+        faults = enumerate_single_gate_faults(ghz_circuit(4), kinds=("overrotation",))
+        assert faults == []
+
+
+class TestFaultEdgeCases:
+    def test_fault_on_noise_position_rejected(self):
+        circuit = Circuit(1).h(0)
+        circuit.append(depolarizing_channel(0.1), 0)
+        with pytest.raises(ValidationError):
+            MissingGateFault(1).apply(circuit)
+
+    def test_negative_position_rejected(self):
+        with pytest.raises(ValidationError):
+            MissingGateFault(-1).apply(ghz_circuit(2))
+
+    def test_wrong_gate_requires_replacement(self):
+        with pytest.raises(ValidationError):
+            WrongGateFault(0).apply(ghz_circuit(2))
+
+    def test_overrotation_on_unparameterised_gate_rejected(self):
+        with pytest.raises(ValidationError):
+            OverRotationFault(0, delta=0.1).apply(ghz_circuit(2))
+
+    def test_stuck_noise_requires_gate_qubit(self):
+        with pytest.raises(ValidationError):
+            StuckNoiseFault(0, depolarizing_channel(0.3), qubit=1).apply(ghz_circuit(2))
+
+    def test_stuck_noise_two_qubit_channel_lands_on_gate_qubits(self):
+        from repro.noise import two_qubit_depolarizing_channel
+
+        circuit = ghz_circuit(2)
+        faulty = StuckNoiseFault(1, two_qubit_depolarizing_channel(0.2)).apply(circuit)
+        assert faulty.noise_count() == 1
+        noise = faulty[faulty.noise_positions()[0]]
+        assert noise.qubits == circuit[1].qubits
+
+    def test_describe_mentions_position(self):
+        circuit = Circuit(1).rz(0.2, 0)
+        assert "0" in MissingGateFault(0).describe()
+        assert "0" in OverRotationFault(0, 0.1).describe()
+        assert "0" in StuckNoiseFault(0, depolarizing_channel(0.1)).describe()
+        assert "x" in WrongGateFault(0, glib.X()).describe()
+
+    def test_fault_application_leaves_original_untouched(self):
+        circuit = ghz_circuit(3)
+        before = len(circuit)
+        MissingGateFault(1).apply(circuit)
+        OverRotationFault(0, 0.1)  # construction alone must not mutate either
+        assert len(circuit) == before

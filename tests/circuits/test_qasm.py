@@ -5,7 +5,12 @@ import pytest
 
 from repro.circuits import Circuit, from_qasm, to_qasm
 from repro.circuits.qasm import QasmError
-from repro.circuits.library import ghz_circuit, qaoa_circuit, qft_circuit
+from repro.circuits.library import (
+    FAMILY_BUILDERS,
+    ghz_circuit,
+    qaoa_circuit,
+    qft_circuit,
+)
 from repro.noise import depolarizing_channel
 
 
@@ -68,3 +73,60 @@ class TestRoundTrip:
     def test_bad_line(self):
         with pytest.raises(QasmError):
             from_qasm("OPENQASM 2.0;\nqreg q[1];\nthis is not qasm\n")
+
+
+class TestGeneratedRoundTrip:
+    """Fuzz round-trips over the conformance circuit families.
+
+    parse(emit(parse(emit(c)))) must be the *identity* on the parsed form:
+    same gates, same qubits, bit-identical parameters.  This is what caught
+    the old ``%.12g`` parameter formatting, which silently truncated
+    rotation angles on every export.
+    """
+
+    # Valid width range per family (deep_narrow is narrow, wide_shallow wide).
+    _WIDTHS = {
+        "brickwork": (3, 6),
+        "clifford_t": (3, 6),
+        "qaoa_like": (3, 6),
+        "ghz_ladder": (3, 6),
+        "deep_narrow": (2, 5),
+        "wide_shallow": (4, 8),
+    }
+
+    @pytest.mark.parametrize("family", sorted(FAMILY_BUILDERS))
+    def test_emit_parse_is_identity_on_parsed_form(self, family, rng):
+        low, high = self._WIDTHS[family]
+        for _ in range(3):
+            circuit = FAMILY_BUILDERS[family](
+                int(rng.integers(low, high)), seed=int(rng.integers(2**31))
+            )
+            first = from_qasm(to_qasm(circuit))
+            second = from_qasm(to_qasm(first))
+            assert len(first) == len(second)
+            for a, b in zip(first, second):
+                assert a.operation.name == b.operation.name
+                assert a.qubits == b.qubits
+                assert a.operation.params == b.operation.params  # bit-identical
+
+    @pytest.mark.parametrize("family", sorted(FAMILY_BUILDERS))
+    def test_emitted_text_is_stable(self, family, rng):
+        # Export of the parsed circuit reproduces the exact same text, so
+        # QASM files are a canonical form for the supported gate set.
+        circuit = FAMILY_BUILDERS[family](4, seed=int(rng.integers(2**31)))
+        text = to_qasm(from_qasm(to_qasm(circuit)))
+        assert text == to_qasm(from_qasm(text))
+
+    def test_unitary_preserved_with_full_precision(self, rng):
+        # With repr-formatted parameters even deep circuits round-trip to the
+        # same unitary at float precision (no 1e-12 truncation drift).
+        circuit = FAMILY_BUILDERS["deep_narrow"](3, seed=int(rng.integers(2**31)))
+        parsed = from_qasm(to_qasm(circuit))
+        ideal, rebuilt = circuit.unitary(), parsed.unitary()
+        assert np.allclose(ideal, rebuilt, atol=1e-13)
+
+    def test_scientific_notation_parameters_parse(self):
+        # repr() emits exponents for tiny angles; the reader must accept them.
+        circuit = Circuit(1).rz(1.25e-13, 0)
+        parsed = from_qasm(to_qasm(circuit))
+        assert parsed[0].operation.params == (1.25e-13,)

@@ -1,0 +1,97 @@
+"""Property-style tests of the Theorem-1 formulas over generated noise configs.
+
+The hand-picked values in ``test_error_bounds.py`` pin the formulas at known
+points; these tests check the *properties* the rest of the system relies on —
+non-negativity, monotonicity in the approximation level, tightness at the
+boundary levels — across randomized (count, rate) configurations drawn by the
+conformance generators, seeded per-test via the shared ``rng`` fixture.
+"""
+
+import math
+
+import pytest
+
+from repro.circuits.library import brickwork_circuit
+from repro.core.error_bounds import (
+    contraction_count,
+    level1_error_bound_simplified,
+    terms_per_level,
+    theorem1_error_bound,
+)
+from repro.verify.generators import random_noise_config
+
+CASES = 50
+
+
+def _random_configs(rng, cases=CASES):
+    """(num_noises, noise_rate) pairs drawn by the conformance generator."""
+    circuit = brickwork_circuit(4, depth=6, seed=3)
+    configs = []
+    while len(configs) < cases:
+        config = random_noise_config(rng, circuit, max_count=12, noiseless_fraction=0.0)
+        configs.append((config["count"], config["parameter"]))
+    return configs
+
+
+class TestTheorem1Properties:
+    def test_bound_is_non_negative(self, rng):
+        for count, rate in _random_configs(rng):
+            for level in range(count + 2):
+                assert theorem1_error_bound(count, rate, level) >= 0.0
+
+    def test_bound_is_monotone_non_increasing_in_level(self, rng):
+        for count, rate in _random_configs(rng):
+            bounds = [theorem1_error_bound(count, rate, level) for level in range(count + 1)]
+            for tighter, looser in zip(bounds[1:], bounds):
+                assert tighter <= looser + 1e-15
+
+    def test_bound_is_tight_at_level_zero(self, rng):
+        # At level 0 the sum collapses to its i=0 term, so the bound must
+        # equal the closed form (1+8p)^N - (1+4p)^N exactly.
+        for count, rate in _random_configs(rng):
+            expected = (1.0 + 8.0 * rate) ** count - (1.0 + 4.0 * rate) ** count
+            assert theorem1_error_bound(count, rate, 0) == pytest.approx(expected, abs=1e-15)
+
+    def test_bound_vanishes_at_full_level(self, rng):
+        # Level N sums the full binomial expansion of (1+4p+4p)^N, so the
+        # approximation is exact and the bound must be exactly zero.
+        for count, rate in _random_configs(rng):
+            assert theorem1_error_bound(count, rate, count) == pytest.approx(0.0, abs=1e-9)
+            assert theorem1_error_bound(count, rate, count + 3) == pytest.approx(0.0, abs=1e-9)
+
+    def test_bound_is_monotone_in_noise_count_and_rate(self, rng):
+        for count, rate in _random_configs(rng):
+            base = theorem1_error_bound(count, rate, 1)
+            assert theorem1_error_bound(count + 1, rate, 1) >= base - 1e-15
+            assert theorem1_error_bound(count, rate * 1.5, 1) >= base - 1e-15
+
+    def test_simplified_level1_bound_dominates_exact_bound(self, rng):
+        # 32 sqrt(e) N^2 p^2 is a valid (looser) upper bound wherever the
+        # small-p assumption holds, and the fallback equals the exact bound.
+        for count, rate in _random_configs(rng):
+            simplified = level1_error_bound_simplified(count, rate)
+            exact = theorem1_error_bound(count, rate, 1)
+            if rate <= 1.0 / (8.0 * count):
+                assert simplified >= exact - 1e-15
+            else:
+                assert simplified == pytest.approx(exact, abs=1e-15)
+
+
+class TestCountingFormulas:
+    def test_contraction_count_matches_term_sum(self, rng):
+        for count, _ in _random_configs(rng, cases=20):
+            for level in range(count + 1):
+                expected = 2 * sum(
+                    math.comb(count, k) * 3**k for k in range(level + 1)
+                )
+                assert contraction_count(count, level) == expected
+
+    def test_terms_per_level_edges(self):
+        assert terms_per_level(5, 0) == 1
+        assert terms_per_level(5, 6) == 0  # more substitutions than noises
+        assert terms_per_level(0, 0) == 1
+
+    def test_contraction_count_is_monotone_in_level(self, rng):
+        for count, _ in _random_configs(rng, cases=20):
+            counts = [contraction_count(count, level) for level in range(count + 2)]
+            assert counts == sorted(counts)

@@ -22,6 +22,8 @@ TOP_LEVEL = {
     "Session",
     "SimulationResult",
     "simulate",
+    # conformance harness
+    "run_conformance",
     # backend layer
     "BackendResult",
     "SimulationTask",

@@ -1,0 +1,95 @@
+"""Tests for circuit serialisation and replayable failure artifacts."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, Gate
+from repro.circuits.library import clifford_t_circuit
+from repro.circuits.transpile import merge_single_qubit_gates
+from repro.noise import NoiseModel, amplitude_damping_channel, depolarizing_channel
+from repro.simulators import DensityMatrixSimulator
+from repro.utils.validation import ValidationError
+from repro.verify import circuit_from_dict, circuit_to_dict, load_artifact, save_artifact
+from repro.verify.corpus import artifact_name
+from repro.verify.oracles import Violation
+
+
+def _noisy_circuit():
+    ideal = clifford_t_circuit(3, depth=4, seed=9)
+    return NoiseModel(amplitude_damping_channel(0.02), seed=9).insert_random(ideal, 2)
+
+
+def _violation(circuit, details=None):
+    return Violation(
+        oracle="cross_backend_zero", family="test", case_index=0, workload_seed=123,
+        deviation=0.5, tolerance=1e-7, circuit=circuit, details=details or {"backend": "tn"},
+    )
+
+
+class TestCircuitSerialisation:
+    def test_round_trip_preserves_structure(self):
+        circuit = _noisy_circuit()
+        rebuilt = circuit_from_dict(circuit_to_dict(circuit))
+        assert rebuilt.num_qubits == circuit.num_qubits
+        assert len(rebuilt) == len(circuit)
+        for a, b in zip(circuit, rebuilt):
+            assert a.name == b.name
+            assert a.qubits == b.qubits
+            assert a.is_noise == b.is_noise
+
+    def test_round_trip_preserves_simulation_value(self):
+        circuit = _noisy_circuit()
+        rebuilt = circuit_from_dict(circuit_to_dict(circuit))
+        sim = DensityMatrixSimulator()
+        v = np.zeros(2**circuit.num_qubits, dtype=complex)
+        v[0] = 1.0
+        assert sim.fidelity(rebuilt, v) == pytest.approx(sim.fidelity(circuit, v), abs=1e-12)
+
+    def test_matrix_gates_survive_serialisation(self):
+        # Fused "u" gates have no factory; they round-trip via their matrix.
+        merged = merge_single_qubit_gates(Circuit(1).h(0).t(0).s(0))
+        rebuilt = circuit_from_dict(circuit_to_dict(merged))
+        assert np.allclose(rebuilt[0].operation.matrix, merged[0].operation.matrix)
+
+    def test_payload_is_json_serialisable(self):
+        payload = circuit_to_dict(_noisy_circuit())
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_unknown_gate_name_rejected(self):
+        payload = {"num_qubits": 1,
+                   "instructions": [{"kind": "gate", "name": "frob", "qubits": [0]}]}
+        with pytest.raises(ValidationError):
+            circuit_from_dict(payload)
+
+    def test_unknown_kind_rejected(self):
+        payload = {"num_qubits": 1,
+                   "instructions": [{"kind": "blob", "name": "x", "qubits": [0]}]}
+        with pytest.raises(ValidationError):
+            circuit_from_dict(payload)
+
+
+class TestArtifacts:
+    def test_save_and_load_round_trip(self, tmp_path):
+        violation = _violation(_noisy_circuit())
+        path = save_artifact(violation, tmp_path, shrunk_circuit=Circuit(1).h(0).t(0))
+        artifact = load_artifact(path)
+        assert artifact["oracle"] == "cross_backend_zero"
+        assert artifact["deviation"] == 0.5
+        assert len(artifact["shrunk_circuit"]["instructions"]) == 2
+
+    def test_names_distinguish_details(self, tmp_path):
+        circuit = Circuit(1).h(0)
+        first = _violation(circuit, {"backend": "tn"})
+        second = _violation(circuit, {"backend": "tdd"})
+        assert artifact_name(first) != artifact_name(second)
+        save_artifact(first, tmp_path)
+        save_artifact(second, tmp_path)
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "not_an_artifact.json"
+        path.write_text(json.dumps({"schema": "something/else"}))
+        with pytest.raises(ValidationError):
+            load_artifact(path)

@@ -1,0 +1,124 @@
+"""Tests for the conformance workload generators."""
+
+import pytest
+
+from repro.circuits.library import FAMILY_BUILDERS, benchmark_circuit
+from repro.noise import CHANNEL_FACTORIES
+from repro.verify import generate_workloads, random_noise_config, random_pauli_observable
+from repro.verify.generators import FAMILIES, resolve_families
+from repro.utils.validation import ValidationError
+
+
+class TestFamilies:
+    def test_every_family_has_a_sampler(self):
+        assert set(FAMILIES) == set(FAMILY_BUILDERS)
+
+    def test_family_builders_are_deterministic(self):
+        for name, builder in FAMILY_BUILDERS.items():
+            width = 2 if name == "deep_narrow" else 6 if name == "wide_shallow" else 4
+            first, second = builder(width, seed=13), builder(width, seed=13)
+            assert [i.name for i in first] == [i.name for i in second]
+            assert [i.qubits for i in first] == [i.qubits for i in second]
+
+    def test_families_emit_only_factory_gates(self):
+        from repro.circuits.gates import GATE_FACTORIES
+
+        for name, builder in FAMILY_BUILDERS.items():
+            width = 3 if name == "deep_narrow" else 6
+            circuit = builder(width, seed=5)
+            for inst in circuit:
+                assert inst.operation.name in GATE_FACTORIES, (name, inst.name)
+
+    def test_clifford_t_always_contains_t_gates(self):
+        for seed in range(20):
+            ops = FAMILY_BUILDERS["clifford_t"](3, 4, seed=seed).count_ops()
+            assert ops.get("t", 0) + ops.get("tdg", 0) >= 1, seed
+
+    def test_benchmark_names_resolve(self):
+        for name in ("brickwork_4", "cliffordt_3x5", "qaoalike_4", "ghzladder_5",
+                     "deepnarrow_3", "wideshallow_6"):
+            assert benchmark_circuit(name, seed=3).num_qubits >= 2
+
+    def test_malformed_family_name_rejected(self):
+        with pytest.raises(ValidationError):
+            benchmark_circuit("brickwork_abc")
+
+    def test_resolve_families(self):
+        assert resolve_families("all") == list(FAMILIES)
+        assert resolve_families("brickwork, clifford_t") == ["brickwork", "clifford_t"]
+        with pytest.raises(ValidationError):
+            resolve_families("nope")
+        with pytest.raises(ValidationError):
+            resolve_families([])
+
+
+class TestNoiseConfigs:
+    def test_explicit_count_and_seed(self, rng):
+        circuit = FAMILY_BUILDERS["brickwork"](4, seed=1)
+        seen_noisy = False
+        for _ in range(30):
+            config = random_noise_config(rng, circuit)
+            if config is None:
+                continue
+            seen_noisy = True
+            assert config["channel"] in CHANNEL_FACTORIES
+            assert 1 <= config["count"] <= 6
+            assert isinstance(config["seed"], int)
+            assert 10**-3.5 <= config["parameter"] <= 10**-1.3
+        assert seen_noisy
+
+    def test_noiseless_fraction_zero_always_noisy(self, rng):
+        circuit = FAMILY_BUILDERS["brickwork"](4, seed=1)
+        for _ in range(10):
+            assert random_noise_config(rng, circuit, noiseless_fraction=0.0) is not None
+
+
+class TestObservables:
+    def test_random_observable_shape(self, rng):
+        observable = random_pauli_observable(5, rng, max_terms=3, max_weight=2)
+        assert 1 <= observable.num_terms <= 3
+        for term in observable:
+            assert 1 <= term.weight <= 2
+            assert all(qubit < 5 for qubit in term.support)
+
+    def test_invalid_arguments_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            random_pauli_observable(3, rng, max_terms=0)
+
+
+class TestGenerateWorkloads:
+    def test_reproducible_and_round_robin(self):
+        first = generate_workloads(cases=8, seed=9)
+        second = generate_workloads(cases=8, seed=9)
+        assert first == second
+        assert [w.family for w in first[:6]] == list(FAMILIES)
+
+    def test_family_subset_reproduces_full_run_cases(self):
+        # Workload identity depends on (seed, family, per-family index) only.
+        full = [w for w in generate_workloads(cases=12, seed=3) if w.family == "brickwork"]
+        narrow = generate_workloads(families="brickwork", cases=2, seed=3)
+        assert [w.seed for w in narrow] == [w.seed for w in full]
+
+    def test_noisy_circuit_is_deterministic(self):
+        workload = generate_workloads(cases=30, seed=5)[13]
+        first, second = workload.noisy_circuit(), workload.noisy_circuit()
+        assert [i.name for i in first] == [i.name for i in second]
+        assert first.noise_positions() == second.noise_positions()
+
+    def test_workloads_fit_the_density_matrix_reference(self):
+        for workload in generate_workloads(cases=18, seed=2):
+            assert workload.circuit.num_qubits <= 12
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValidationError):
+            generate_workloads(cases=0)
+        with pytest.raises(ValidationError):
+            generate_workloads(cases=1, samples=0)
+        with pytest.raises(ValidationError):
+            generate_workloads(cases=1, level=-1)
+
+    def test_describe_mentions_family_and_noise(self):
+        workload = generate_workloads(cases=1, seed=4)[0]
+        text = workload.describe()
+        assert workload.family in text
+        assert ("noiseless" in text) == (workload.noise is None)

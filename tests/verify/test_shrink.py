@@ -1,0 +1,80 @@
+"""Tests for the ddmin-style circuit shrinker."""
+
+from repro.circuits import Circuit
+from repro.circuits.library import brickwork_circuit
+from repro.verify import compact_qubits, shrink_circuit
+
+
+def _has_gate(circuit, name):
+    return any(inst.name == name for inst in circuit)
+
+
+class TestShrinkCircuit:
+    def test_shrinks_to_single_marker_instruction(self):
+        circuit = brickwork_circuit(4, depth=4, seed=1)
+        circuit.t(2)  # the "bug trigger" the predicate hunts
+        shrunk, checks = shrink_circuit(circuit, lambda c: _has_gate(c, "t"))
+        assert _has_gate(shrunk, "t")
+        assert len(shrunk) == 1
+        assert checks > 0
+
+    def test_preserves_minimal_multi_instruction_core(self):
+        circuit = Circuit(2).h(0).t(0).h(0).cx(0, 1).rz(0.3, 1)
+
+        def needs_h_t_pair(candidate):
+            names = [inst.name for inst in candidate]
+            return "t" in names and "h" in names
+
+        shrunk, _ = shrink_circuit(circuit, needs_h_t_pair)
+        assert sorted(inst.name for inst in shrunk) == ["h", "t"]
+
+    def test_input_returned_when_nothing_smaller_fails(self):
+        circuit = Circuit(1).h(0).t(0)
+        shrunk, _ = shrink_circuit(circuit, lambda c: len(c) == 2)
+        assert len(shrunk) == 2
+
+    def test_crashing_predicate_counts_as_not_failing(self):
+        circuit = Circuit(1).h(0).t(0).s(0)
+
+        def fragile(candidate):
+            if len(candidate) < 2:
+                raise RuntimeError("boom")
+            return True
+
+        shrunk, _ = shrink_circuit(circuit, fragile)
+        assert len(shrunk) == 2  # stopped at the smallest non-crashing size
+
+    def test_respects_check_budget(self):
+        circuit = brickwork_circuit(5, depth=6, seed=2)
+        calls = []
+
+        def predicate(candidate):
+            calls.append(1)
+            return True
+
+        shrink_circuit(circuit, predicate, max_checks=7)
+        assert len(calls) <= 7
+
+
+class TestCompactQubits:
+    def test_drops_untouched_qubits(self):
+        circuit = Circuit(5).h(1).cx(1, 3)
+        compact = compact_qubits(circuit)
+        assert compact.num_qubits == 2
+        assert [inst.qubits for inst in compact] == [(0,), (0, 1)]
+
+    def test_identity_when_all_qubits_used(self):
+        circuit = Circuit(2).h(0).cx(0, 1)
+        assert compact_qubits(circuit) is circuit
+
+    def test_empty_circuit_unchanged(self):
+        circuit = Circuit(3)
+        assert compact_qubits(circuit) is circuit
+
+    def test_shrink_applies_compaction(self):
+        circuit = Circuit(6).h(4)
+        for qubit in range(3):
+            circuit.rz(0.1, qubit)
+        shrunk, _ = shrink_circuit(circuit, lambda c: _has_gate(c, "h"))
+        assert shrunk.num_qubits == 1
+        assert len(shrunk) == 1
