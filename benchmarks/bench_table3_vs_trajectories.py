@@ -15,6 +15,13 @@ The grid — circuits, noise model, backends — lives in
 ``benchmarks/specs/table3.yaml`` (the same file ``repro sweep run`` executes);
 this module adds the paper's matched-precision pilot on top, overriding the
 spec's fixed sample count with one matched to the level-1 error per circuit.
+
+Every method is measured on the compiled hot path
+(:meth:`repro.api.Session.compile` once per cell, then
+:meth:`repro.api.Executable.run`): the pilot and the final matched-precision
+trajectory run share one Executable, and the reported runtimes are the
+per-request serving cost — the compile-once cost is recorded separately in
+the JSON payload (``*_compile`` keys).
 """
 
 from __future__ import annotations
@@ -54,17 +61,20 @@ def _entry(cell):
 
 @pytest.mark.parametrize("cell", OURS_CELLS, ids=[cell.cell_id for cell in OURS_CELLS])
 def test_table3_ours(benchmark, cell):
-    """Level-1 approximation: runtime and precision."""
+    """Level-1 approximation: serving runtime and precision (compiled once)."""
     entry = _entry(cell)
+    compile_start = time.perf_counter()
+    executable = _session.compile(
+        entry["circuit"],
+        backend=cell.backend.name,
+        backend_options=cell.backend.options,
+        level=cell.level,
+    )
+    entry["ours_compile"] = time.perf_counter() - compile_start
 
     def run():
         start = time.perf_counter()
-        result = _session.run(
-            entry["circuit"],
-            backend=cell.backend.name,
-            backend_options=cell.backend.options,
-            level=cell.level,
-        )
+        result = executable.run()
         return result.value, time.perf_counter() - start
 
     value, elapsed = run_once(benchmark, run)
@@ -75,26 +85,29 @@ def test_table3_ours(benchmark, cell):
 
 @pytest.mark.parametrize("cell", TRAJ_CELLS, ids=[cell.cell_id for cell in TRAJ_CELLS])
 def test_table3_trajectories(benchmark, cell):
-    """Quantum trajectories at a sample count matched to the level-1 precision."""
+    """Quantum trajectories at a sample count matched to the level-1 precision.
+
+    The matched-precision pilot and the timed final run share one compiled
+    Executable: the trajectory template (TN contraction plan / dense boundary
+    states, Kraus sampling distributions) is prepared exactly once.
+    """
     entry = _entry(cell)
     label = cell.backend.label
     target_error = max(entry.get("ours_error", 1e-4), 1e-5)
-    # The adapter owns the engine-kind mapping; the session's pilot helper
-    # reuses it for the matched-precision sample count too.
-    samples = _session.samples_for_precision(
-        entry["circuit"], target_error, backend=cell.backend.name,
-        pilot_samples=256, seed=1, max_samples=2 * cell.samples,
+    compile_start = time.perf_counter()
+    executable = _session.compile(
+        entry["circuit"],
+        backend=cell.backend.name,
+        backend_options=cell.backend.options,
+    )
+    entry[f"{label}_compile"] = time.perf_counter() - compile_start
+    samples = executable.samples_for_precision(
+        target_error, pilot_samples=256, seed=1, max_samples=2 * cell.samples,
     )
 
     def run():
         start = time.perf_counter()
-        result = _session.run(
-            entry["circuit"],
-            backend=cell.backend.name,
-            backend_options=cell.backend.options,
-            samples=samples,
-            seed=cell.seed,
-        )
+        result = executable.run(num_samples=samples, seed=cell.seed)
         return result.value, time.perf_counter() - start
 
     value, elapsed = run_once(benchmark, run)

@@ -21,8 +21,10 @@ The package is organised around the paper's structure:
   simulator behind one contract, plus the batched trajectory engine.
 * :mod:`repro.api` — the session layer: :func:`~repro.api.simulate` and
   :class:`~repro.api.Session` (blocking ``run`` / async ``submit`` over one
-  shared process pool), the single typed entry point every higher layer
-  (CLI, sweeps, benchmarks) shares.
+  shared process pool, and ``compile()`` returning a cached
+  :class:`~repro.api.Executable` for repeated hot-path execution), the
+  single typed entry point every higher layer (CLI, sweeps, benchmarks)
+  shares.
 * :mod:`repro.verify` — the differential conformance harness: seeded random
   workload families, cross-backend metamorphic oracles, failure shrinking
   and replayable artifacts (``repro verify`` on the command line).
@@ -41,7 +43,7 @@ Quickstart::
     print(result.value, result.error_bound, result.config_hash)
 """
 
-from repro.api import Session, SimulationResult, simulate
+from repro.api import Executable, Session, SimulationResult, simulate
 from repro.backends import (
     BackendResult,
     SimulationTask,
@@ -72,6 +74,7 @@ __all__ = [
     "depolarizing_channel",
     "noise_rate",
     # session layer (the front door)
+    "Executable",
     "Session",
     "SimulationResult",
     "simulate",

@@ -13,33 +13,49 @@ package instead of constructing simulator classes by hand::
                       backend="approximation", level=1)
     result.value, result.error_bound, result.config_hash
 
+    # hot path: compile once, execute many times
+    with Session(seed=7) as session:
+        executable = session.compile(circuit, backend="approximation", level=1)
+        results = [executable.run() for _ in range(1000)]   # no re-planning
+
     # async batch over one shared process pool
     with Session(workers=4, seed=7) as session:
         futures = [session.submit(circuit, backend=name, samples=10_000)
                    for name in ("trajectories", "trajectories_tn")]
         results = [future.result() for future in futures]
 
-Every entry point returns a :class:`SimulationResult` — value, standard
-error, Theorem-1 error bound (when available), wall-clock time and full
-provenance (backend name, resolved seed, task config hash) — so CLI tables,
-sweep JSONL records and ``BENCH_*`` perf records serialize one schema.
+Every dispatch is a compile/execute split: :meth:`Session.compile` performs
+the one-time work (noise binding, backend + capability resolution, seed
+resolution, the backend's plan search) and returns an immutable
+:class:`Executable`; ``run()``/``submit()``/``simulate()`` are thin wrappers
+over compile-then-execute backed by a bounded LRU plan cache
+(:meth:`Session.cache_stats`), so repeated traffic on one configuration pays
+pure execution cost.  Every entry point returns a :class:`SimulationResult`
+— value, standard error, Theorem-1 error bound (when available), wall-clock
+time and full provenance (backend name, resolved seed, task config hash,
+plan-cache hit) — so CLI tables, sweep JSONL records and ``BENCH_*`` perf
+records serialize one schema, and :meth:`SimulationResult.from_dict`
+rehydrates served/cached records.
 
 Layering: ``repro.api`` sits directly on :mod:`repro.backends` (registry +
 engine) and below :mod:`repro.sweeps` and :mod:`repro.cli`, which are both
 implemented on top of it.
 """
 
+from repro.api.executable import Executable, plan_cache_key
 from repro.api.noise import NOISE_CHANNELS, apply_noise, noise_model
 from repro.api.result import SimulationResult, task_config_hash
 from repro.api.session import Session, ideal_output_state, simulate
 
 __all__ = [
+    "Executable",
     "NOISE_CHANNELS",
     "Session",
     "SimulationResult",
     "apply_noise",
     "ideal_output_state",
     "noise_model",
+    "plan_cache_key",
     "simulate",
     "task_config_hash",
 ]

@@ -1,0 +1,309 @@
+"""Compiled simulations: the execute half of the compile/execute split.
+
+:meth:`repro.api.Session.compile` performs every piece of one-time work a
+simulation needs — noise binding, backend and capability resolution, seed
+resolution, boundary-state materialisation and the backend's own plan
+construction (contraction-schedule recording, trajectory-context
+preparation, SVD decompositions) — and returns an :class:`Executable`: an
+immutable handle whose :meth:`Executable.run` / :meth:`Executable.submit`
+pay only the pure execution cost.  ``run()``/``submit()``/``simulate()`` on
+the session are thin wrappers over compile-then-execute with a transparent
+bounded LRU plan cache, so hot-path serving of a repeated configuration
+skips the one-time work automatically.
+
+:func:`plan_cache_key` is the cache identity: it covers everything a
+backend's plan can depend on (the exact circuit structure, the backend and
+its options, the boundary states) and deliberately *excludes* the per-call
+knobs (``seed``, ``num_samples``, ``keep_samples``, ``workers``/``executor``
+and the approximation ``level``), so e.g. two trajectory tasks that differ
+only in their sampling seed share one compiled plan.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from concurrent.futures import Future
+from typing import Any, Dict, Mapping
+
+from repro.api.result import (
+    SimulationResult,
+    hash_payload,
+    structural_config_payload,
+    task_config_hash,
+)
+from repro.backends.base import SimulationBackend, SimulationTask
+from repro.circuits.circuit import Circuit
+from repro.utils.validation import ValidationError
+
+__all__ = ["Executable", "plan_cache_key"]
+
+
+def plan_cache_key(
+    backend: str,
+    circuit: Circuit,
+    task: SimulationTask,
+    backend_options: Mapping[str, Any] | None = None,
+) -> str:
+    """Identity of a compiled plan: structure in, per-call knobs out.
+
+    Two configurations share a plan iff they agree on the backend (name and
+    construction options), the exact circuit structure (gate and Kraus tensor
+    bytes, see :meth:`repro.circuits.Circuit.fingerprint`), the boundary
+    states and the structural task options.  ``seed``, ``num_samples``,
+    ``keep_samples`` and the approximation ``level`` never change what a
+    backend precomputes, so they are excluded — a sweep over seeds, sample
+    counts or levels compiles once.  Of the execution plumbing, only the
+    pooled-vs-in-process *regime* bit (``workers > 1``) enters the key —
+    never the worker count or the executor handle — because a multi-process
+    run prepares its per-circuit context inside each worker and therefore
+    compiles to a different (empty) plan than an in-process run.
+
+    >>> from repro.backends import SimulationTask
+    >>> from repro.circuits.library import ghz_circuit
+    >>> key = plan_cache_key("tn", ghz_circuit(2), SimulationTask(seed=1))
+    >>> key == plan_cache_key(
+    ...     "tn", ghz_circuit(2), SimulationTask(seed=2, num_samples=9, level=3)
+    ... )
+    True
+    >>> key == plan_cache_key("tn", ghz_circuit(3), SimulationTask(seed=1))
+    False
+    >>> key == plan_cache_key("tdd", ghz_circuit(2), SimulationTask(seed=1))
+    False
+    """
+    payload = structural_config_payload(backend, task, backend_options)
+    payload["circuit"] = circuit.fingerprint()
+    payload["pooled"] = task.workers is not None and task.workers > 1
+    return hash_payload(payload)
+
+
+def one_shot_result(executable: "Executable") -> SimulationResult:
+    """Execute a freshly compiled executable as a one-shot dispatch.
+
+    When the plan was compiled for this very call (cache miss), the compile
+    time is billed into the result's ``elapsed_seconds`` — that is the cost
+    the caller actually paid — so one-shot timings (sweep records, CLI
+    tables, verify reports) stay comparable with records produced before the
+    compile/execute split.  On a cache hit the result is the pure execution
+    cost, exactly like :meth:`Executable.run`.
+    """
+    result = executable.run()
+    if not executable.cache_hit and executable.compile_seconds > 0.0:
+        result = dataclasses.replace(
+            result,
+            elapsed_seconds=result.elapsed_seconds + executable.compile_seconds,
+        )
+    return result
+
+
+class Executable:
+    """An immutable compiled simulation, ready for repeated hot-path execution.
+
+    Produced by :meth:`repro.api.Session.compile`; holds the fully resolved
+    circuit (noise bound, boundary states materialised), the resolved backend
+    adapter, the resolved task and the backend's precompiled plan.  Each
+    :meth:`run`/:meth:`submit` call pays only the pure execution cost;
+    ``num_samples`` and ``seed`` may be overridden per call (they are
+    per-call knobs the plan does not depend on), everything else is fixed at
+    compile time — including the noise *placement*, which was bound using the
+    compile-time seed.
+
+    The handle stays valid until its session closes; afterwards
+    :meth:`run`/:meth:`submit` raise a
+    :class:`~repro.utils.validation.ValidationError`.
+    """
+
+    __slots__ = (
+        "_session",
+        "_backend",
+        "_circuit",
+        "_task",
+        "_backend_options",
+        "_config_hash",
+        "_plan",
+        "_plan_key",
+        "_cache_hit",
+        "_compile_seconds",
+        "_lock",
+        "_executions",
+    )
+
+    def __init__(
+        self,
+        session,
+        backend: SimulationBackend,
+        circuit: Circuit,
+        task: SimulationTask,
+        backend_options: Mapping[str, Any] | None,
+        config_hash: str,
+        plan: Any,
+        plan_key: str,
+        cache_hit: bool,
+        compile_seconds: float,
+    ) -> None:
+        self._session = session
+        self._backend = backend
+        self._circuit = circuit
+        self._task = task
+        self._backend_options = dict(backend_options or {})
+        self._config_hash = config_hash
+        self._plan = plan
+        self._plan_key = plan_key
+        self._cache_hit = cache_hit
+        self._compile_seconds = compile_seconds
+        self._lock = threading.Lock()
+        self._executions = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """Canonical name of the resolved backend."""
+        return self._backend.name
+
+    @property
+    def circuit(self) -> Circuit:
+        """The fully resolved (noise-bound) circuit this executable runs."""
+        return self._circuit
+
+    @property
+    def task(self) -> SimulationTask:
+        """The resolved task (frozen; per-call overrides never mutate it)."""
+        return self._task
+
+    @property
+    def config_hash(self) -> str:
+        """Provenance hash of the compiled configuration (seed included)."""
+        return self._config_hash
+
+    @property
+    def plan_key(self) -> str:
+        """Session plan-cache key (seed/samples/level excluded)."""
+        return self._plan_key
+
+    @property
+    def cache_hit(self) -> bool:
+        """True when compilation reused a plan from the session cache."""
+        return self._cache_hit
+
+    @property
+    def compile_seconds(self) -> float:
+        """Wall-clock cost of the plan search (0.0 on a cache hit)."""
+        return self._compile_seconds
+
+    def describe(self) -> Dict[str, Any]:
+        """Plan cost and cache provenance of this compiled configuration."""
+        plan_info = None
+        describe = getattr(self._plan, "describe", None)
+        if callable(describe):
+            plan_info = describe()
+        elif self._plan is not None:
+            plan_info = type(self._plan).__name__
+        return {
+            "backend": self._backend.name,
+            "circuit": self._circuit.summary(),
+            "config_hash": self._config_hash,
+            "plan_key": self._plan_key,
+            "cache_hit": self._cache_hit,
+            "compile_seconds": self._compile_seconds,
+            "executions": self._executions,
+            "seed": self._task.seed,
+            "num_samples": self._task.num_samples,
+            "level": self._task.level,
+            "plan": plan_info,
+        }
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _resolve_call(self, num_samples: int | None, seed: int | None):
+        """Per-call task + provenance; counts the execution for cache_hit."""
+        self._session._check_open()
+        task = self._task
+        if num_samples is not None:
+            if num_samples <= 0:
+                raise ValidationError("num_samples must be positive")
+            task = dataclasses.replace(task, num_samples=int(num_samples))
+        if seed is not None:
+            task = dataclasses.replace(task, seed=int(seed))
+        if task is self._task:
+            config_hash = self._config_hash
+        else:
+            config_hash = task_config_hash(
+                self._backend.name, task, self._backend_options
+            )
+        with self._lock:
+            reused = self._cache_hit or self._executions > 0
+            self._executions += 1
+        return task, config_hash, reused
+
+    def run(
+        self, *, num_samples: int | None = None, seed: int | None = None
+    ) -> SimulationResult:
+        """Execute the compiled simulation, blocking until the result.
+
+        ``num_samples``/``seed`` override the compiled task's sampling budget
+        and RNG seed for this call only (stochastic backends); with no
+        overrides, every ``run()`` replays the exact compiled configuration —
+        same seed, bit-identical value.
+        """
+        task, config_hash, reused = self._resolve_call(num_samples, seed)
+        outcome = self._backend.run(self._circuit, task, plan=self._plan)
+        return SimulationResult.from_backend_result(
+            outcome, seed=task.seed, config_hash=config_hash, cache_hit=reused
+        )
+
+    def submit(
+        self, *, num_samples: int | None = None, seed: int | None = None
+    ) -> "Future[SimulationResult]":
+        """Non-blocking :meth:`run`: dispatch on the session's thread pool."""
+        task, config_hash, reused = self._resolve_call(num_samples, seed)
+
+        def execute() -> SimulationResult:
+            outcome = self._backend.run(self._circuit, task, plan=self._plan)
+            return SimulationResult.from_backend_result(
+                outcome, seed=task.seed, config_hash=config_hash, cache_hit=reused
+            )
+
+        return self._session._dispatch_pool().submit(execute)
+
+    # ------------------------------------------------------------------
+    def samples_for_precision(
+        self,
+        target_standard_error: float,
+        *,
+        pilot_samples: int = 64,
+        seed: int | None = None,
+        max_samples: int = 1_000_000,
+    ) -> int:
+        """Trajectory count reaching ``target_standard_error``, via a pilot run.
+
+        The pilot executes through this same executable (no recompilation),
+        so the pilot and the final matched-precision run share one compiled
+        plan; the post-pilot math is
+        :func:`repro.simulators.trajectories.required_samples`.
+        """
+        from repro.simulators.trajectories import required_samples
+
+        if target_standard_error <= 0:
+            raise ValidationError("target_standard_error must be positive")
+        if not self._backend.capabilities.stochastic:
+            raise ValidationError(
+                f"backend {self._backend.name!r} is not stochastic; "
+                "samples_for_precision applies to the trajectory backends only"
+            )
+        pilot = self.run(num_samples=pilot_samples, seed=seed)
+        return required_samples(
+            pilot.value,
+            pilot.standard_error,
+            pilot_samples,
+            target_standard_error,
+            max_samples=max_samples,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Executable backend={self._backend.name!r} "
+            f"config_hash={self._config_hash!r} cache_hit={self._cache_hit}>"
+        )

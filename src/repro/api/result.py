@@ -37,6 +37,44 @@ def _state_token(value: Any) -> Any:
     return repr(value)
 
 
+def structural_config_payload(
+    backend: str,
+    task: SimulationTask,
+    backend_options: Mapping[str, Any] | None = None,
+) -> Dict[str, Any]:
+    """The JSON-stable payload of a task's *structural* configuration.
+
+    The fields every configuration identity shares: backend name and
+    construction options, boundary states, bond-dimension ceiling and the
+    per-run adapter options (minus the ``executor`` handle).  Both
+    :func:`task_config_hash` (which adds the per-call fields) and
+    :func:`repro.api.executable.plan_cache_key` (which adds the circuit
+    fingerprint) extend this one builder, so a new task field cannot be
+    added to one hash and silently forgotten in the other.
+    """
+    return {
+        "backend": backend,
+        "backend_options": {
+            str(key): _state_token(value)
+            for key, value in dict(backend_options or {}).items()
+        },
+        "input_state": _state_token(task.input_state),
+        "output_state": _state_token(task.output_state),
+        "max_bond_dim": task.max_bond_dim,
+        "options": {
+            str(key): _state_token(value)
+            for key, value in task.options.items()
+            if key != "executor"
+        },
+    }
+
+
+def hash_payload(payload: Mapping[str, Any]) -> str:
+    """16-hex content hash of a JSON-stable payload (shared hash spelling)."""
+    digest = hashlib.sha256(json.dumps(payload, sort_keys=True).encode())
+    return digest.hexdigest()[:16]
+
+
 def task_config_hash(
     backend: str,
     task: SimulationTask,
@@ -60,28 +98,17 @@ def task_config_hash(
     >>> a == task_config_hash("tn", SimulationTask(seed=8, workers=1))
     False
     """
-    payload = {
-        "backend": backend,
-        "backend_options": {
-            str(key): _state_token(value)
-            for key, value in dict(backend_options or {}).items()
-        },
-        "input_state": _state_token(task.input_state),
-        "output_state": _state_token(task.output_state),
-        "num_samples": task.num_samples,
-        "level": task.level,
-        "seed": task.seed,
-        "rng_regime": "serial" if task.workers is None else "blocked",
-        "keep_samples": task.keep_samples,
-        "max_bond_dim": task.max_bond_dim,
-        "options": {
-            str(key): _state_token(value)
-            for key, value in task.options.items()
-            if key != "executor"
-        },
-    }
-    digest = hashlib.sha256(json.dumps(payload, sort_keys=True).encode())
-    return digest.hexdigest()[:16]
+    payload = structural_config_payload(backend, task, backend_options)
+    payload.update(
+        {
+            "num_samples": task.num_samples,
+            "level": task.level,
+            "seed": task.seed,
+            "rng_regime": "serial" if task.workers is None else "blocked",
+            "keep_samples": task.keep_samples,
+        }
+    )
+    return hash_payload(payload)
 
 
 @dataclass(frozen=True)
@@ -108,6 +135,10 @@ class SimulationResult:
     seed: int | None = None
     #: Content hash of the task configuration (see :func:`task_config_hash`).
     config_hash: str = ""
+    #: True when the one-time work behind this result (plan search, noise
+    #: binding, transpilation) was reused from a compiled
+    #: :class:`~repro.api.Executable` rather than performed for this call.
+    cache_hit: bool = False
     #: Backend-specific extras (level, bond dimensions, …).
     metadata: Mapping[str, Any] = field(default_factory=dict)
 
@@ -118,6 +149,7 @@ class SimulationResult:
         *,
         seed: int | None = None,
         config_hash: str = "",
+        cache_hit: bool = False,
     ) -> "SimulationResult":
         """Lift a backend-layer result into the unified schema."""
         metadata = dict(result.metadata or {})
@@ -132,6 +164,7 @@ class SimulationResult:
             num_contractions=result.num_contractions,
             seed=seed,
             config_hash=config_hash,
+            cache_hit=cache_hit,
             metadata=metadata,
         )
 
@@ -151,5 +184,40 @@ class SimulationResult:
             "num_contractions": self.num_contractions,
             "seed": self.seed,
             "config_hash": self.config_hash,
+            "cache_hit": self.cache_hit,
             "metadata": {str(key): _state_token(value) for key, value in self.metadata.items()},
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SimulationResult":
+        """Rehydrate a result from its :meth:`to_dict` payload (the inverse).
+
+        Cached or served results stored as JSON come back as full
+        :class:`SimulationResult` objects; unknown keys are ignored so newer
+        payloads load under older schemas.  Dense-state metadata values were
+        reduced to hash tokens by :meth:`to_dict` and stay tokens — the
+        round trip is exact on the serialised view:
+
+        >>> result = SimulationResult(backend="tn", value=0.5, seed=7)
+        >>> SimulationResult.from_dict(result.to_dict()) == result
+        True
+        """
+        if "backend" not in payload or "value" not in payload:
+            raise ValueError("a SimulationResult payload needs 'backend' and 'value'")
+        error_bound = payload.get("error_bound")
+        num_samples = payload.get("num_samples")
+        num_contractions = payload.get("num_contractions")
+        seed = payload.get("seed")
+        return cls(
+            backend=str(payload["backend"]),
+            value=float(payload["value"]),
+            standard_error=float(payload.get("standard_error", 0.0)),
+            error_bound=None if error_bound is None else float(error_bound),
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            num_samples=None if num_samples is None else int(num_samples),
+            num_contractions=None if num_contractions is None else int(num_contractions),
+            seed=None if seed is None else int(seed),
+            config_hash=str(payload.get("config_hash", "")),
+            cache_hit=bool(payload.get("cache_hit", False)),
+            metadata=dict(payload.get("metadata", {})),
+        )

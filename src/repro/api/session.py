@@ -10,9 +10,15 @@ benchmark harness and the examples all share.  It
   pool start-up;
 * resolves RNG seeds eagerly (session seed → per-submission derived seed) so
   every result carries the seed that actually drove it;
-* exposes blocking :meth:`Session.run` and non-blocking
-  :meth:`Session.submit` returning a :class:`~concurrent.futures.Future`, so
-  callers can batch-dispatch many tasks over one pool;
+* splits every dispatch into **compile** (noise binding, backend resolution,
+  boundary-state materialisation, the backend's plan search) and **execute**:
+  :meth:`Session.compile` returns an immutable
+  :class:`~repro.api.Executable` whose ``run()``/``submit()`` pay only the
+  execution cost, and a bounded LRU plan cache keyed by
+  :func:`~repro.api.executable.plan_cache_key` makes the blocking
+  :meth:`Session.run` and non-blocking :meth:`Session.submit` wrappers hit
+  compiled plans transparently on repeated configurations
+  (:meth:`Session.cache_stats` exposes the hit/miss/eviction counters);
 * returns one unified :class:`~repro.api.SimulationResult` from every path.
 
 Example — one blocking call and a two-backend async batch::
@@ -46,11 +52,13 @@ import dataclasses
 import hashlib
 import os
 import threading
+import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Mapping
+from typing import Any, Dict, Mapping
 
 import numpy as np
 
+from repro.api.executable import Executable, one_shot_result, plan_cache_key
 from repro.api.noise import apply_noise
 from repro.api.result import SimulationResult, task_config_hash
 from repro.backends.base import SimulationBackend, SimulationTask
@@ -109,6 +117,11 @@ class Session:
         Base seed for tasks that do not carry their own: submission ``i``
         of a stochastic task derives the stable seed ``(seed, i)``, so a
         session's batch is reproducible end-to-end.
+    plan_cache_size:
+        Capacity of the session's LRU cache of compiled backend plans
+        (default 32 configurations; ``0`` disables plan caching, which is
+        what the compile-amortisation benchmarks use as their uncached
+        baseline).  :meth:`cache_stats` reports hits/misses/evictions.
     """
 
     def __init__(
@@ -116,11 +129,14 @@ class Session:
         workers: int | None = None,
         max_parallel: int | None = None,
         seed: int | None = None,
+        plan_cache_size: int = 32,
     ) -> None:
         if workers is not None and workers < 1:
             raise ValidationError("workers must be >= 1 (or None for serial mode)")
         if max_parallel is not None and max_parallel < 1:
             raise ValidationError("max_parallel must be >= 1")
+        if plan_cache_size < 0:
+            raise ValidationError("plan_cache_size must be >= 0")
         self.workers = workers
         self.seed = seed
         self._max_parallel = max_parallel or min(8, os.cpu_count() or 2)
@@ -130,12 +146,18 @@ class Session:
         self._dispatcher: ThreadPoolExecutor | None = None
         self._submissions = 0
         self._closed = False
-        # Ideal output states per circuit identity, so a batch of
-        # output_state="ideal" tasks on one circuit simulates |v> once.  The
-        # strong circuit reference pins the id while cached; LRU-bounded so a
-        # long-lived service session streaming distinct circuits cannot
-        # accumulate 2**n-sized states without limit.
+        # Ideal output states keyed by the *ideal* circuit's fingerprint, so a
+        # batch of output_state="ideal" tasks over equivalent circuits (e.g. a
+        # sweep re-binding the same noise per cell) simulates |v> once.
+        # LRU-bounded so a long-lived service session streaming distinct
+        # circuits cannot accumulate 2**n-sized states without limit.
         self._ideal_outputs: "collections.OrderedDict" = collections.OrderedDict()
+        # Compiled backend plans keyed by plan_cache_key (LRU, bounded).
+        self._plan_capacity = int(plan_cache_size)
+        self._plans: "collections.OrderedDict[str, Any]" = collections.OrderedDict()
+        self._plan_hits = 0
+        self._plan_misses = 0
+        self._plan_evictions = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -147,11 +169,18 @@ class Session:
         self.close()
 
     def close(self) -> None:
-        """Shut down the session's pools; further dispatches raise."""
+        """Shut down the session's pools and drop its caches; further dispatches raise.
+
+        Compiled :class:`~repro.api.Executable` handles created by this
+        session become unusable: their ``run()``/``submit()`` raise a
+        :class:`~repro.utils.validation.ValidationError`.
+        """
         with self._lock:
             self._closed = True
             pool, self._pool = self._pool, None
             dispatcher, self._dispatcher = self._dispatcher, None
+            self._plans.clear()
+            self._ideal_outputs.clear()
         if dispatcher is not None:
             dispatcher.shutdown(wait=True)
         if pool is not None:
@@ -159,7 +188,9 @@ class Session:
 
     def _check_open(self) -> None:
         if self._closed:
-            raise ValidationError("session is closed")
+            raise ValidationError(
+                "session is closed (compiled executables die with their session)"
+            )
 
     # ------------------------------------------------------------------
     # Shared executors
@@ -305,20 +336,143 @@ class Session:
     _IDEAL_CACHE_SIZE = 8
 
     def _ideal_output(self, circuit: Circuit) -> np.ndarray:
-        """Session-cached :func:`ideal_output_state` (one |v> per circuit)."""
-        key = id(circuit)
+        """Session-cached :func:`ideal_output_state` (one |v> per ideal circuit).
+
+        Keyed by the noise-stripped circuit's content fingerprint, so
+        equivalent circuits — e.g. a sweep re-binding the same noise model
+        per cell, or the same circuit under different noise seeds — share one
+        dense simulation.
+        """
+        ideal = circuit.without_noise() if circuit.noise_count() else circuit
+        key = ideal.fingerprint()
         with self._lock:
-            cached = self._ideal_outputs.get(key)
-            if cached is not None and cached[0] is circuit:
+            if key in self._ideal_outputs:
                 self._ideal_outputs.move_to_end(key)
-                return cached[1]
+                return self._ideal_outputs[key]
         state = ideal_output_state(circuit)
         with self._lock:
-            self._ideal_outputs[key] = (circuit, state)
+            self._ideal_outputs[key] = state
             self._ideal_outputs.move_to_end(key)
             while len(self._ideal_outputs) > self._IDEAL_CACHE_SIZE:
                 self._ideal_outputs.popitem(last=False)
         return state
+
+    # ------------------------------------------------------------------
+    # Compile / execute
+    # ------------------------------------------------------------------
+    def compile(
+        self,
+        circuit: Circuit,
+        backend: str = "auto",
+        *,
+        noise: Any = None,
+        task: SimulationTask | None = None,
+        backend_options: Mapping[str, Any] | None = None,
+        level: int | None = None,
+        samples: int | None = None,
+        seed: int | None = None,
+        workers: int | None = None,
+        input_state: Any = None,
+        output_state: Any = None,
+        keep_samples: bool = False,
+        max_bond_dim: int | None = None,
+        options: Mapping[str, Any] | None = None,
+    ) -> Executable:
+        """Perform all one-time work now; return an :class:`~repro.api.Executable`.
+
+        Compilation binds the noise (using the resolved seed, so the noisy
+        structure is fixed from here on), resolves the backend and checks its
+        capabilities, materialises boundary states (``output_state="ideal"``
+        becomes the dense ideal output), resolves the RNG seed, and performs
+        the backend's own plan search (contraction-schedule recording,
+        trajectory-context preparation, noise SVD decompositions) — reusing a
+        previously compiled plan from the session's LRU cache when an
+        equivalent configuration was compiled before (see
+        :func:`~repro.api.executable.plan_cache_key`; ``seed``, ``samples``
+        and ``level`` do not fragment the cache).
+
+        The returned handle executes any number of times at pure execution
+        cost::
+
+            executable = session.compile(circuit, backend="tn")
+            results = [executable.run() for _ in range(1000)]   # no re-planning
+
+        One caveat: a noise mapping without a pinned ``"seed"`` draws a fresh
+        injection seed per call, which is a *genuinely different* noisy
+        structure every time — pin the noise seed (or pre-bind the noise into
+        the circuit) when the same structure should be served repeatedly.
+        """
+        built = self._build_task(
+            task=task, level=level, samples=samples, seed=seed, workers=workers,
+            input_state=input_state, output_state=output_state,
+            keep_samples=keep_samples, max_bond_dim=max_bond_dim, options=options,
+        )
+        resolved, circuit, built, config_hash = self._prepare(
+            circuit, backend, noise, backend_options, built
+        )
+        return self._finish_compile(resolved, circuit, built, backend_options, config_hash)
+
+    def _finish_compile(
+        self,
+        resolved: SimulationBackend,
+        circuit: Circuit,
+        built: SimulationTask,
+        backend_options: Mapping[str, Any] | None,
+        config_hash: str,
+    ) -> Executable:
+        """Plan-cache lookup + backend plan search for a prepared dispatch."""
+        key = plan_cache_key(resolved.name, circuit, built, backend_options)
+        with self._lock:
+            cache_hit = key in self._plans
+            if cache_hit:
+                self._plans.move_to_end(key)
+                plan = self._plans[key]
+                self._plan_hits += 1
+            else:
+                self._plan_misses += 1
+        compile_seconds = 0.0
+        if not cache_hit:
+            # The backend's plan search runs outside the lock: concurrent
+            # submit() calls may race to compile the same key (both count as
+            # misses, last store wins) but never block each other.
+            start = time.perf_counter()
+            plan = resolved.compile(circuit, built)
+            compile_seconds = time.perf_counter() - start
+            if self._plan_capacity > 0:
+                with self._lock:
+                    self._plans[key] = plan
+                    self._plans.move_to_end(key)
+                    while len(self._plans) > self._plan_capacity:
+                        self._plans.popitem(last=False)
+                        self._plan_evictions += 1
+        return Executable(
+            session=self,
+            backend=resolved,
+            circuit=circuit,
+            task=built,
+            backend_options=backend_options,
+            config_hash=config_hash,
+            plan=plan,
+            plan_key=key,
+            cache_hit=cache_hit,
+            compile_seconds=compile_seconds,
+        )
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Plan-cache counters: hits, misses, evictions, size, capacity.
+
+        ``hits + misses`` equals the number of :meth:`compile` calls (every
+        ``run()``/``submit()``/``simulate()`` performs exactly one), so the
+        hit rate of a serving session is ``hits / (hits + misses)``.
+        """
+        with self._lock:
+            return {
+                "hits": self._plan_hits,
+                "misses": self._plan_misses,
+                "evictions": self._plan_evictions,
+                "size": len(self._plans),
+                "capacity": self._plan_capacity,
+            }
 
     # ------------------------------------------------------------------
     # Execution
@@ -343,22 +497,35 @@ class Session:
     ) -> SimulationResult:
         """Simulate ``circuit`` on ``backend``, blocking until the result.
 
-        Either pass a prepared :class:`~repro.backends.SimulationTask` via
-        ``task`` or the individual method knobs (``level``, ``samples``,
-        ``seed``, …) — not both.  ``output_state="ideal"`` scores against the
-        circuit's own ideal output ``U|0…0⟩``.
+        A thin wrapper over :meth:`compile` + :meth:`Executable.run`: the
+        one-time work hits the session's plan cache transparently, so
+        repeated calls with an equivalent configuration pay only execution
+        (``result.cache_hit`` records which happened; on a miss the result's
+        ``elapsed_seconds`` includes the compile time this one-shot call
+        actually paid, keeping timings comparable with pre-compiled-plan
+        records).  Either pass a prepared
+        :class:`~repro.backends.SimulationTask` via ``task`` or the
+        individual method knobs (``level``, ``samples``, ``seed``, …) — not
+        both.  ``output_state="ideal"`` scores against the circuit's own
+        ideal output ``U|0…0⟩``.
         """
-        built = self._build_task(
-            task=task, level=level, samples=samples, seed=seed, workers=workers,
-            input_state=input_state, output_state=output_state,
-            keep_samples=keep_samples, max_bond_dim=max_bond_dim, options=options,
-        )
-        resolved, circuit, built, config_hash = self._prepare(
-            circuit, backend, noise, backend_options, built
-        )
-        outcome = resolved.run(circuit, built)
-        return SimulationResult.from_backend_result(
-            outcome, seed=built.seed, config_hash=config_hash
+        return one_shot_result(
+            self.compile(
+                circuit,
+                backend,
+                noise=noise,
+                task=task,
+                backend_options=backend_options,
+                level=level,
+                samples=samples,
+                seed=seed,
+                workers=workers,
+                input_state=input_state,
+                output_state=output_state,
+                keep_samples=keep_samples,
+                max_bond_dim=max_bond_dim,
+                options=options,
+            )
         )
 
     def submit(
@@ -381,10 +548,15 @@ class Session:
     ) -> "Future[SimulationResult]":
         """Non-blocking :meth:`run`: dispatch now, read the result later.
 
-        Backend resolution, capability checking and seed resolution happen
-        *before* this method returns (invalid submissions raise immediately,
-        and seeds depend only on submission order), so for identical seeds a
-        ``submit()`` batch is value-identical to sequential ``run()`` calls.
+        Resolution — backend lookup, capability checking, noise binding and
+        seed resolution — happens *before* this method returns (invalid
+        submissions raise immediately, and seeds depend only on submission
+        order), so for identical seeds a ``submit()`` batch is
+        value-identical to sequential ``run()`` calls.  The backend's plan
+        search and the execution both run on the dispatch pool (hitting the
+        session's plan cache there), so a batch of heavy submissions does
+        not serialize its compile work in the caller thread; to compile
+        eagerly instead, use :meth:`compile` + :meth:`Executable.submit`.
         """
         built = self._build_task(
             task=task, level=level, samples=samples, seed=seed, workers=workers,
@@ -396,9 +568,8 @@ class Session:
         )
 
         def execute() -> SimulationResult:
-            outcome = resolved.run(circuit, built)
-            return SimulationResult.from_backend_result(
-                outcome, seed=built.seed, config_hash=config_hash
+            return one_shot_result(
+                self._finish_compile(resolved, circuit, built, backend_options, config_hash)
             )
 
         return self._dispatch_pool().submit(execute)
@@ -420,27 +591,33 @@ class Session:
     ) -> int:
         """Trajectory count for ``backend`` to reach ``target_standard_error``.
 
-        Runs the stochastic backend's short pilot (see
-        :meth:`repro.simulators.TrajectorySimulator.samples_for_precision`);
-        raises :class:`~repro.utils.validation.ValidationError` for
-        non-stochastic backends.
+        Compiles one :class:`~repro.api.Executable` and runs the short pilot
+        through it (:meth:`Executable.samples_for_precision`), so a caller
+        that compiles the same configuration for the final matched-precision
+        run shares the pilot's plan via the session cache; raises
+        :class:`~repro.utils.validation.ValidationError` for non-stochastic
+        backends.
         """
         self._check_open()
         resolved = self.backend(backend, circuit)
-        estimator = getattr(resolved, "samples_for_precision", None)
-        if not resolved.capabilities.stochastic or estimator is None:
+        if not resolved.capabilities.stochastic:
             raise ValidationError(
                 f"backend {resolved.name!r} is not stochastic; "
                 "samples_for_precision applies to the trajectory backends only"
             )
-        return estimator(
+        executable = self.compile(
             circuit,
-            target_standard_error,
-            pilot_samples=pilot_samples,
-            rng=seed,
-            max_samples=max_samples,
+            backend,
+            samples=pilot_samples,
+            seed=seed,
             input_state=input_state,
             output_state=output_state,
+        )
+        return executable.samples_for_precision(
+            target_standard_error,
+            pilot_samples=pilot_samples,
+            seed=seed,
+            max_samples=max_samples,
         )
 
 

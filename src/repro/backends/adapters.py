@@ -4,6 +4,15 @@ Each adapter translates the :class:`~repro.backends.base.SimulationTask`
 vocabulary into the wrapped simulator's own calling convention and packs the
 outcome into a :class:`~repro.backends.base.BackendResult`.  Registration
 happens at import time via :func:`~repro.backends.registry.register_backend`.
+
+Adapters with expensive per-circuit one-time work implement the
+compile/execute split (:meth:`~repro.backends.base.SimulationBackend.compile`
+→ ``run(plan=...)``): the TN adapter records its contraction schedule once,
+the trajectory adapters prepare the engine's per-circuit context (template
+network, Kraus sampling distributions), the approximation adapter records the
+split-network schedules all substituted terms replay, and the statevector
+adapter resolves its dense boundary states.  Plan execution is bit-identical
+to the plan-less path — a plan moves the one-time work, never the values.
 """
 
 from __future__ import annotations
@@ -61,18 +70,25 @@ class StatevectorBackend(SimulationBackend):
     def max_qubits(self) -> int | None:
         return self._max_qubits if self._max_qubits is not None else self.capabilities.max_qubits
 
-    def _run(self, circuit: Circuit, task: SimulationTask) -> BackendResult:
+    def _compile(self, circuit: Circuit, task: SimulationTask):
         input_state, output_state = _default_states(circuit, task)
         n = circuit.num_qubits
+        return (dense_product_state(input_state, n), dense_product_state(output_state, n))
+
+    def _amplitude(self, circuit: Circuit, task: SimulationTask, psi: np.ndarray, v: np.ndarray):
         simulator = StatevectorSimulator(
             max_qubits=task.options.get("max_qubits", self.max_qubits())
         )
-        amplitude = simulator.amplitude(
-            circuit,
-            dense_product_state(output_state, n),
-            dense_product_state(input_state, n),
-        )
+        amplitude = simulator.amplitude(circuit, v, psi)
         return BackendResult(backend=self.name, value=float(abs(amplitude) ** 2))
+
+    def _run(self, circuit: Circuit, task: SimulationTask) -> BackendResult:
+        psi, v = self._compile(circuit, task)
+        return self._amplitude(circuit, task, psi, v)
+
+    def _run_plan(self, circuit: Circuit, task: SimulationTask, plan) -> BackendResult:
+        psi, v = plan
+        return self._amplitude(circuit, task, psi, v)
 
 
 @register_backend("density_matrix", noisy=True, exact=True, max_qubits=12, aliases=("mm", "dm"))
@@ -109,16 +125,27 @@ class TNBackend(SimulationBackend):
         self.max_intermediate_size = max_intermediate_size
         self.strategy = strategy
 
-    def _run(self, circuit: Circuit, task: SimulationTask) -> BackendResult:
-        input_state, output_state = _default_states(circuit, task)
-        simulator = TNSimulator(
+    def _simulator(self, task: SimulationTask) -> TNSimulator:
+        return TNSimulator(
             max_intermediate_size=task.options.get(
                 "max_intermediate_size", self.max_intermediate_size
             ),
             strategy=task.options.get("strategy", self.strategy),
         )
-        value = simulator.fidelity(circuit, input_state, output_state)
+
+    def _compile(self, circuit: Circuit, task: SimulationTask):
+        input_state, output_state = _default_states(circuit, task)
+        return self._simulator(task).prepare(circuit, input_state, output_state)
+
+    def _run(self, circuit: Circuit, task: SimulationTask) -> BackendResult:
+        input_state, output_state = _default_states(circuit, task)
+        value = self._simulator(task).fidelity(circuit, input_state, output_state)
         return BackendResult(backend=self.name, value=float(value), num_contractions=1)
+
+    def _run_plan(self, circuit: Circuit, task: SimulationTask, plan) -> BackendResult:
+        return BackendResult(
+            backend=self.name, value=plan.execute(), num_contractions=1
+        )
 
 
 @register_backend("tdd", noisy=True, exact=True, max_qubits=16)
@@ -240,7 +267,16 @@ class _TrajectoryBackendBase(SimulationBackend):
             backend=self._engine_backend, max_intermediate_size=max_intermediate_size
         )
 
-    def _run(self, circuit: Circuit, task: SimulationTask) -> BackendResult:
+    def _compile(self, circuit: Circuit, task: SimulationTask):
+        if task.workers is not None and task.workers > 1:
+            # The multi-process path prepares a context inside each worker
+            # process; a parent-side context would be dead weight (the plan
+            # cache keys pooled and in-process regimes separately).
+            return None
+        input_state, output_state = _default_states(circuit, task)
+        return self.engine.prepare(circuit, input_state, output_state)
+
+    def _run(self, circuit: Circuit, task: SimulationTask, plan=None) -> BackendResult:
         input_state, output_state = _default_states(circuit, task)
         result = self.engine.estimate_fidelity(
             circuit,
@@ -253,6 +289,9 @@ class _TrajectoryBackendBase(SimulationBackend):
             # A caller-owned process pool (e.g. a session's shared pool); the
             # engine reuses it without shutting it down.
             executor=task.resolved_executor(),
+            # The prepared per-circuit context (template network, recorded
+            # contraction plan, Kraus sampling distributions) when compiled.
+            context=plan,
         )
         return BackendResult(
             backend=self.name,
@@ -261,6 +300,9 @@ class _TrajectoryBackendBase(SimulationBackend):
             num_samples=result.num_samples,
             metadata={"workers": task.workers},
         )
+
+    def _run_plan(self, circuit: Circuit, task: SimulationTask, plan) -> BackendResult:
+        return self._run(circuit, task, plan=plan)
 
     def samples_for_precision(
         self,
@@ -325,9 +367,8 @@ class ApproximationBackend(SimulationBackend):
         self.backend = backend
         self.strategy = strategy
 
-    def _run(self, circuit: Circuit, task: SimulationTask) -> BackendResult:
-        input_state, output_state = _default_states(circuit, task)
-        simulator = ApproximateNoisySimulator(
+    def _simulator(self, task: SimulationTask) -> ApproximateNoisySimulator:
+        return ApproximateNoisySimulator(
             level=task.level,
             backend=task.options.get("backend", self.backend),
             max_intermediate_size=task.options.get(
@@ -335,7 +376,19 @@ class ApproximationBackend(SimulationBackend):
             ),
             strategy=task.options.get("strategy", self.strategy),
         )
-        result = simulator.fidelity(circuit, input_state, output_state)
+
+    def _compile(self, circuit: Circuit, task: SimulationTask):
+        simulator = self._simulator(task)
+        if simulator.backend != "tn":
+            # The dense term evaluator has no plan to record.
+            return None
+        input_state, output_state = _default_states(circuit, task)
+        return simulator.prepare(circuit, input_state, output_state)
+
+    def _execute(self, circuit: Circuit, task: SimulationTask, prepared) -> BackendResult:
+        input_state, output_state = _default_states(circuit, task)
+        simulator = self._simulator(task)
+        result = simulator.fidelity(circuit, input_state, output_state, prepared=prepared)
         return BackendResult(
             backend=self.name,
             value=result.value,
@@ -347,3 +400,9 @@ class ApproximationBackend(SimulationBackend):
                 "num_noises": result.num_noises,
             },
         )
+
+    def _run(self, circuit: Circuit, task: SimulationTask) -> BackendResult:
+        return self._execute(circuit, task, None)
+
+    def _run_plan(self, circuit: Circuit, task: SimulationTask, plan) -> BackendResult:
+        return self._execute(circuit, task, plan)

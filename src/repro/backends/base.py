@@ -200,15 +200,54 @@ class SimulationBackend(ABC):
             raise BackendUnsupportedError(reason)
 
     # ------------------------------------------------------------------
+    # Compile / execute split
+    # ------------------------------------------------------------------
+    def compile(self, circuit: Circuit, task: SimulationTask | None = None) -> Any:
+        """Precompute this backend's reusable one-time work for ``circuit``.
+
+        Returns an opaque plan handle to pass back through ``run(plan=...)``,
+        or ``None`` when the backend has no per-circuit work worth caching.
+        A plan depends only on the circuit's structure and the task's
+        *structural* fields (boundary states, adapter options) — never on
+        ``seed``, ``num_samples`` or ``workers`` — so the session layer may
+        share one plan between runs that differ only in those per-call knobs
+        (see :meth:`repro.api.Session.compile`).
+        """
+        task = SimulationTask() if task is None else task
+        self.check_supported(circuit, task)
+        return self._compile(circuit, task)
+
+    def _compile(self, circuit: Circuit, task: SimulationTask) -> Any:
+        """Backend-specific plan construction (default: nothing to precompute)."""
+        return None
+
+    # ------------------------------------------------------------------
     @abstractmethod
     def _run(self, circuit: Circuit, task: SimulationTask) -> BackendResult:
         """Backend-specific execution; ``run`` wraps it with checks and timing."""
 
-    def run(self, circuit: Circuit, task: SimulationTask | None = None) -> BackendResult:
+    def _run_plan(self, circuit: Circuit, task: SimulationTask, plan: Any) -> BackendResult:
+        """Execute with a plan from :meth:`compile`; the default ignores it.
+
+        Overriding adapters must produce values bit-identical to
+        :meth:`_run` — a plan changes where the one-time work happens, never
+        the result.
+        """
+        return self._run(circuit, task)
+
+    def run(
+        self,
+        circuit: Circuit,
+        task: SimulationTask | None = None,
+        plan: Any = None,
+    ) -> BackendResult:
         """Simulate ``circuit`` under ``task`` and return a :class:`BackendResult`.
 
         Validates the circuit against the backend's capabilities, times the
-        execution, and stamps the backend name onto the result.
+        execution, and stamps the backend name onto the result.  ``plan``
+        optionally supplies the precompiled one-time work from
+        :meth:`compile` (for the same circuit/task structure), in which case
+        only the execution itself is paid here.
 
         Example — exact fidelity of a noiseless GHZ state with ``|00⟩``::
 
@@ -221,7 +260,10 @@ class SimulationBackend(ABC):
         task = SimulationTask() if task is None else task
         self.check_supported(circuit, task)
         start = time.perf_counter()
-        result = self._run(circuit, task)
+        if plan is None:
+            result = self._run(circuit, task)
+        else:
+            result = self._run_plan(circuit, task, plan)
         elapsed = time.perf_counter() - start
         if result.elapsed_seconds == 0.0:
             result = dataclasses.replace(result, elapsed_seconds=elapsed)

@@ -180,6 +180,18 @@ class _TrajectoryContext:
             (input_nodes + op_index, inst) for op_index, inst in noise_meta
         ]
         self.plan, _ = ContractionPlan.record(template)
+        # Partial evaluation over the static tensors: per-sample replays touch
+        # only the contractions downstream of a sampled Kraus tensor (values
+        # are bit-identical to a full replay; the static prefix is paid once).
+        # Noiseless circuits take the single-replay short circuit instead.
+        self.specialized = (
+            self.plan.specialize(
+                self.template_tensors,
+                [position for position, _ in self.noise_positions],
+            )
+            if self.noise_positions
+            else None
+        )
         # State-independent sampling distributions q_k = tr(E_k† E_k)/d and
         # their cdfs (normalised exactly as np.random.Generator.choice does).
         self.q_dists: List[np.ndarray] = []
@@ -215,6 +227,27 @@ class BatchedTrajectoryEngine:
         self.max_batch_entries = int(max_batch_entries)
 
     # ------------------------------------------------------------------
+    def prepare(
+        self,
+        circuit: Circuit,
+        input_state: StateLike = None,
+        output_state: StateLike = None,
+    ) -> "_TrajectoryContext":
+        """Precompute the sample-independent state of a trajectory estimate.
+
+        For the statevector engine this resolves the dense boundary states;
+        for the TN engine it builds the template amplitude network, records
+        its :class:`~repro.tensornetwork.plan.ContractionPlan` and derives the
+        state-independent Kraus sampling distributions.  The returned context
+        can be passed back to :meth:`estimate_fidelity` (``context=...``) any
+        number of times — values are identical to an uncontexted call, the
+        one-time work is just not repeated.
+        """
+        n = circuit.num_qubits
+        input_state = "0" * n if input_state is None else input_state
+        output_state = "0" * n if output_state is None else output_state
+        return _TrajectoryContext(self, circuit, input_state, output_state)
+
     def estimate_fidelity(
         self,
         circuit: Circuit,
@@ -225,6 +258,7 @@ class BatchedTrajectoryEngine:
         keep_samples: bool = False,
         workers: int | None = None,
         executor=None,
+        context: "_TrajectoryContext | None" = None,
     ):
         """Estimate ``⟨v| E_N(|ψ⟩⟨ψ|) |v⟩`` from ``num_samples`` trajectories.
 
@@ -236,7 +270,11 @@ class BatchedTrajectoryEngine:
         :class:`~concurrent.futures.ProcessPoolExecutor` (it is *not* shut
         down here), so callers running many estimates — e.g. a
         :class:`repro.sweeps.SweepRunner` grid — pay the pool start-up cost
-        once instead of per call.
+        once instead of per call.  ``context`` optionally supplies the
+        prepared per-circuit state from :meth:`prepare` (it must have been
+        prepared from the same engine configuration, circuit and boundary
+        states); the multi-process path ignores it, since each worker process
+        prepares its own.
 
         Example (noiseless GHZ, so the estimate is exact)::
 
@@ -269,11 +307,13 @@ class BatchedTrajectoryEngine:
             # Deterministic evolution: every trajectory yields the same value,
             # so compute one and broadcast (no RNG is consumed, matching the
             # per-sample loop which drew nothing for noiseless circuits).
-            context = _TrajectoryContext(self, circuit, input_state, output_state)
+            if context is None:
+                context = _TrajectoryContext(self, circuit, input_state, output_state)
             value = self._run_uniforms(context, np.empty((1, 0)))[0]
             absorb(np.full(num_samples, value))
         elif workers is None:
-            context = _TrajectoryContext(self, circuit, input_state, output_state)
+            if context is None:
+                context = _TrajectoryContext(self, circuit, input_state, output_state)
             generator = np.random.default_rng(rng)
             # One uniform per (sample, channel) in sample-major order: exactly
             # the stream consumption of the old per-sample loop.  Drawing slab
@@ -287,7 +327,8 @@ class BatchedTrajectoryEngine:
             seed = self._resolve_seed(rng)
             blocks = self._blocks(num_samples)
             if workers <= 1:
-                context = _TrajectoryContext(self, circuit, input_state, output_state)
+                if context is None:
+                    context = _TrajectoryContext(self, circuit, input_state, output_state)
                 for block_index, block_samples in blocks:
                     absorb(self._run_block(context, seed, block_index, block_samples))
             else:
@@ -519,12 +560,14 @@ class BatchedTrajectoryEngine:
 
         values = np.empty(num_samples)
         for sample in range(num_samples):
-            tensors = list(context.template_tensors)
+            substitutions = {}
             for channel, (position, inst) in enumerate(context.noise_positions):
                 operator = inst.operation.kraus_operators[choices[sample, channel]]
                 k = len(inst.qubits)
-                tensors[position] = np.asarray(operator, dtype=complex).reshape([2] * (2 * k))
-            amplitude = context.plan.execute(tensors)
+                substitutions[position] = np.asarray(operator, dtype=complex).reshape(
+                    [2] * (2 * k)
+                )
+            amplitude = context.specialized.execute(substitutions)
             values[sample] = float(abs(amplitude) ** 2) * weights[sample]
         return values
 

@@ -14,6 +14,7 @@ channel.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Sequence, Tuple
 
@@ -254,6 +255,34 @@ class Circuit:
             for q in inst.qubits:
                 frontier[q] = level + 1
         return moments
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the circuit's exact structure.
+
+        Covers the qubit count and, per instruction, the operation kind,
+        name, qubit tuple and the exact tensor bytes (gate matrix or Kraus
+        operators), so two circuits share a fingerprint iff they describe the
+        same computation element-for-element.  This is the identity the
+        session layer's compiled-plan cache keys on: a plan recorded for one
+        circuit is valid for any other circuit with the same fingerprint.
+        """
+        digest = hashlib.sha256()
+        digest.update(str(self.num_qubits).encode())
+        for inst in self._instructions:
+            operation = inst.operation
+            digest.update(b"\x1fnoise" if inst.is_noise else b"\x1fgate")
+            digest.update(inst.name.encode())
+            digest.update(repr(inst.qubits).encode())
+            if inst.is_noise:
+                for kraus in operation.kraus_operators:
+                    digest.update(
+                        np.ascontiguousarray(np.asarray(kraus, dtype=complex)).tobytes()
+                    )
+            else:
+                digest.update(
+                    np.ascontiguousarray(np.asarray(operation.matrix, dtype=complex)).tobytes()
+                )
+        return digest.hexdigest()[:16]
 
     def count_ops(self) -> dict:
         """Return a histogram ``{operation name: count}``."""

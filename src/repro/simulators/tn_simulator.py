@@ -13,6 +13,8 @@ benchmark harness reports as "MO" exactly like the paper's Table II.
 
 from __future__ import annotations
 
+from typing import List
+
 import numpy as np
 
 from repro.circuits.circuit import Circuit
@@ -22,8 +24,55 @@ from repro.tensornetwork.circuit_to_tn import (
     noisy_doubled_network,
     noisy_observable_network,
 )
+from repro.tensornetwork.plan import ContractionPlan
 
-__all__ = ["TNSimulator"]
+__all__ = ["PreparedFidelity", "TNSimulator"]
+
+
+class PreparedFidelity:
+    """A recorded fidelity contraction, replayable without re-planning.
+
+    Produced by :meth:`TNSimulator.prepare`: the network construction and the
+    greedy contraction-ordering search are paid once; :meth:`execute` replays
+    the recorded schedule (the same pairwise ``tensordot`` sequence the live
+    contraction performed, so the value is bit-identical to
+    :meth:`TNSimulator.fidelity`).  Recording the plan contracts the template
+    once, and that value *is* this configuration's fidelity (the tensors
+    never change), so the first :meth:`execute` returns it directly instead
+    of replaying — a one-shot compile-and-run pays exactly one contraction,
+    like the unprepared path.
+    """
+
+    __slots__ = ("plan", "tensors", "noiseless", "_recorded_value")
+
+    def __init__(
+        self,
+        plan: ContractionPlan,
+        tensors: List[np.ndarray],
+        noiseless: bool,
+        recorded_value: float | None = None,
+    ) -> None:
+        self.plan = plan
+        self.tensors = tensors
+        self.noiseless = noiseless
+        self._recorded_value = recorded_value
+
+    def execute(self) -> float:
+        """Return the fidelity (recorded value first, plan replay after)."""
+        recorded = self._recorded_value
+        if recorded is not None:
+            # Consumed once; a concurrent reader racing the clear would just
+            # return the identical value, so no lock is needed.
+            self._recorded_value = None
+            return recorded
+        value = self.plan.execute(list(self.tensors))
+        if self.noiseless:
+            return float(abs(value) ** 2)
+        return float(np.real(value))
+
+    def describe(self) -> dict:
+        """Plan-cost summary (node count, steps, peak intermediate size)."""
+        return {"noiseless": self.noiseless, **self.plan.describe()}
 
 
 class TNSimulator:
@@ -80,6 +129,44 @@ class TNSimulator:
         )
         value = network.contract_to_scalar(strategy=self.strategy)
         return float(np.real(value))
+
+    def prepare(
+        self,
+        circuit: Circuit,
+        input_state: StateLike = None,
+        output_state: StateLike = None,
+    ) -> PreparedFidelity:
+        """Record a reusable contraction plan for this fidelity evaluation.
+
+        Builds the same network :meth:`fidelity` would and contracts it once
+        while recording the schedule (see
+        :class:`repro.tensornetwork.plan.ContractionPlan`), so repeated
+        evaluations of the same circuit/boundary configuration skip the
+        network construction and ordering search entirely.
+        """
+        n = circuit.num_qubits
+        input_state = "0" * n if input_state is None else input_state
+        output_state = "0" * n if output_state is None else output_state
+        noiseless = circuit.is_noiseless()
+        if noiseless:
+            network = circuit_amplitude_network(
+                circuit,
+                input_state,
+                output_state,
+                max_intermediate_size=self.max_intermediate_size,
+            )
+        else:
+            network = noisy_doubled_network(
+                circuit,
+                input_state,
+                output_state,
+                max_intermediate_size=self.max_intermediate_size,
+            )
+        # Recording consumes the network, so snapshot the tensors first.
+        tensors = [node.tensor for node in network.nodes]
+        plan, value = ContractionPlan.record(network, strategy=self.strategy)
+        recorded = float(abs(value) ** 2) if noiseless else float(np.real(value))
+        return PreparedFidelity(plan, tensors, noiseless, recorded_value=recorded)
 
     def expectation(
         self,

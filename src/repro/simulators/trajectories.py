@@ -37,7 +37,38 @@ from repro.circuits.circuit import Circuit
 from repro.tensornetwork.circuit_to_tn import StateLike
 from repro.utils.validation import ValidationError
 
-__all__ = ["TrajectoryResult", "TrajectorySimulator"]
+__all__ = ["TrajectoryResult", "TrajectorySimulator", "required_samples"]
+
+
+def required_samples(
+    estimate: float,
+    standard_error: float,
+    pilot_samples: int,
+    target_standard_error: float,
+    max_samples: int = 1_000_000,
+) -> int:
+    """Trajectory count needed to reach ``target_standard_error`` after a pilot.
+
+    Scales the pilot's per-sample variance by ``(σ / ε)²``.  When the noise
+    rate is small, a short pilot frequently observes *no* noise event at all
+    and reports zero variance, which would wrongly suggest that a single
+    trajectory suffices; a rare-event variance floor is therefore applied:
+    with zero observed events in ``m`` pilot trajectories, the 95%-confidence
+    upper bound on the event probability is ``≈ 3/m`` (the rule of three), and
+    the per-sample variance is floored accordingly.  Shared by
+    :meth:`TrajectorySimulator.samples_for_precision` and
+    :meth:`repro.api.Executable.samples_for_precision`, so the pilot math is
+    identical however the pilot was run.
+    """
+    if target_standard_error <= 0:
+        raise ValidationError("target_standard_error must be positive")
+    measured_variance = (standard_error * np.sqrt(pilot_samples)) ** 2
+    event_probability_bound = 3.0 / pilot_samples
+    spread = max(estimate * (1.0 - estimate), 1e-4)
+    variance_floor = event_probability_bound * spread
+    variance = max(measured_variance, variance_floor)
+    needed = int(np.ceil(variance / target_standard_error**2))
+    return int(min(max(needed, 1), max_samples))
 
 
 @dataclass(frozen=True)
@@ -135,11 +166,10 @@ class TrajectorySimulator:
         pilot = self.estimate_fidelity(
             circuit, pilot_samples, input_state, output_state, rng=rng
         )
-        measured_variance = (pilot.standard_error * np.sqrt(pilot_samples)) ** 2
-        # Rule-of-three floor for rare noise events unseen by the pilot.
-        event_probability_bound = 3.0 / pilot_samples
-        spread = max(pilot.estimate * (1.0 - pilot.estimate), 1e-4)
-        variance_floor = event_probability_bound * spread
-        variance = max(measured_variance, variance_floor)
-        needed = int(np.ceil(variance / target_standard_error**2))
-        return int(min(max(needed, 1), max_samples))
+        return required_samples(
+            pilot.estimate,
+            pilot.standard_error,
+            pilot_samples,
+            target_standard_error,
+            max_samples=max_samples,
+        )

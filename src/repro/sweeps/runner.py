@@ -1,12 +1,16 @@
-"""Sweep execution: cached circuit construction and cell dispatch.
+"""Sweep execution: compiled-plan reuse and cell dispatch.
 
 :class:`SweepRunner` walks the cell list of a :class:`~repro.sweeps.spec.SweepSpec`,
-dispatching every cell through one shared :class:`repro.api.Session` with a
+compiling every cell through one shared :class:`repro.api.Session`
+(:meth:`~repro.api.Session.compile` → :class:`~repro.api.Executable`) with a
 :class:`~repro.backends.SimulationTask` built from the cell's parameters:
 
-* constructed circuits, injected noise and ideal output states are cached in
-  a :class:`CircuitCache` shared across cells, so a grid of B backends per
-  (circuit, noise) row builds each noisy circuit once, not B times;
+* the one-time work of a (circuit, noise, backend) configuration — noise
+  binding, contraction-plan search, trajectory-context preparation, noise
+  SVD decompositions, ideal output states — lives in the session's plan
+  cache, whose key excludes seeds, sample counts and approximation levels:
+  a grid of L levels × S sample counts per row compiles once, not L×S times
+  (ideal circuit construction itself is memoised per spec label);
 * the stochastic backends share the session's
   :class:`~concurrent.futures.ProcessPoolExecutor` across all cells instead
   of spawning a fresh pool per cell;
@@ -31,6 +35,7 @@ import numpy as np
 
 from repro.api import Session, apply_noise, ideal_output_state
 from repro.api import noise_model as _api_noise_model
+from repro.api.executable import one_shot_result
 from repro.backends import BackendUnsupportedError, get_backend
 from repro.circuits.circuit import Circuit
 from repro.noise import NoiseModel
@@ -64,6 +69,13 @@ class CircuitCache:
     The injection seed is the noise entry's own seed when given, else derived
     from the spec seed and the row labels, so the injected positions do not
     depend on which backend asks first.
+
+    The runner itself now routes noise binding and ideal output states
+    through :meth:`repro.api.Session.compile` (whose plan cache shares that
+    work by content, not by label) and uses only :meth:`ideal`; the noisy /
+    output-state helpers remain for callers that build the same instances
+    outside a session, e.g. the Table II/III benchmark harnesses comparing
+    against externally computed references.
     """
 
     def __init__(self, spec: SweepSpec):
@@ -120,6 +132,8 @@ class SweepResult:
     executed: int = 0
     skipped: int = 0
     elapsed_seconds: float = 0.0
+    #: Session plan-cache counters (hits/misses/evictions) of this run.
+    plan_cache: Dict[str, int] = field(default_factory=dict)
 
     def by_cell(self) -> Dict[str, Dict[str, Any]]:
         return {record["cell_id"]: record for record in self.records}
@@ -188,6 +202,7 @@ class SweepRunner:
                     records.append(record)
                     result.executed += 1
                     note(self._progress_line(index, len(pending), record))
+            result.plan_cache = session.cache_stats()
         # Re-read the file so the returned records are exactly what resumes see.
         _, by_cell = load_records(self.out_path)
         result.records = [
@@ -197,20 +212,44 @@ class SweepRunner:
         return result
 
     # ------------------------------------------------------------------
+    def _noise_mapping(self, cell: SweepCell) -> Dict[str, Any] | None:
+        """The ``noise=`` argument binding this cell's noise inside compile().
+
+        The injection seed is pinned (the entry's own, else derived from the
+        spec seed and the row labels exactly as :class:`CircuitCache` pins
+        it), so every backend/level/samples cell of a row compiles the same
+        noisy structure — and therefore shares one cached plan.
+        """
+        if cell.noise.is_noiseless:
+            return None
+        seed = cell.noise.seed
+        if seed is None:
+            seed = stable_seed(self.spec.seed, "noise", cell.circuit.label, cell.noise.label)
+        return {
+            "channel": cell.noise.channel,
+            "parameter": cell.noise.parameter,
+            "count": cell.noise.count,
+            "seed": seed,
+        }
+
     def _run_cell(self, cell: SweepCell, cache: CircuitCache, session: Session) -> Dict[str, Any]:
         try:
             stochastic = get_backend(cell.backend.name).capabilities.stochastic
-            circuit = cache.circuit(cell)
             task = cell.task(
                 workers=self.workers if stochastic else None,
-                output_state=cache.output_state(cell),
+                output_state="ideal" if self.spec.output_state == "ideal" else None,
             )
-            outcome = session.run(
-                circuit,
+            executable = session.compile(
+                cache.ideal(cell),
                 backend=cell.backend.name,
+                noise=self._noise_mapping(cell),
                 backend_options=cell.backend.options,
                 task=task,
             )
+            # One-shot semantics for the record: a cache miss bills its
+            # compile time into elapsed_seconds (what this cell actually
+            # cost), a hit records the pure serving cost.
+            outcome = one_shot_result(executable)
         except BackendUnsupportedError as exc:
             return cell_record(cell, "unsupported", error=str(exc))
         except (MemoryError, ContractionMemoryError) as exc:

@@ -12,31 +12,66 @@ and replayed per trajectory as a flat sequence of ``np.tensordot`` calls.
 each pairwise step positionally (via the :attr:`TensorNetwork.observer`
 hook); :meth:`ContractionPlan.execute` replays the recorded schedule over a
 plain list of tensors.
+
+When only a known subset of inputs varies between replays (the sampled Kraus
+tensors of a trajectory, the substituted SVD factors of an approximation
+term), :meth:`ContractionPlan.specialize` partially evaluates the plan over
+the static inputs once — every contraction whose operands are (transitively)
+independent of the variable positions is computed at specialisation time —
+leaving a :class:`SpecializedPlan` that replays only the residual,
+variable-dependent steps.  The residual performs the *same* ``tensordot``
+calls in the *same* order as a full replay, so the value is bit-identical;
+the static prefix is simply paid once instead of per call.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Mapping, Sequence, Tuple
 
 import numpy as np
 
 from repro.tensornetwork.network import TensorNetwork
 from repro.utils.validation import ValidationError
 
-__all__ = ["ContractionPlan"]
+__all__ = ["ContractionPlan", "SpecializedPlan"]
 
 #: One replay step: positions of the two operands in the evolving tensor list
 #: plus the contracted axes of each (empty axes = outer product).
 _Step = Tuple[int, int, Tuple[int, ...], Tuple[int, ...]]
 
+#: One slot-program step: input slots ``a``/``b``, their contracted axes, and
+#: the output slot the result lands in (slots never move, unlike positions).
+_SlotStep = Tuple[int, int, Tuple[int, ...], Tuple[int, ...], int]
+
 
 class ContractionPlan:
     """A recorded pairwise contraction schedule, replayable on fresh tensors."""
 
-    def __init__(self, steps: List[_Step], num_inputs: int) -> None:
+    def __init__(
+        self,
+        steps: List[_Step],
+        num_inputs: int,
+        peak_intermediate_entries: int = 0,
+    ) -> None:
         self.steps = steps
         #: Number of tensors the plan expects (the template's node count).
         self.num_inputs = num_inputs
+        #: Entry count of the largest intermediate the schedule produces
+        #: (recorded at planning time; the replay cost estimate).
+        self.peak_intermediate_entries = peak_intermediate_entries
+
+    @property
+    def num_steps(self) -> int:
+        """Number of pairwise contractions the plan replays."""
+        return len(self.steps)
+
+    def describe(self) -> dict:
+        """Plan-cost summary (what :meth:`repro.api.Executable.describe` reports)."""
+        return {
+            "num_inputs": self.num_inputs,
+            "num_steps": self.num_steps,
+            "peak_intermediate_entries": self.peak_intermediate_entries,
+        }
 
     # ------------------------------------------------------------------
     @classmethod
@@ -50,6 +85,7 @@ class ContractionPlan:
         """
         num_inputs = network.num_nodes
         steps: List[_Step] = []
+        peak = [0]
 
         def observer(net: TensorNetwork, node_a, node_b) -> None:
             position_a = net.nodes.index(node_a)
@@ -58,6 +94,12 @@ class ContractionPlan:
             for edge in node_a.edges:
                 if not edge.is_dangling and edge.other(node_a) is node_b and edge not in shared:
                     shared.append(edge)
+            shared_dim = 1
+            for edge in shared:
+                shared_dim *= edge.dimension
+            peak[0] = max(
+                peak[0], (node_a.size // shared_dim) * (node_b.size // shared_dim)
+            )
             steps.append(
                 (
                     position_a,
@@ -72,7 +114,7 @@ class ContractionPlan:
             value = network.contract_to_scalar(strategy=strategy)
         finally:
             network.observer = None
-        return cls(steps, num_inputs), value
+        return cls(steps, num_inputs, peak_intermediate_entries=peak[0]), value
 
     # ------------------------------------------------------------------
     def execute(self, tensors: List[np.ndarray]) -> complex:
@@ -100,3 +142,124 @@ class ContractionPlan:
         if len(arrays) != 1 or arrays[0].size != 1:
             raise ValidationError("plan did not reduce the network to a scalar")
         return complex(arrays[0].reshape(()))
+
+    # ------------------------------------------------------------------
+    def _slot_program(self) -> List[_SlotStep]:
+        """The positional steps re-expressed over stable slot indices.
+
+        Simulates the evolving-list semantics of :meth:`execute` once, so
+        step ``i``'s operands become fixed slots (inputs ``0..num_inputs-1``,
+        intermediates ``num_inputs + i``) that partial evaluation can reason
+        about without replaying list mutations.
+        """
+        slots = list(range(self.num_inputs))
+        program: List[_SlotStep] = []
+        for index, (position_a, position_b, axes_a, axes_b) in enumerate(self.steps):
+            slot_a = slots[position_a]
+            slot_b = slots[position_b]
+            for position in sorted((position_a, position_b), reverse=True):
+                del slots[position]
+            out = self.num_inputs + index
+            slots.append(out)
+            program.append((slot_a, slot_b, axes_a, axes_b, out))
+        return program
+
+    def specialize(
+        self,
+        tensors: Sequence[np.ndarray],
+        variable_positions: Sequence[int],
+    ) -> "SpecializedPlan":
+        """Partially evaluate the plan over every input *not* in ``variable_positions``.
+
+        ``tensors`` supplies the static input values (entries at variable
+        positions are ignored); the returned :class:`SpecializedPlan` accepts
+        fresh values for the variable positions per call and replays only the
+        steps that depend on them.
+        """
+        if len(tensors) != self.num_inputs:
+            raise ValidationError(
+                f"plan expects {self.num_inputs} tensors, got {len(tensors)}"
+            )
+        variable = {int(position) for position in variable_positions}
+        unknown = sorted(position for position in variable if not 0 <= position < self.num_inputs)
+        if unknown:
+            raise ValidationError(f"variable positions {unknown} out of range")
+        program = self._slot_program()
+        total = self.num_inputs + len(program)
+        baked: List[np.ndarray | None] = [None] * total
+        static = [True] * total
+        for position in range(self.num_inputs):
+            if position in variable:
+                static[position] = False
+            else:
+                baked[position] = tensors[position]
+        residual: List[_SlotStep] = []
+        for slot_a, slot_b, axes_a, axes_b, out in program:
+            if static[slot_a] and static[slot_b]:
+                baked[out] = _contract_step(baked[slot_a], baked[slot_b], axes_a, axes_b)
+            else:
+                static[out] = False
+                residual.append((slot_a, slot_b, axes_a, axes_b, out))
+        result_slot = total - 1 if program else 0
+        return SpecializedPlan(baked, residual, sorted(variable), result_slot)
+
+
+class SpecializedPlan:
+    """A partially evaluated :class:`ContractionPlan` (see :meth:`ContractionPlan.specialize`).
+
+    Static intermediates are baked in; :meth:`execute` substitutes the
+    variable inputs and replays only the residual steps.  Values are
+    bit-identical to a full :meth:`ContractionPlan.execute` replay with the
+    same inputs.
+    """
+
+    __slots__ = ("_baked", "_residual", "variable_positions", "_result_slot")
+
+    def __init__(
+        self,
+        baked: List[np.ndarray | None],
+        residual: List[_SlotStep],
+        variable_positions: List[int],
+        result_slot: int,
+    ) -> None:
+        self._baked = baked
+        self._residual = residual
+        self.variable_positions = variable_positions
+        self._result_slot = result_slot
+
+    @property
+    def num_residual_steps(self) -> int:
+        """Contractions actually replayed per call (the rest are baked)."""
+        return len(self._residual)
+
+    def execute(self, substitutions: Mapping[int, np.ndarray]) -> complex:
+        """Return the scalar for the given variable-input values.
+
+        ``substitutions`` maps every variable input position to its tensor
+        for this call (shapes must match the template's).
+        """
+        buffer = list(self._baked)
+        for position in self.variable_positions:
+            tensor = substitutions.get(position)
+            if tensor is None:
+                raise ValidationError(
+                    f"missing substitution for variable input {position}"
+                )
+            buffer[position] = tensor
+        for slot_a, slot_b, axes_a, axes_b, out in self._residual:
+            buffer[out] = _contract_step(buffer[slot_a], buffer[slot_b], axes_a, axes_b)
+        result = buffer[self._result_slot]
+        if result is None or result.size != 1:
+            raise ValidationError("plan did not reduce the network to a scalar")
+        return complex(result.reshape(()))
+
+
+def _contract_step(
+    tensor_a: np.ndarray,
+    tensor_b: np.ndarray,
+    axes_a: Tuple[int, ...],
+    axes_b: Tuple[int, ...],
+) -> np.ndarray:
+    if axes_a:
+        return np.tensordot(tensor_a, tensor_b, axes=(list(axes_a), list(axes_b)))
+    return np.tensordot(tensor_a, tensor_b, axes=0)

@@ -41,6 +41,9 @@ class ConformanceReport:
     shrunk: Dict[int, Any] = field(default_factory=dict)
     checks_per_oracle: Dict[str, int] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
+    #: Session plan-cache counters: oracles re-running one circuit across
+    #: backends/worker counts hit compiled plans instead of re-deriving them.
+    plan_cache: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -54,11 +57,13 @@ class ConformanceReport:
             failures = sum(1 for violation in self.violations if violation.oracle == name)
             rows.append([name, self.checks_per_oracle[name], failures])
         rows.append(["total", self.checks, len(self.violations)])
-        return format_table(
-            ["Oracle", "Checks", "Violations"],
-            rows,
-            title=f"Conformance: {self.cases} cases, {self.elapsed_seconds:.1f}s",
-        )
+        title = f"Conformance: {self.cases} cases, {self.elapsed_seconds:.1f}s"
+        if self.plan_cache:
+            title += (
+                f" (plan cache: {self.plan_cache['hits']} hits / "
+                f"{self.plan_cache['misses']} misses)"
+            )
+        return format_table(["Oracle", "Checks", "Violations"], rows, title=title)
 
 
 class ConformanceRunner:
@@ -130,6 +135,7 @@ class ConformanceRunner:
                     )
                     for violation in oracle.check(workload, session):
                         self._record(violation, oracle, session, report, note)
+            report.plan_cache = session.cache_stats()
         report.elapsed_seconds = time.perf_counter() - start
         return report
 

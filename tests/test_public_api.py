@@ -19,6 +19,7 @@ TOP_LEVEL = {
     "depolarizing_channel",
     "noise_rate",
     # session layer
+    "Executable",
     "Session",
     "SimulationResult",
     "simulate",
@@ -42,12 +43,14 @@ TOP_LEVEL = {
 }
 
 API = {
+    "Executable",
     "NOISE_CHANNELS",
     "Session",
     "SimulationResult",
     "apply_noise",
     "ideal_output_state",
     "noise_model",
+    "plan_cache_key",
     "simulate",
     "task_config_hash",
 }
@@ -93,4 +96,5 @@ def test_session_layer_reexported_at_top_level():
     # the same object — no parallel implementations.
     assert repro.simulate is repro.api.simulate
     assert repro.Session is repro.api.Session
+    assert repro.Executable is repro.api.Executable
     assert repro.get_backend is repro.backends.get_backend
