@@ -1,0 +1,92 @@
+"""Gate a fresh ``BENCH_*.json`` report against its checked-in baseline.
+
+Usage (what the CI perf step runs after the benchmark smoke)::
+
+    python benchmarks/check_regression.py BENCH_DIR [--baselines DIR]
+
+For every ``BENCH_<name>.json`` under ``benchmarks/baselines/`` the same
+report must exist in ``BENCH_DIR`` (produced by ``pytest benchmarks/ --json
+BENCH_DIR``), and its aggregate speedup must not regress: the fresh value has
+to clear ``max(RATIO x baseline, FLOOR)``.  The ratio (0.6) absorbs shared-
+runner noise — CI machines are slow and loud — while the absolute floor
+(1.5x) keeps the compile/execute split's core claim ("serving a compiled plan
+beats recompiling") from eroding one noisy run at a time.
+
+Speedup-style reports store rows under ``data`` with a ``method`` field and a
+``speedup`` value; the row named ``aggregate`` is the gated headline.  Reports
+without such a row are skipped (nothing to gate yet).
+
+Exit status: 0 when every gated report clears its threshold, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Fresh aggregate must reach this fraction of the recorded baseline.
+RATIO = 0.6
+#: ... and never drop below this absolute speedup.
+FLOOR = 1.5
+
+
+def aggregate_speedup(report: dict) -> float | None:
+    """The ``aggregate`` row's speedup, or None when the report has none."""
+    rows = report.get("data") or []
+    for row in rows:
+        if isinstance(row, dict) and row.get("method") == "aggregate":
+            value = row.get("speedup")
+            return None if value is None else float(value)
+    return None
+
+
+def check(fresh_dir: Path, baseline_dir: Path) -> int:
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"error: no baselines under {baseline_dir}", file=sys.stderr)
+        return 1
+    failures = 0
+    for baseline_path in baselines:
+        baseline = json.loads(baseline_path.read_text())
+        recorded = aggregate_speedup(baseline)
+        if recorded is None:
+            print(f"skip {baseline_path.name}: baseline has no aggregate speedup")
+            continue
+        fresh_path = fresh_dir / baseline_path.name
+        if not fresh_path.exists():
+            print(f"FAIL {baseline_path.name}: missing from {fresh_dir}", file=sys.stderr)
+            failures += 1
+            continue
+        fresh = aggregate_speedup(json.loads(fresh_path.read_text()))
+        if fresh is None:
+            print(f"FAIL {baseline_path.name}: fresh report has no aggregate speedup",
+                  file=sys.stderr)
+            failures += 1
+            continue
+        threshold = max(RATIO * recorded, FLOOR)
+        status = "ok" if fresh >= threshold else "FAIL"
+        line = (f"{status} {baseline_path.name}: aggregate {fresh:.2f}x "
+                f"(baseline {recorded:.2f}x, threshold {threshold:.2f}x)")
+        if fresh >= threshold:
+            print(line)
+        else:
+            print(line, file=sys.stderr)
+            failures += 1
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh_dir", type=Path,
+                        help="directory holding the freshly produced BENCH_*.json reports")
+    parser.add_argument("--baselines", type=Path,
+                        default=Path(__file__).resolve().parent / "baselines",
+                        help="directory of recorded baselines (default: benchmarks/baselines)")
+    args = parser.parse_args(argv)
+    return check(args.fresh_dir, args.baselines)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

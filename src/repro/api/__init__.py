@@ -46,10 +46,13 @@ from repro.api.executable import Executable, plan_cache_key
 from repro.api.noise import NOISE_CHANNELS, apply_noise, noise_model
 from repro.api.result import SimulationResult, task_config_hash
 from repro.api.session import Session, ideal_output_state, simulate
+from repro.circuits.passes import PassConfig, PassStats
 
 __all__ = [
     "Executable",
     "NOISE_CHANNELS",
+    "PassConfig",
+    "PassStats",
     "Session",
     "SimulationResult",
     "apply_noise",

@@ -50,7 +50,10 @@ def plan_cache_key(
     Two configurations share a plan iff they agree on the backend (name and
     construction options), the exact circuit structure (gate and Kraus tensor
     bytes, see :meth:`repro.circuits.Circuit.fingerprint`), the boundary
-    states and the structural task options.  ``seed``, ``num_samples``,
+    states and the structural task options.  The session keys on the circuit
+    *after* the optimizing pass pipeline has run, so no separate pass-config
+    token is needed: pass-on and pass-off compiles either produce the same
+    optimized circuit (and correctly share a plan) or different fingerprints.  ``seed``, ``num_samples``,
     ``keep_samples`` and the approximation ``level`` never change what a
     backend precomputes, so they are excluded — a sweep over seeds, sample
     counts or levels compiles once.  Of the execution plumbing, only the
@@ -124,6 +127,7 @@ class Executable:
         "_plan_key",
         "_cache_hit",
         "_compile_seconds",
+        "_pass_info",
         "_lock",
         "_executions",
     )
@@ -140,6 +144,7 @@ class Executable:
         plan_key: str,
         cache_hit: bool,
         compile_seconds: float,
+        pass_info: Mapping[str, Any] | None = None,
     ) -> None:
         self._session = session
         self._backend = backend
@@ -151,6 +156,7 @@ class Executable:
         self._plan_key = plan_key
         self._cache_hit = cache_hit
         self._compile_seconds = compile_seconds
+        self._pass_info = dict(pass_info) if pass_info is not None else None
         self._lock = threading.Lock()
         self._executions = 0
 
@@ -193,7 +199,17 @@ class Executable:
         return self._compile_seconds
 
     def describe(self) -> Dict[str, Any]:
-        """Plan cost and cache provenance of this compiled configuration."""
+        """Plan cost, cache provenance and pass report of this configuration.
+
+        The ``"passes"`` entry reports the optimizing pipeline's outcome:
+        ``{"config": {...}, "stats": {...}, "seconds": float}``, where
+        ``stats`` holds the counters of
+        :class:`repro.circuits.passes.PassStats` (``gates_fused``,
+        ``channels_folded``, ``sites_pruned`` and the before/after gate and
+        noise counts) and is ``None`` when every pass was disabled.  The
+        pipeline's wall-clock cost is reported here, *not* in
+        ``compile_seconds``, which stays the backend plan search alone.
+        """
         plan_info = None
         describe = getattr(self._plan, "describe", None)
         if callable(describe):
@@ -212,6 +228,7 @@ class Executable:
             "num_samples": self._task.num_samples,
             "level": self._task.level,
             "plan": plan_info,
+            "passes": dict(self._pass_info) if self._pass_info is not None else None,
         }
 
     # ------------------------------------------------------------------

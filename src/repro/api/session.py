@@ -64,6 +64,7 @@ from repro.api.result import SimulationResult, task_config_hash
 from repro.backends.base import SimulationBackend, SimulationTask
 from repro.backends.registry import get_backend
 from repro.circuits.circuit import Circuit
+from repro.circuits.passes import PassConfig, run_passes
 from repro.utils.validation import ValidationError
 
 __all__ = ["Session", "ideal_output_state", "simulate"]
@@ -122,6 +123,13 @@ class Session:
         (default 32 configurations; ``0`` disables plan caching, which is
         what the compile-amortisation benchmarks use as their uncached
         baseline).  :meth:`cache_stats` reports hits/misses/evictions.
+    passes:
+        Default optimizing-pass configuration applied during
+        :meth:`compile` (``True`` = all passes, ``False`` = none, or a
+        mapping / :class:`~repro.circuits.passes.PassConfig` of individual
+        toggles; see :mod:`repro.circuits.passes`).  Overridable per call
+        via the ``passes=`` argument of :meth:`compile`/:meth:`run`/
+        :meth:`submit`.
     """
 
     def __init__(
@@ -130,6 +138,7 @@ class Session:
         max_parallel: int | None = None,
         seed: int | None = None,
         plan_cache_size: int = 32,
+        passes: Any = True,
     ) -> None:
         if workers is not None and workers < 1:
             raise ValidationError("workers must be >= 1 (or None for serial mode)")
@@ -139,6 +148,7 @@ class Session:
             raise ValidationError("plan_cache_size must be >= 0")
         self.workers = workers
         self.seed = seed
+        self.passes = PassConfig.resolve(passes)
         self._max_parallel = max_parallel or min(8, os.cpu_count() or 2)
         self._lock = threading.Lock()
         self._pool: ProcessPoolExecutor | None = None
@@ -292,6 +302,7 @@ class Session:
         noise: Any,
         backend_options: Mapping[str, Any] | None,
         task: SimulationTask,
+        passes: Any = None,
     ):
         """Resolve everything up front so submit() fails fast and runs pure."""
         self._check_open()
@@ -328,9 +339,42 @@ class Session:
                 pool = self._shared_pool()
                 if pool is not None:
                     task = dataclasses.replace(task, executor=pool)
+        # The optimizing passes run on the fully resolved circuit (noise
+        # bound, boundaries known) and before capability checking, so the
+        # backend validates what it will actually execute.
+        pass_config = self.passes if passes is None else PassConfig.resolve(passes)
+        circuit, pass_info = self._optimize(circuit, pass_config, backend, task)
         backend.check_supported(circuit, task)
         config_hash = task_config_hash(backend.name, task, backend_options)
-        return backend, circuit, task, config_hash
+        return backend, circuit, task, config_hash, pass_info
+
+    def _optimize(self, circuit: Circuit, config: PassConfig, backend, task):
+        """Run the optimizing pass pipeline; returns (circuit, pass report).
+
+        The pipeline intersects the caller's config with the backend's
+        :meth:`~repro.backends.SimulationBackend.pass_profile`; its wall-clock
+        cost is reported separately from the backend's plan search
+        (``describe()["passes"]["seconds"]`` vs ``compile_seconds``).
+        """
+        if not config.enabled():
+            return circuit, {"config": config.to_dict(), "stats": None, "seconds": 0.0}
+        n = circuit.num_qubits
+        input_state = "0" * n if task.input_state is None else task.input_state
+        output_state = "0" * n if task.output_state is None else task.output_state
+        start = time.perf_counter()
+        optimized, stats = run_passes(
+            circuit,
+            config,
+            backend.pass_profile(),
+            input_state=input_state,
+            output_state=output_state,
+        )
+        seconds = time.perf_counter() - start
+        return optimized, {
+            "config": config.to_dict(),
+            "stats": stats.to_dict(),
+            "seconds": seconds,
+        }
 
     #: Distinct circuits whose ideal output states a session keeps cached.
     _IDEAL_CACHE_SIZE = 8
@@ -377,19 +421,26 @@ class Session:
         keep_samples: bool = False,
         max_bond_dim: int | None = None,
         options: Mapping[str, Any] | None = None,
+        passes: Any = None,
     ) -> Executable:
         """Perform all one-time work now; return an :class:`~repro.api.Executable`.
 
         Compilation binds the noise (using the resolved seed, so the noisy
         structure is fixed from here on), resolves the backend and checks its
         capabilities, materialises boundary states (``output_state="ideal"``
-        becomes the dense ideal output), resolves the RNG seed, and performs
-        the backend's own plan search (contraction-schedule recording,
-        trajectory-context preparation, noise SVD decompositions) — reusing a
-        previously compiled plan from the session's LRU cache when an
-        equivalent configuration was compiled before (see
+        becomes the dense ideal output), runs the optimizing pass pipeline
+        (superoperator gate fusion, deterministic noise folding, boundary
+        pruning — see :mod:`repro.circuits.passes`; ``passes=`` overrides
+        the session default, and the report lands in
+        ``Executable.describe()["passes"]``), resolves the RNG seed, and
+        performs the backend's own plan search (contraction-schedule
+        recording, trajectory-context preparation, noise SVD decompositions)
+        — reusing a previously compiled plan from the session's LRU cache
+        when an equivalent configuration was compiled before (see
         :func:`~repro.api.executable.plan_cache_key`; ``seed``, ``samples``
-        and ``level`` do not fragment the cache).
+        and ``level`` do not fragment the cache, and the key covers the
+        *optimized* circuit, so pass-on and pass-off compiles of one circuit
+        never collide).
 
         The returned handle executes any number of times at pure execution
         cost::
@@ -407,10 +458,12 @@ class Session:
             input_state=input_state, output_state=output_state,
             keep_samples=keep_samples, max_bond_dim=max_bond_dim, options=options,
         )
-        resolved, circuit, built, config_hash = self._prepare(
-            circuit, backend, noise, backend_options, built
+        resolved, circuit, built, config_hash, pass_info = self._prepare(
+            circuit, backend, noise, backend_options, built, passes
         )
-        return self._finish_compile(resolved, circuit, built, backend_options, config_hash)
+        return self._finish_compile(
+            resolved, circuit, built, backend_options, config_hash, pass_info
+        )
 
     def _finish_compile(
         self,
@@ -419,6 +472,7 @@ class Session:
         built: SimulationTask,
         backend_options: Mapping[str, Any] | None,
         config_hash: str,
+        pass_info: Mapping[str, Any] | None = None,
     ) -> Executable:
         """Plan-cache lookup + backend plan search for a prepared dispatch."""
         key = plan_cache_key(resolved.name, circuit, built, backend_options)
@@ -456,6 +510,7 @@ class Session:
             plan_key=key,
             cache_hit=cache_hit,
             compile_seconds=compile_seconds,
+            pass_info=pass_info,
         )
 
     def cache_stats(self) -> Dict[str, int]:
@@ -494,6 +549,7 @@ class Session:
         keep_samples: bool = False,
         max_bond_dim: int | None = None,
         options: Mapping[str, Any] | None = None,
+        passes: Any = None,
     ) -> SimulationResult:
         """Simulate ``circuit`` on ``backend``, blocking until the result.
 
@@ -525,6 +581,7 @@ class Session:
                 keep_samples=keep_samples,
                 max_bond_dim=max_bond_dim,
                 options=options,
+                passes=passes,
             )
         )
 
@@ -545,6 +602,7 @@ class Session:
         keep_samples: bool = False,
         max_bond_dim: int | None = None,
         options: Mapping[str, Any] | None = None,
+        passes: Any = None,
     ) -> "Future[SimulationResult]":
         """Non-blocking :meth:`run`: dispatch now, read the result later.
 
@@ -563,13 +621,15 @@ class Session:
             input_state=input_state, output_state=output_state,
             keep_samples=keep_samples, max_bond_dim=max_bond_dim, options=options,
         )
-        resolved, circuit, built, config_hash = self._prepare(
-            circuit, backend, noise, backend_options, built
+        resolved, circuit, built, config_hash, pass_info = self._prepare(
+            circuit, backend, noise, backend_options, built, passes
         )
 
         def execute() -> SimulationResult:
             return one_shot_result(
-                self._finish_compile(resolved, circuit, built, backend_options, config_hash)
+                self._finish_compile(
+                    resolved, circuit, built, backend_options, config_hash, pass_info
+                )
             )
 
         return self._dispatch_pool().submit(execute)
@@ -636,6 +696,7 @@ def simulate(
     max_bond_dim: int | None = None,
     backend_options: Mapping[str, Any] | None = None,
     options: Mapping[str, Any] | None = None,
+    passes: Any = True,
 ) -> SimulationResult:
     """One-call convenience: run ``circuit`` through a one-shot :class:`Session`.
 
@@ -658,4 +719,5 @@ def simulate(
             max_bond_dim=max_bond_dim,
             backend_options=backend_options,
             options=options,
+            passes=passes,
         )

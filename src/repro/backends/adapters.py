@@ -28,6 +28,7 @@ from repro.backends.base import (
 from repro.backends.engine import BatchedTrajectoryEngine
 from repro.backends.registry import register_backend
 from repro.circuits.circuit import Circuit
+from repro.circuits.passes import PassProfile
 from repro.core import ApproximateNoisySimulator
 from repro.simulators import (
     DensityMatrixSimulator,
@@ -101,6 +102,10 @@ class DensityMatrixBackend(SimulationBackend):
     def max_qubits(self) -> int | None:
         return self._max_qubits if self._max_qubits is not None else self.capabilities.max_qubits
 
+    def pass_profile(self) -> PassProfile:
+        # Exact superoperator evolution: composing adjacent channels is exact.
+        return PassProfile(merge_channels=True)
+
     def _run(self, circuit: Circuit, task: SimulationTask) -> BackendResult:
         input_state, output_state = _default_states(circuit, task)
         n = circuit.num_qubits
@@ -124,6 +129,11 @@ class TNBackend(SimulationBackend):
     ) -> None:
         self.max_intermediate_size = max_intermediate_size
         self.strategy = strategy
+
+    def pass_profile(self) -> PassProfile:
+        # The doubled diagram inserts each channel's superoperator tensor
+        # verbatim, so channel merging is an exact network rewrite here.
+        return PassProfile(merge_channels=True)
 
     def _simulator(self, task: SimulationTask) -> TNSimulator:
         return TNSimulator(
@@ -158,6 +168,10 @@ class TDDBackend(SimulationBackend):
 
     def max_qubits(self) -> int | None:
         return self._max_qubits if self._max_qubits is not None else self.capabilities.max_qubits
+
+    def pass_profile(self) -> PassProfile:
+        # Decision diagrams evolve the full superoperator exactly as well.
+        return PassProfile(merge_channels=True)
 
     def _run(self, circuit: Circuit, task: SimulationTask) -> BackendResult:
         input_state, output_state = _default_states(circuit, task)
@@ -236,6 +250,12 @@ class MPDOBackend(SimulationBackend):
             if inst.is_gate and len(inst.qubits) > 2:
                 return "mpdo supports 1- and 2-qubit gates only"
         return None
+
+    def pass_profile(self) -> PassProfile:
+        # Channels are applied as exact local superoperators (truncation only
+        # happens on two-qubit gates), and merging two single-qubit channels
+        # yields another single-qubit channel, so the arity constraint holds.
+        return PassProfile(merge_channels=True)
 
     def _run(self, circuit: Circuit, task: SimulationTask) -> BackendResult:
         input_state, output_state = _default_states(circuit, task)

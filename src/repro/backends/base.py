@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, ClassVar, Dict, Mapping
 
 from repro.circuits.circuit import Circuit
+from repro.circuits.passes import PassProfile
 from repro.tensornetwork.circuit_to_tn import resolve_product_state
 from repro.utils.validation import ValidationError
 
@@ -192,6 +193,20 @@ class SimulationBackend(ABC):
     def _extra_supports(self, circuit: Circuit) -> str | None:
         """Hook for adapter-specific structural constraints (e.g. 1-qubit noise only)."""
         return None
+
+    def pass_profile(self) -> PassProfile:
+        """Which compile-time optimizations preserve this backend's semantics.
+
+        The session layer intersects this profile with the caller's
+        :class:`~repro.circuits.passes.PassConfig` before running the
+        optimizing pipeline (see :mod:`repro.circuits.passes`).  The default
+        is the universally safe subset — in particular ``merge_channels``
+        stays off because composing adjacent noise channels changes the
+        noise count that Algorithm 1's level budget and the trajectory
+        sampler's RNG stream are indexed by; the exact superoperator
+        adapters override this to opt in.
+        """
+        return PassProfile()
 
     def check_supported(self, circuit: Circuit, task: SimulationTask | None = None) -> None:
         """Raise :class:`BackendUnsupportedError` when ``circuit`` is out of scope."""

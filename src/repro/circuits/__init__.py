@@ -30,4 +30,13 @@ __all__ = [
     "decompose_to_native",
     "merge_single_qubit_gates",
     "count_two_qubit_gates",
+    "PassConfig",
+    "PassProfile",
+    "PassStats",
+    "run_passes",
 ]
+
+# The optimizing pass pipeline lives in the `passes` subpackage, which
+# imports the circuit IR above — re-export at the end to keep the package
+# import acyclic.
+from repro.circuits.passes import PassConfig, PassProfile, PassStats, run_passes  # noqa: E402

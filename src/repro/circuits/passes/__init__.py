@@ -1,0 +1,33 @@
+"""Optimizing compiler passes run by :meth:`repro.api.Session.compile`.
+
+The pipeline (:func:`run_passes`) applies, in order: deterministic noise
+folding (:mod:`~repro.circuits.passes.folding`), superoperator gate fusion
+(:mod:`~repro.circuits.passes.fusion`) and boundary/lightcone pruning
+(:mod:`~repro.circuits.passes.pruning`).  :class:`PassConfig` carries the
+caller's toggles, :class:`PassProfile` a backend's safety contract, and
+:class:`PassStats` the per-circuit report surfaced through
+``Executable.describe()["passes"]``.  See ``docs/compiler.md`` for the
+per-pass invariants.
+
+This package only depends on the circuit/noise IR and linear-algebra
+utilities — never on the backend or session layers — so it can be imported
+from :mod:`repro.backends.base` without cycles.
+"""
+
+from repro.circuits.passes.config import PassConfig, PassProfile, PassStats
+from repro.circuits.passes.folding import fold_unitary_channels, merge_adjacent_channels
+from repro.circuits.passes.fusion import fuse_gates
+from repro.circuits.passes.pipeline import run_passes
+from repro.circuits.passes.pruning import prune_boundaries, prune_to_observable_cone
+
+__all__ = [
+    "PassConfig",
+    "PassProfile",
+    "PassStats",
+    "fold_unitary_channels",
+    "fuse_gates",
+    "merge_adjacent_channels",
+    "prune_boundaries",
+    "prune_to_observable_cone",
+    "run_passes",
+]

@@ -26,6 +26,7 @@ import numpy as np
 from repro.circuits import gates as glib
 from repro.circuits.circuit import Circuit, Instruction
 from repro.circuits.gates import Gate
+from repro.circuits.passes.fusion import is_identity_up_to_phase
 from repro.circuits.pauli import pauli_exponential_circuit
 from repro.utils.validation import ValidationError
 
@@ -136,16 +137,26 @@ def merge_single_qubit_gates(circuit: Circuit) -> Circuit:
     Noise channels and multi-qubit gates act as barriers on the qubits they
     touch.  The merged gates are emitted as ``u`` gates carrying the fused
     matrix.
+
+    Runs that fuse to the identity *up to a global phase* (e.g. ``X·X``,
+    ``Rz(θ)·Rz(−θ)``, ``H·S·S·H·X``) are eliminated entirely — dead-gate
+    elimination — with the accumulated phase re-emitted as one trailing
+    ``gphase`` gate, keeping the circuit's unitary exactly equal to the
+    original (the module promise above).
     """
     merged = Circuit(circuit.num_qubits, name=f"{circuit.name}_merged")
     pending: dict[int, np.ndarray] = {}
+    dropped_phase = 0.0
 
     def flush(qubits) -> None:
+        nonlocal dropped_phase
         for qubit in qubits:
             matrix = pending.pop(qubit, None)
             if matrix is None:
                 continue
-            if np.allclose(matrix, np.eye(2), atol=1e-12):
+            if is_identity_up_to_phase(matrix, atol=1e-9):
+                # Dead run: keep only its global phase (exactly e^{iφ} I).
+                dropped_phase += float(np.angle(np.trace(matrix) / 2.0))
                 continue
             merged.append(Gate("u", 1, matrix), (qubit,))
 
@@ -158,6 +169,8 @@ def merge_single_qubit_gates(circuit: Circuit) -> Circuit:
         flush(inst.qubits)
         merged.append(inst.operation, inst.qubits)
     flush(list(pending.keys()))
+    if not math.isclose(math.remainder(dropped_phase, 2.0 * math.pi), 0.0, abs_tol=1e-12):
+        merged.append(_global_phase_gate(dropped_phase), (0,))
     return merged
 
 

@@ -63,10 +63,23 @@ def _cmd_simulate(args) -> int:
 
     circuit = _make_noisy_circuit(args)
     print(circuit.summary())
-    with Session() as session:
+    passes = not args.no_passes
+    with Session(passes=passes) as session:
         start = time.perf_counter()
         executable = session.compile(circuit, backend="approximation", level=args.level)
         compile_seconds = time.perf_counter() - start
+        pass_info = executable.describe().get("passes") or {}
+        stats = pass_info.get("stats")
+        if stats:
+            print(
+                f"passes           = fused {stats['gates_fused']}, "
+                f"folded {stats['channels_folded']}, pruned {stats['sites_pruned']} "
+                f"({stats['gates_before']}g/{stats['noises_before']}n -> "
+                f"{stats['gates_after']}g/{stats['noises_after']}n, "
+                f"{pass_info['seconds']:.3f} s)"
+            )
+        elif not passes:
+            print("passes           = disabled (--no-passes)")
         result = executable.run()
         print(f"A({result.metadata['level']})            = {result.value:.10f}")
         print(f"Theorem-1 bound  = {result.error_bound:.3e}")
@@ -81,7 +94,7 @@ def _cmd_simulate(args) -> int:
                 assert repeat.value == result.value  # bit-identical serving
             cached = (time.perf_counter() - cached_start) / (args.repeat - 1)
             # Cold path: what each request costs when every call recompiles.
-            with Session(plan_cache_size=0) as cold:
+            with Session(plan_cache_size=0, passes=passes) as cold:
                 uncached_start = time.perf_counter()
                 for _ in range(args.repeat - 1):
                     cold.run(circuit, backend="approximation", level=args.level)
@@ -105,7 +118,7 @@ def _cmd_compare(args) -> int:
     # max_parallel=1 keeps the Time(s) column meaningful: each backend is
     # timed alone (as the old sequential loop did), while the submit() batch
     # still exercises the session's async front door end to end.
-    with Session(workers=args.workers, max_parallel=1) as session:
+    with Session(workers=args.workers, max_parallel=1, passes=not args.no_passes) as session:
         futures = []
         for name in names:
             stochastic = get_backend(name).capabilities.stochastic
@@ -172,6 +185,7 @@ def _cmd_verify(args) -> int:
         workers=args.workers,
         artifact_dir=args.artifacts,
         shrink=not args.no_shrink,
+        passes=not args.no_passes,
     )
     report = runner.run(progress=print if not args.quiet else None)
     print(report.summary_table())
@@ -371,6 +385,9 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--parameter", type=float, default=0.001,
                          help="channel parameter (ignored for the superconducting model)")
         sub.add_argument("--seed", type=int, default=7)
+        sub.add_argument("--no-passes", action="store_true",
+                         help="skip the optimizing compiler passes (fusion, "
+                              "noise folding, lightcone pruning)")
         sub.add_argument("--composite-gates", action="store_true",
                          help="use composite gates (ZZ/Givens) instead of the native decomposition")
 
@@ -424,6 +441,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="directory for failure artifacts (created on demand)")
     verify.add_argument("--no-shrink", action="store_true",
                         help="skip minimising failing circuits")
+    verify.add_argument("--no-passes", action="store_true",
+                        help="run the oracles against the raw (unoptimized) pipeline")
     verify.add_argument("--quiet", action="store_true",
                         help="suppress per-case progress lines")
     verify.set_defaults(func=_cmd_verify)

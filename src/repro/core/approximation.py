@@ -15,6 +15,15 @@ algorithm
 
 The result ``A(l)`` approximates the fidelity ``⟨v| E_N(|ψ⟩⟨ψ|) |v⟩`` with
 the Theorem-1 error bound; ``l = N`` recovers the exact value.
+
+Both the bound and the cost are indexed by the noise count ``N``, which is
+why the session-layer compiler passes (:mod:`repro.circuits.passes`) only
+shrink it in ways that cannot change the remaining channels' sampling
+structure for this backend: folding a *unitary* channel into a gate removes
+a channel whose SVD has a single term (its level budget was free), and
+pruning removes channels provably acting as the identity on the boundary —
+while channel *merging*, which rewrites ``N`` arbitrarily, stays reserved
+for the exact superoperator backends.
 """
 
 from __future__ import annotations

@@ -173,6 +173,7 @@ class TNSimulator:
         circuit: Circuit,
         observable,
         input_state: StateLike = None,
+        lightcone: bool = True,
     ) -> float:
         """Return ``tr(O · E_N(|ψ⟩⟨ψ|))`` for a Pauli-sum observable ``O``.
 
@@ -181,8 +182,16 @@ class TNSimulator:
         contraction of the doubled diagram with the trace-closure boundary —
         no density matrix is ever materialised, so this works for noisy
         circuits beyond the reach of the density-matrix simulator.
+
+        With ``lightcone=True`` (the default) each term's network is built
+        from the circuit restricted to the backward causal cone of that
+        term's support (:func:`repro.circuits.passes.prune_to_observable_cone`)
+        — exact, because the qubits outside the cone are traced out and every
+        dropped site is trace preserving.  A local term of a shallow circuit
+        then contracts a much smaller network than the full diagram.
         """
         from repro.circuits.observables import PauliObservable, PauliTerm
+        from repro.circuits.passes import prune_to_observable_cone
 
         n = circuit.num_qubits
         input_state = "0" * n if input_state is None else input_state
@@ -190,10 +199,14 @@ class TNSimulator:
             observable = PauliObservable([observable])
         total = observable.constant
         for term in observable:
+            operator_map = term.operator_map()
+            term_circuit = circuit
+            if lightcone and operator_map:
+                term_circuit, _ = prune_to_observable_cone(circuit, operator_map.keys())
             network = noisy_observable_network(
-                circuit,
+                term_circuit,
                 input_state,
-                term.operator_map(),
+                operator_map,
                 max_intermediate_size=self.max_intermediate_size,
             )
             value = network.contract_to_scalar(strategy=self.strategy)

@@ -93,11 +93,37 @@ class TrajectoryResult:
 class TrajectorySimulator:
     """Monte-Carlo sampling of Kraus operators (the quantum-trajectories method)."""
 
-    def __init__(self, backend: str = "statevector", max_intermediate_size: int | None = 2**26) -> None:
+    def __init__(
+        self,
+        backend: str = "statevector",
+        max_intermediate_size: int | None = 2**26,
+        optimize: bool = False,
+    ) -> None:
         if backend not in ("statevector", "tn"):
             raise ValidationError(f"unknown trajectory backend {backend!r}")
         self.backend = backend
         self.max_intermediate_size = max_intermediate_size
+        #: Apply the trajectory-safe compiler passes (unitary-noise folding,
+        #: gate fusion, boundary pruning — see :mod:`repro.circuits.passes`)
+        #: before sampling.  Off by default for this seed-era class: removing
+        #: a noise site shifts the per-channel RNG stream, so seeded runs are
+        #: only bit-stable against their own optimize setting.  The session
+        #: layer (:meth:`repro.api.Session.compile`) applies the same passes
+        #: by default with the backend's own profile.
+        self.optimize = bool(optimize)
+
+    def _optimized(self, circuit: Circuit, input_state, output_state) -> Circuit:
+        if not self.optimize:
+            return circuit
+        from repro.circuits.passes import run_passes
+
+        n = circuit.num_qubits
+        optimized, _ = run_passes(
+            circuit,
+            input_state="0" * n if input_state is None else input_state,
+            output_state="0" * n if output_state is None else output_state,
+        )
+        return optimized
 
     # ------------------------------------------------------------------
     def _engine(self):
@@ -125,6 +151,7 @@ class TrajectorySimulator:
         splits the samples into fixed-size seeded blocks executed by ``k``
         processes, with results identical for every ``k``.
         """
+        circuit = self._optimized(circuit, input_state, output_state)
         return self._engine().estimate_fidelity(
             circuit,
             num_samples,

@@ -302,6 +302,7 @@ class SweepSpec:
     reference: str | None = None
     output_state: str = "zero"
     workers: int | None = None
+    passes: bool = True
     circuits: Tuple[CircuitSpec, ...] = ()
     noises: Tuple[NoiseSpec, ...] = (NoiseSpec(),)
     backends: Tuple[BackendSpec, ...] = ()
@@ -325,40 +326,45 @@ class SweepSpec:
 
     def to_dict(self) -> Dict[str, Any]:
         """Canonical plain-dict form (what the JSONL header stores and hashes)."""
-        return {
+        payload: Dict[str, Any] = {
             "name": self.name,
             "description": self.description,
             "seed": self.seed,
             "reference": self.reference,
             "output_state": self.output_state,
-            "grid": {
-                "circuit": [
-                    {
-                        "name": c.name,
-                        "qasm": c.qasm,
-                        "seed": c.seed,
-                        "native_gates": c.native_gates,
-                        "family": c.family,
-                    }
-                    for c in self.circuits
-                ],
-                "noise": [
-                    {
-                        "channel": n.channel,
-                        "parameter": n.parameter,
-                        "count": n.count,
-                        "seed": n.seed,
-                    }
-                    for n in self.noises
-                ],
-                "backend": [
-                    {"name": b.name, "label": b.label, "options": dict(b.options)}
-                    for b in self.backends
-                ],
-                "level": list(self.levels),
-                "samples": list(self.samples),
-            },
         }
+        if not self.passes:
+            # Emitted only when disabled so pre-existing spec hashes (which
+            # never mentioned passes) remain stable for resumed JSONL files.
+            payload["passes"] = False
+        payload["grid"] = {
+            "circuit": [
+                {
+                    "name": c.name,
+                    "qasm": c.qasm,
+                    "seed": c.seed,
+                    "native_gates": c.native_gates,
+                    "family": c.family,
+                }
+                for c in self.circuits
+            ],
+            "noise": [
+                {
+                    "channel": n.channel,
+                    "parameter": n.parameter,
+                    "count": n.count,
+                    "seed": n.seed,
+                }
+                for n in self.noises
+            ],
+            "backend": [
+                {"name": b.name, "label": b.label, "options": dict(b.options)}
+                for b in self.backends
+            ],
+            "level": list(self.levels),
+            "samples": list(self.samples),
+        }
+        return payload
 
     def spec_hash(self) -> str:
         """Content hash used to guard resumed JSONL files against spec drift."""
@@ -366,7 +372,16 @@ class SweepSpec:
         return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
 
-_SPEC_KEYS = ("name", "description", "seed", "reference", "output_state", "workers", "grid")
+_SPEC_KEYS = (
+    "name",
+    "description",
+    "seed",
+    "reference",
+    "output_state",
+    "workers",
+    "passes",
+    "grid",
+)
 _GRID_KEYS = ("circuit", "noise", "backend", "level", "samples")
 
 
@@ -423,6 +438,7 @@ def _parse_spec(data: Mapping, base_dir: Path | None) -> SweepSpec:
         reference=reference,
         output_state=output_state,
         workers=None if data.get("workers") is None else int(data["workers"]),
+        passes=bool(data.get("passes", True)),
         circuits=circuits,
         noises=noises,
         backends=backends,

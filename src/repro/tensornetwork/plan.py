@@ -22,6 +22,12 @@ leaving a :class:`SpecializedPlan` that replays only the residual,
 variable-dependent steps.  The residual performs the *same* ``tensordot``
 calls in the *same* order as a full replay, so the value is bit-identical;
 the static prefix is simply paid once instead of per call.
+
+Plans are recorded over whatever circuit the session hands the backend —
+since the optimizing passes (:mod:`repro.circuits.passes`) run before plan
+construction, a recorded schedule covers the *optimized* network (fewer
+nodes after fusion/folding/pruning), and the plan-cache key is derived from
+that circuit's fingerprint.
 """
 
 from __future__ import annotations

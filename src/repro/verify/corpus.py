@@ -131,8 +131,15 @@ def save_artifact(
     violation,
     directory: str | Path,
     shrunk_circuit: Circuit | None = None,
+    passes: Any = True,
 ) -> Path:
-    """Write one violation (plus its shrunk circuit, if any) as JSON."""
+    """Write one violation (plus its shrunk circuit, if any) as JSON.
+
+    ``passes`` records the session's optimizing-pass configuration (a bool or
+    the :meth:`repro.api.PassConfig.to_dict` mapping) so that
+    :func:`replay_artifact` re-runs the check through the same pipeline the
+    failure was observed in.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     payload = {
@@ -144,6 +151,7 @@ def save_artifact(
         "deviation": violation.deviation,
         "tolerance": violation.tolerance,
         "details": violation.details,
+        "passes": passes,
         "circuit": circuit_to_dict(violation.circuit),
     }
     if shrunk_circuit is not None:
@@ -188,5 +196,8 @@ def replay_artifact(artifact: Mapping[str, Any] | str | Path, oracle=None) -> bo
         if oracle is None:
             raise ValidationError(f"unknown oracle {artifact['oracle']!r} in artifact")
     circuit = circuit_from_dict(artifact.get("shrunk_circuit") or artifact["circuit"])
-    with Session(seed=int(artifact["workload_seed"]) % (2**31)) as session:
+    with Session(
+        seed=int(artifact["workload_seed"]) % (2**31),
+        passes=artifact.get("passes", True),
+    ) as session:
         return bool(oracle.violates(circuit, dict(artifact["details"]), session))

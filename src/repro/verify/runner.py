@@ -19,7 +19,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, List, Sequence, Tuple
 
 from repro.analysis import format_table
-from repro.api import Session
+from repro.api import PassConfig, Session
 from repro.utils.validation import ValidationError
 from repro.verify.corpus import save_artifact
 from repro.verify.generators import Workload, generate_workloads, resolve_families
@@ -85,6 +85,11 @@ class ConformanceRunner:
     shrink:
         Minimise failing circuits before writing artifacts (on by default;
         ``max_shrink_checks`` bounds the per-failure simulation budget).
+    passes:
+        Optimizing-pass configuration for the shared session (anything
+        :meth:`repro.api.PassConfig.resolve` accepts).  ``repro verify`` runs
+        with passes on by default and with ``--no-passes`` in CI, so the
+        oracles certify both the optimized and the raw pipeline.
     """
 
     def __init__(
@@ -99,6 +104,7 @@ class ConformanceRunner:
         artifact_dir: str | Path = "verify_artifacts",
         shrink: bool = True,
         max_shrink_checks: int = 400,
+        passes: Any = True,
     ) -> None:
         if workers < 2:
             raise ValidationError("conformance runs need workers >= 2")
@@ -112,6 +118,7 @@ class ConformanceRunner:
         self.artifact_dir = Path(artifact_dir)
         self.shrink = shrink
         self.max_shrink_checks = int(max_shrink_checks)
+        self.passes = passes
 
     # ------------------------------------------------------------------
     def run(self, progress: Callable[[str], None] | None = None) -> ConformanceReport:
@@ -122,7 +129,7 @@ class ConformanceRunner:
             self.families, self.cases, self.seed, samples=self.samples, level=self.level
         )
         report = ConformanceReport(cases=len(workloads))
-        with Session(workers=self.workers, seed=self.seed) as session:
+        with Session(workers=self.workers, seed=self.seed, passes=self.passes) as session:
             for workload in workloads:
                 note(f"[{workload.index + 1}/{len(workloads)}] {workload.describe()}")
                 for oracle in self.oracles:
@@ -162,7 +169,12 @@ class ConformanceRunner:
                 f"  shrunk {len(violation.circuit)} -> {len(shrunk)} instructions "
                 f"({shrunk.gate_count()} gates, {checks} checks)"
             )
-        path = save_artifact(violation, self.artifact_dir, shrunk_circuit=shrunk)
+        path = save_artifact(
+            violation,
+            self.artifact_dir,
+            shrunk_circuit=shrunk,
+            passes=PassConfig.resolve(self.passes).to_dict(),
+        )
         report.artifacts.append(path)
         note(f"  artifact: {path}")
 

@@ -64,7 +64,14 @@ class TestSimulate:
 
     def test_agrees_with_direct_backend_run(self, noisy_circuit):
         direct = get_backend("tn").run(noisy_circuit)
-        assert simulate(noisy_circuit, backend="tn").value == direct.value
+        # With passes disabled the session executes the raw circuit, so the
+        # value is bit-identical to a direct backend run; with the optimizing
+        # passes on (the default) the executed circuit differs, so agreement
+        # is exact only up to floating-point contraction order.
+        assert simulate(noisy_circuit, backend="tn", passes=False).value == direct.value
+        assert simulate(noisy_circuit, backend="tn").value == pytest.approx(
+            direct.value, abs=1e-9
+        )
 
 
 class TestSessionBatch:

@@ -101,6 +101,49 @@ class TestMergeSingleQubitGates:
         merged = merge_single_qubit_gates(circuit)
         assert merged.gate_count() == 0
 
+    def test_inverse_rotations_round_to_identity(self):
+        circuit = Circuit(1).rz(0.37, 0).rz(-0.37, 0)
+        merged = merge_single_qubit_gates(circuit)
+        assert merged.gate_count() == 0
+        assert _unitaries_match(circuit, merged)
+
+    def test_composite_identity_run_removed(self):
+        # H·S·S·H·X = H·Z·H·X = X·X = I (up to no phase at all).
+        circuit = Circuit(1).h(0).s(0).s(0).h(0).x(0)
+        merged = merge_single_qubit_gates(circuit)
+        assert merged.gate_count() == 0
+        assert _unitaries_match(circuit, merged)
+
+    def test_identity_up_to_phase_keeps_global_phase(self):
+        # Rz(π)·Rz(π) = Rz(2π) = −I: the run dies, but the phase must
+        # survive as an explicit gphase gate (exact-unitary promise).
+        circuit = Circuit(1).rz(np.pi, 0).rz(np.pi, 0)
+        merged = merge_single_qubit_gates(circuit)
+        assert merged.gate_count() == 1
+        assert merged[0].name == "gphase"
+        assert _unitaries_match(circuit, merged)
+
+    def test_dead_runs_on_several_qubits_accumulate_one_phase(self):
+        circuit = Circuit(2).rz(np.pi, 0).rz(np.pi, 0).rz(np.pi, 1).rz(np.pi, 1)
+        merged = merge_single_qubit_gates(circuit)
+        # (−I)⊗(−I) = I overall: both phases cancel, nothing is emitted.
+        assert merged.gate_count() == 0
+        assert _unitaries_match(circuit, merged)
+
+    def test_dead_run_between_barriers(self):
+        circuit = Circuit(2).h(0).cx(0, 1).x(1).x(1).cx(0, 1).h(0)
+        merged = merge_single_qubit_gates(circuit)
+        assert _unitaries_match(circuit, merged)
+        assert merged.gate_count() == 4  # the X·X between the CXs is dead
+
+    @given(st.floats(-np.pi, np.pi, allow_nan=False))
+    @settings(max_examples=25, deadline=None)
+    def test_property_rotation_and_inverse_always_eliminated(self, theta):
+        circuit = Circuit(1).rx(theta, 0).rx(-theta, 0)
+        merged = merge_single_qubit_gates(circuit)
+        assert merged.gate_count() == 0
+        assert _unitaries_match(circuit, merged)
+
     def test_noise_acts_as_barrier(self):
         circuit = Circuit(1).h(0)
         circuit.append(depolarizing_channel(0.05), 0)

@@ -45,6 +45,8 @@ TOP_LEVEL = {
 API = {
     "Executable",
     "NOISE_CHANNELS",
+    "PassConfig",
+    "PassStats",
     "Session",
     "SimulationResult",
     "apply_noise",

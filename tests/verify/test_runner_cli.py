@@ -65,6 +65,13 @@ class TestCleanRun:
 
 
 class TestInjectedBug:
+    # All injected-bug tests run with passes=False: the planted bug matches
+    # gates by *name*, and the optimizing fusion pass would rewrite the T
+    # gates into fused `u` gates before the backend sees them — both backends
+    # then (correctly) agree on the optimized circuit, so the raw pipeline is
+    # what this machinery needs to exercise.  The recorded artifact carries
+    # the pass mode, so replays reproduce under the same pipeline.
+
     def test_bug_is_caught_shrunk_and_replayable(self, tmp_path, buggy_backend):
         runner = ConformanceRunner(
             families="clifford_t",
@@ -72,6 +79,7 @@ class TestInjectedBug:
             seed=7,
             oracles=[CrossBackendAgreement(backends=[buggy_backend], output_state="ideal")],
             artifact_dir=tmp_path,
+            passes=False,
         )
         report = runner.run()
         assert not report.ok
@@ -96,6 +104,7 @@ class TestInjectedBug:
             seed=7,
             oracles=[CrossBackendAgreement(backends=[buggy_backend], output_state="ideal")],
             artifact_dir=tmp_path,
+            passes=False,
         )
         report = runner.run()
         assert report.artifacts
@@ -130,7 +139,7 @@ class TestCli:
         monkeypatch.setattr(runner_module, "DEFAULT_ORACLES", tiny_oracles)
         code = main([
             "verify", "--families", "clifford_t", "--cases", "4", "--seed", "7",
-            "--artifacts", str(tmp_path), "--quiet",
+            "--artifacts", str(tmp_path), "--quiet", "--no-passes",
         ])
         captured = capsys.readouterr()
         assert code == 1
@@ -141,7 +150,7 @@ class TestCli:
         report = ConformanceRunner(
             families="clifford_t", cases=4, seed=7,
             oracles=[CrossBackendAgreement(backends=[buggy_backend], output_state="ideal")],
-            artifact_dir=tmp_path,
+            artifact_dir=tmp_path, passes=False,
         ).run()
         path = str(report.artifacts[0])
         assert main(["replay", path]) == 1  # bug still present -> exit 1
