@@ -1,0 +1,188 @@
+"""Serving-layer throughput: latency percentiles, req/s, and coalescing.
+
+The multi-tenant serving claim behind :mod:`repro.serve`: one shared
+``Session`` (one plan cache, one dispatch layer) behind the asyncio HTTP
+front end sustains concurrent load with bounded tail latency, and K
+identical concurrent requests cost exactly **one** plan compile — the
+request-coalescing path observable through ``/stats``.
+
+The load generator drives the real socket front end (keep-alive HTTP/1.1,
+one connection per simulated client) at two concurrency levels and records
+client-side p50/p99 latency plus ok-req/s for each.  A separate phase fires
+K identical requests *concurrently* at a configuration the server has never
+compiled and asserts, via the plan-cache delta in ``/stats``, that they
+produced exactly one cache miss (the other K-1 were coalesced onto the
+in-flight compile or served from the fresh cache entry).
+
+Hard gates (the run fails, not just regresses): every load-phase response is
+``ok`` (zero errors, zero sheds at these levels), throughput is nonzero at
+every level, and the coalescing delta is exactly one miss.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once, write_report
+from repro.analysis import format_table
+from repro.serve import BackgroundServer, HttpServeClient
+
+#: Simulated clients per load phase (each owns one keep-alive connection).
+CONCURRENCY_LEVELS = (4, 16)
+
+#: Wall-clock seconds of load per concurrency level.
+DURATION_SECONDS = 2.5
+
+#: Identical concurrent requests of the coalescing phase.
+COALESCE_K = 12
+
+#: The load-phase workload: small, deterministic, compiled once then cached.
+LOAD_PAYLOAD = {"circuit": "ghz_10", "backend": "statevector"}
+
+#: The coalescing-phase workload — a plan key the load phase never compiles.
+COALESCE_PAYLOAD = {"circuit": "qft_8", "backend": "tn"}
+
+_results: dict = {}
+
+
+async def _load_phase(host: str, port: int, clients: int) -> dict:
+    """Drive ``clients`` keep-alive connections for DURATION_SECONDS."""
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + DURATION_SECONDS
+    statuses: dict = {}
+    latencies: list = []
+
+    async def drive(index: int) -> None:
+        client = HttpServeClient(host, port)
+        payload = dict(LOAD_PAYLOAD, tenant=f"bench-{index}")
+        try:
+            while loop.time() < deadline:
+                start = time.perf_counter()
+                _, response = await client.request(payload)
+                latencies.append(time.perf_counter() - start)
+                status = response.get("status", "error")
+                statuses[status] = statuses.get(status, 0) + 1
+        finally:
+            await client.aclose()
+
+    start = time.perf_counter()
+    await asyncio.gather(*(drive(index) for index in range(clients)))
+    elapsed = time.perf_counter() - start
+    lat_ms = np.asarray(latencies) * 1000.0
+    return {
+        "clients": clients,
+        "requests": int(lat_ms.size),
+        "ok": statuses.get("ok", 0),
+        "statuses": statuses,
+        "req_per_s": statuses.get("ok", 0) / elapsed,
+        "p50_ms": float(np.percentile(lat_ms, 50)) if lat_ms.size else 0.0,
+        "p99_ms": float(np.percentile(lat_ms, 99)) if lat_ms.size else 0.0,
+    }
+
+
+async def _coalesce_phase(host: str, port: int) -> dict:
+    """K identical concurrent requests -> exactly one plan-cache miss."""
+    stats_client = HttpServeClient(host, port)
+    _, before = await stats_client.get("/stats")
+
+    async def one(index: int) -> str:
+        client = HttpServeClient(host, port)
+        try:
+            _, response = await client.request(
+                dict(COALESCE_PAYLOAD, tenant=f"burst-{index}")
+            )
+            return response["status"]
+        finally:
+            await client.aclose()
+
+    results = await asyncio.gather(*(one(index) for index in range(COALESCE_K)))
+    _, after = await stats_client.get("/stats")
+    await stats_client.aclose()
+    cache_before, cache_after = before["plan_cache"], after["plan_cache"]
+    return {
+        "k": COALESCE_K,
+        "statuses": list(results),
+        "miss_delta": cache_after["misses"] - cache_before["misses"],
+        "hit_delta": cache_after["hits"] - cache_before["hits"],
+        "coalesced_delta": cache_after["coalesced"] - cache_before["coalesced"],
+        "coalesced_requests": after["server"]["coalesced_requests"],
+    }
+
+
+def _run_bench() -> dict:
+    with BackgroundServer(
+        seed=0, max_inflight=8, queue_limit=64, plan_cache_size=64
+    ) as bg:
+
+        async def scenario() -> dict:
+            levels = []
+            for clients in CONCURRENCY_LEVELS:
+                levels.append(await _load_phase(bg.host, bg.port, clients))
+            burst = await _coalesce_phase(bg.host, bg.port)
+            return {"levels": levels, "coalescing": burst}
+
+        outcome = asyncio.run(scenario())
+        outcome["stats"] = bg.stats()
+    return outcome
+
+
+@pytest.mark.benchmark(group="serving")
+def test_serving_throughput(benchmark):
+    outcome = run_once(benchmark, _run_bench)
+    _results.update(outcome)
+
+    for level in outcome["levels"]:
+        assert level["statuses"] == {"ok": level["ok"]}, (
+            f"non-ok responses at c={level['clients']}: {level['statuses']}"
+        )
+        assert level["ok"] > 0 and level["req_per_s"] > 0.0
+    burst = outcome["coalescing"]
+    assert all(status == "ok" for status in burst["statuses"])
+    # The headline coalescing gate: K identical concurrent requests cost
+    # exactly one plan compile; the rest were coalesced or cache hits.
+    assert burst["miss_delta"] == 1, burst
+    assert burst["hit_delta"] + burst["coalesced_delta"] == COALESCE_K - 1, burst
+
+
+def teardown_module(module) -> None:
+    if not _results:
+        return
+    rows = [
+        [
+            level["clients"],
+            level["requests"],
+            f"{level['req_per_s']:.1f}",
+            f"{level['p50_ms']:.2f}",
+            f"{level['p99_ms']:.2f}",
+        ]
+        for level in _results["levels"]
+    ]
+    burst = _results["coalescing"]
+    cache = _results["stats"]["plan_cache"]
+    text = format_table(
+        ["Clients", "Requests", "ok req/s", "p50 (ms)", "p99 (ms)"],
+        rows,
+        title=f"Serving throughput over HTTP ({DURATION_SECONDS:g}s per level)",
+    )
+    text += (
+        f"\n\ncoalescing: {burst['k']} identical concurrent requests -> "
+        f"{burst['miss_delta']} compile (plan-cache miss), "
+        f"{burst['coalesced_delta']} coalesced onto it, "
+        f"{burst['hit_delta']} served from the fresh cache entry"
+        f"\nfinal plan cache: {cache['hits']} hits, {cache['misses']} misses, "
+        f"{cache['coalesced']} coalesced, size {cache['size']}"
+    )
+    write_report(
+        "serving_throughput",
+        text,
+        data={
+            "levels": _results["levels"],
+            "coalescing": burst,
+            "plan_cache": cache,
+            "admission": _results["stats"]["admission"],
+        },
+    )

@@ -33,6 +33,7 @@ from repro.api.result import (
     task_config_hash,
 )
 from repro.backends.base import SimulationBackend, SimulationTask
+from repro.backends.engine import WorkerPoolError
 from repro.circuits.circuit import Circuit
 from repro.utils.validation import ValidationError
 
@@ -128,6 +129,7 @@ class Executable:
         "_cache_hit",
         "_compile_seconds",
         "_pass_info",
+        "_coalesced",
         "_lock",
         "_executions",
     )
@@ -145,6 +147,7 @@ class Executable:
         cache_hit: bool,
         compile_seconds: float,
         pass_info: Mapping[str, Any] | None = None,
+        coalesced: bool = False,
     ) -> None:
         self._session = session
         self._backend = backend
@@ -157,6 +160,7 @@ class Executable:
         self._cache_hit = cache_hit
         self._compile_seconds = compile_seconds
         self._pass_info = dict(pass_info) if pass_info is not None else None
+        self._coalesced = coalesced
         self._lock = threading.Lock()
         self._executions = 0
 
@@ -195,8 +199,23 @@ class Executable:
 
     @property
     def compile_seconds(self) -> float:
-        """Wall-clock cost of the plan search (0.0 on a cache hit)."""
+        """Wall-clock cost of the plan search (0.0 on a cache hit).
+
+        For a coalesced compile this is the time spent waiting on the
+        concurrent owner's plan search, not a second search.
+        """
         return self._compile_seconds
+
+    @property
+    def coalesced(self) -> bool:
+        """True when this compile shared a concurrent in-flight plan search.
+
+        A coalesced compile found the same ``plan_key`` already being
+        compiled by another thread and waited for that single search instead
+        of starting its own; it also reports ``cache_hit=True`` because the
+        one-time work was not repeated for this call.
+        """
+        return self._coalesced
 
     def describe(self) -> Dict[str, Any]:
         """Plan cost, cache provenance and pass report of this configuration.
@@ -222,6 +241,7 @@ class Executable:
             "config_hash": self._config_hash,
             "plan_key": self._plan_key,
             "cache_hit": self._cache_hit,
+            "coalesced": self._coalesced,
             "compile_seconds": self._compile_seconds,
             "executions": self._executions,
             "seed": self._task.seed,
@@ -266,7 +286,22 @@ class Executable:
         same seed, bit-identical value.
         """
         task, config_hash, reused = self._resolve_call(num_samples, seed)
-        outcome = self._backend.run(self._circuit, task, plan=self._plan)
+        return self._execute(task, config_hash, reused)
+
+    def _execute(self, task, config_hash, reused) -> SimulationResult:
+        """Backend dispatch shared by run()/submit(), with pool recovery.
+
+        A :class:`~repro.backends.WorkerPoolError` means the session's shared
+        process pool lost a worker and is permanently broken; the session's
+        pool is reset *before* re-raising, so the caller's retry — through
+        this same executable, whose task holds an indirect pool handle —
+        runs against a fresh pool.
+        """
+        try:
+            outcome = self._backend.run(self._circuit, task, plan=self._plan)
+        except WorkerPoolError:
+            self._session.reset_pool()
+            raise
         return SimulationResult.from_backend_result(
             outcome, seed=task.seed, config_hash=config_hash, cache_hit=reused
         )
@@ -278,10 +313,7 @@ class Executable:
         task, config_hash, reused = self._resolve_call(num_samples, seed)
 
         def execute() -> SimulationResult:
-            outcome = self._backend.run(self._circuit, task, plan=self._plan)
-            return SimulationResult.from_backend_result(
-                outcome, seed=task.seed, config_hash=config_hash, cache_hit=reused
-            )
+            return self._execute(task, config_hash, reused)
 
         return self._session._dispatch_pool().submit(execute)
 

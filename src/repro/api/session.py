@@ -101,6 +101,31 @@ def _noise_needs_seed(noise: Any) -> bool:
     )
 
 
+class _PoolHandle:
+    """Stable executor handle resolving to the session's *current* pool.
+
+    Compiled tasks carry this handle instead of the raw
+    :class:`~concurrent.futures.ProcessPoolExecutor`, so when a broken pool
+    is discarded (:meth:`Session.reset_pool`) every existing
+    :class:`~repro.api.Executable` transparently picks up the replacement on
+    its next run — pool recovery never invalidates compiled plans.  When the
+    session has no usable pool (pool-less environments), ``map`` degrades to
+    the serial built-in, which is bit-identical because the engine's block
+    seeding makes values independent of the work distribution.
+    """
+
+    __slots__ = ("_session",)
+
+    def __init__(self, session: "Session") -> None:
+        self._session = session
+
+    def map(self, fn, *iterables):
+        pool = self._session._shared_pool()
+        if pool is None:
+            return map(fn, *iterables)
+        return pool.map(fn, *iterables)
+
+
 class Session:
     """Shared-resource facade over the backend registry (see module docs).
 
@@ -168,6 +193,13 @@ class Session:
         self._plan_hits = 0
         self._plan_misses = 0
         self._plan_evictions = 0
+        self._plan_coalesced = 0
+        # In-flight compiles keyed by plan_cache_key: concurrent compiles of
+        # one key deduplicate to a single plan search whose result (or error)
+        # fans out to every waiter through the stored Future.
+        self._inflight: Dict[str, Future] = {}
+        self._pool_handle = _PoolHandle(self)
+        self._pool_resets = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -210,12 +242,32 @@ class Session:
         if self.workers is None or self.workers <= 1:
             return None
         with self._lock:
-            if self._pool is None and not self._pool_failed:
+            if self._pool is None and not self._pool_failed and not self._closed:
                 try:
                     self._pool = ProcessPoolExecutor(max_workers=self.workers)
                 except (OSError, ValueError):  # pragma: no cover - pool-less envs
                     self._pool_failed = True
             return self._pool
+
+    def reset_pool(self) -> bool:
+        """Discard the session's process pool; the next pooled run recreates it.
+
+        The recovery half of worker-pool fault tolerance: a
+        :class:`~repro.backends.WorkerPoolError` means a worker process died
+        and the ``ProcessPoolExecutor`` is permanently broken.  Dropping it
+        here (the broken pool is shut down without waiting) lets every
+        compiled :class:`~repro.api.Executable` retry against a fresh pool —
+        their tasks hold an indirect handle, never the raw pool.  Returns
+        True when there was a pool to discard.
+        """
+        with self._lock:
+            pool, self._pool = self._pool, None
+            self._pool_failed = False
+            if pool is not None:
+                self._pool_resets += 1
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return pool is not None
 
     def _dispatch_pool(self) -> ThreadPoolExecutor:
         with self._lock:
@@ -336,9 +388,10 @@ class Session:
                 and task.workers is not None
                 and task.workers > 1
             ):
-                pool = self._shared_pool()
-                if pool is not None:
-                    task = dataclasses.replace(task, executor=pool)
+                if self._shared_pool() is not None:
+                    # The indirect handle, not the raw pool: reset_pool() then
+                    # transparently re-routes every compiled executable.
+                    task = dataclasses.replace(task, executor=self._pool_handle)
         # The optimizing passes run on the fully resolved circuit (noise
         # bound, boundaries known) and before capability checking, so the
         # backend validates what it will actually execute.
@@ -474,31 +527,70 @@ class Session:
         config_hash: str,
         pass_info: Mapping[str, Any] | None = None,
     ) -> Executable:
-        """Plan-cache lookup + backend plan search for a prepared dispatch."""
+        """Plan-cache lookup, in-flight deduplication, backend plan search.
+
+        Concurrent compiles of one ``plan_cache_key`` deduplicate: the first
+        caller (the *owner*) performs the backend's plan search outside the
+        lock while every concurrent caller of the same key waits on the
+        owner's Future — one miss total, the waiters count as ``coalesced``.
+        An owner that fails fans the exception out to its waiters and removes
+        the in-flight entry, so a failed compile never poisons the key: the
+        next caller simply compiles again.
+        """
         key = plan_cache_key(resolved.name, circuit, built, backend_options)
+        owner_future: Future | None = None
+        wait_future: Future | None = None
+        cache_hit = False
+        coalesced = False
+        plan = None
         with self._lock:
-            cache_hit = key in self._plans
-            if cache_hit:
+            if key in self._plans:
                 self._plans.move_to_end(key)
                 plan = self._plans[key]
                 self._plan_hits += 1
+                cache_hit = True
+            elif self._plan_capacity > 0 and key in self._inflight:
+                wait_future = self._inflight[key]
+                self._plan_coalesced += 1
+                coalesced = True
             else:
                 self._plan_misses += 1
+                if self._plan_capacity > 0:
+                    owner_future = Future()
+                    self._inflight[key] = owner_future
         compile_seconds = 0.0
-        if not cache_hit:
-            # The backend's plan search runs outside the lock: concurrent
-            # submit() calls may race to compile the same key (both count as
-            # misses, last store wins) but never block each other.
+        if wait_future is not None:
+            # Coalesced: block until the owner's plan search resolves.  The
+            # wait is this caller's compile share; an owner failure re-raises
+            # here, exactly as if this caller had compiled itself.
             start = time.perf_counter()
-            plan = resolved.compile(circuit, built)
+            plan = wait_future.result()
+            compile_seconds = time.perf_counter() - start
+            cache_hit = True
+        elif not cache_hit:
+            # The backend's plan search runs outside the lock, so distinct
+            # keys never block each other.
+            start = time.perf_counter()
+            try:
+                plan = resolved.compile(circuit, built)
+            except BaseException as exc:
+                if owner_future is not None:
+                    with self._lock:
+                        self._inflight.pop(key, None)
+                    owner_future.set_exception(exc)
+                raise
             compile_seconds = time.perf_counter() - start
             if self._plan_capacity > 0:
                 with self._lock:
-                    self._plans[key] = plan
-                    self._plans.move_to_end(key)
-                    while len(self._plans) > self._plan_capacity:
-                        self._plans.popitem(last=False)
-                        self._plan_evictions += 1
+                    if not self._closed:
+                        self._plans[key] = plan
+                        self._plans.move_to_end(key)
+                        while len(self._plans) > self._plan_capacity:
+                            self._plans.popitem(last=False)
+                            self._plan_evictions += 1
+                    self._inflight.pop(key, None)
+                if owner_future is not None:
+                    owner_future.set_result(plan)
         return Executable(
             session=self,
             backend=resolved,
@@ -511,22 +603,28 @@ class Session:
             cache_hit=cache_hit,
             compile_seconds=compile_seconds,
             pass_info=pass_info,
+            coalesced=coalesced,
         )
 
     def cache_stats(self) -> Dict[str, int]:
-        """Plan-cache counters: hits, misses, evictions, size, capacity.
+        """Plan-cache counters: hits, misses, coalesced, evictions, size, capacity.
 
-        ``hits + misses`` equals the number of :meth:`compile` calls (every
-        ``run()``/``submit()``/``simulate()`` performs exactly one), so the
-        hit rate of a serving session is ``hits / (hits + misses)``.
+        ``hits + misses + coalesced`` equals the number of :meth:`compile`
+        calls (every ``run()``/``submit()``/``simulate()`` performs exactly
+        one): a ``coalesced`` compile found the same key already being
+        compiled by a concurrent caller and shared that single in-flight
+        plan search — K identical concurrent compiles cost exactly one miss.
+        ``inflight`` is the number of plan searches currently running.
         """
         with self._lock:
             return {
                 "hits": self._plan_hits,
                 "misses": self._plan_misses,
+                "coalesced": self._plan_coalesced,
                 "evictions": self._plan_evictions,
                 "size": len(self._plans),
                 "capacity": self._plan_capacity,
+                "inflight": len(self._inflight),
             }
 
     # ------------------------------------------------------------------

@@ -36,7 +36,11 @@ from repro.backends.base import (
     SimulationBackend,
     SimulationTask,
 )
-from repro.backends.engine import BatchedTrajectoryEngine, apply_matrix_batched
+from repro.backends.engine import (
+    BatchedTrajectoryEngine,
+    WorkerPoolError,
+    apply_matrix_batched,
+)
 from repro.backends.registry import (
     available_backends,
     backend_aliases,
@@ -57,6 +61,7 @@ __all__ = [
     "BatchedTrajectoryEngine",
     "SimulationBackend",
     "SimulationTask",
+    "WorkerPoolError",
     "apply_matrix_batched",
     "available_backends",
     "backend_aliases",

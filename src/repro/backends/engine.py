@@ -47,7 +47,20 @@ from repro.tensornetwork.circuit_to_tn import (
 from repro.tensornetwork.plan import ContractionPlan
 from repro.utils.validation import ValidationError
 
-__all__ = ["BatchedTrajectoryEngine", "RNG_BLOCK", "apply_matrix_batched"]
+__all__ = ["BatchedTrajectoryEngine", "RNG_BLOCK", "WorkerPoolError", "apply_matrix_batched"]
+
+
+class WorkerPoolError(RuntimeError):
+    """A caller-owned process pool broke mid-run (a worker process died).
+
+    Raised instead of silently degrading to serial execution when the pool
+    was supplied by the caller: a long-lived owner (e.g. a
+    :class:`repro.api.Session` serving traffic) must learn that its pool is
+    broken — a ``ProcessPoolExecutor`` never recovers once flagged — so it
+    can tear the pool down, recreate it, and retry.  Self-created per-call
+    pools keep the historical serial fallback, which is bit-identical
+    because block seeding makes values independent of the distribution.
+    """
 
 #: Trajectories per RNG block in seeded (``workers``) mode.  Fixed — not a
 #: tuning knob — so that results are reproducible across worker counts.
@@ -419,8 +432,13 @@ class BatchedTrajectoryEngine:
         if executor is not None:
             try:
                 group_results = list(executor.map(_pool_worker, payloads))
-            except BrokenProcessPool:  # pragma: no cover - crashed workers
-                group_results = [_pool_worker(payload) for payload in payloads]
+            except BrokenProcessPool as exc:
+                # The owner's pool is permanently broken; surface a typed
+                # error so the owner can reset it (see Session.reset_pool).
+                raise WorkerPoolError(
+                    "shared trajectory process pool broke mid-run (a worker "
+                    "process died); reset the pool and retry"
+                ) from exc
         else:
             try:
                 pool = ProcessPoolExecutor(max_workers=len(payloads))

@@ -12,6 +12,8 @@ Provides a small reproducibility tool around the library's main entry points::
     python -m repro.cli replay        verify_artifacts/<artifact>.json
     python -m repro.cli decompose     --channel depolarizing --parameter 0.01
     python -m repro.cli bound         --noises 20 --rate 0.001 --level 1
+    python -m repro.cli serve         --port 8780 --max-inflight 4
+    python -m repro.cli serve         --smoke 5
 
 ``simulate`` runs the approximation algorithm on a benchmark circuit with the
 paper's fault model, ``compare`` batch-dispatches the selected registered
@@ -20,8 +22,10 @@ backends on the same instance through one :class:`repro.api.Session`,
 the differential conformance harness (:mod:`repro.verify`) and ``replay``
 re-checks one of its failure artifacts, ``sweep`` runs/lists/reports
 declarative experiment grids (:mod:`repro.sweeps`), ``decompose`` prints the
-SVD decomposition of a noise channel and ``bound`` evaluates the Theorem-1
-formulas without any simulation.
+SVD decomposition of a noise channel, ``bound`` evaluates the Theorem-1
+formulas without any simulation, and ``serve`` runs the multi-tenant HTTP
+serving layer (:mod:`repro.serve`; ``--smoke SECONDS`` self-drives a short
+load drill and exits nonzero on any hard error).
 """
 
 from __future__ import annotations
@@ -371,6 +375,94 @@ def _cmd_bound(args) -> int:
     return 0
 
 
+def _serve_smoke(args) -> int:
+    import concurrent.futures
+    import threading
+    import time
+
+    from repro.serve import BackgroundServer
+
+    duration = args.smoke
+    clients = args.smoke_clients
+    counts: dict = {}
+    lock = threading.Lock()
+    with BackgroundServer(
+        host=args.host,
+        port=args.port,
+        seed=args.seed,
+        workers=args.workers,
+        max_inflight=args.max_inflight,
+        queue_limit=args.queue_limit,
+        default_timeout=args.timeout,
+        plan_cache_size=args.plan_cache_size,
+    ) as bg:
+        print(f"smoke: {clients} client(s) x {duration:g}s against {bg.url}")
+        deadline = time.perf_counter() + duration
+
+        def drive(index: int) -> int:
+            sent = 0
+            payload = {
+                "circuit": args.smoke_circuit,
+                "backend": "statevector",
+                "tenant": f"smoke-{index}",
+            }
+            while time.perf_counter() < deadline:
+                _, response = bg.request(payload)
+                with lock:
+                    status = response.get("status", "error")
+                    counts[status] = counts.get(status, 0) + 1
+                sent += 1
+            return sent
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=clients) as pool:
+            total = sum(pool.map(drive, range(clients)))
+        stats = bg.stats()
+    ok = counts.get("ok", 0)
+    errors = total - ok
+    latency = stats["server"]["latency_ms"]
+    cache = stats["plan_cache"]
+    print(f"requests         = {total} ({counts})")
+    print(f"throughput       = {ok / duration:.1f} ok req/s")
+    print(f"latency          = p50 {latency['p50_ms']:.2f} ms, "
+          f"p99 {latency['p99_ms']:.2f} ms")
+    print(f"plan cache       = {cache['hits']} hits, {cache['misses']} misses, "
+          f"{cache['coalesced']} coalesced")
+    if ok == 0 or errors:
+        print(f"error: smoke failed ({ok} ok, {errors} non-ok)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import ReproServer
+
+    if args.smoke is not None:
+        return _serve_smoke(args)
+
+    async def _run() -> None:
+        server = ReproServer(
+            seed=args.seed,
+            workers=args.workers,
+            max_inflight=args.max_inflight,
+            queue_limit=args.queue_limit,
+            default_timeout=args.timeout,
+            plan_cache_size=args.plan_cache_size,
+            max_requests=args.max_requests,
+        )
+        host, port = await server.start_http(args.host, args.port)
+        print(f"serving on http://{host}:{port} "
+              f"(POST /simulate, GET /stats, GET /healthz)")
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("\nshutdown requested")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -492,6 +584,36 @@ def build_parser() -> argparse.ArgumentParser:
     decompose.add_argument("--seed", type=int, default=7)
     decompose.add_argument("--verbose", action="store_true")
     decompose.set_defaults(func=_cmd_decompose)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the multi-tenant HTTP serving layer (repro.serve)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8780,
+                       help="TCP port (0 picks a free one)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="server seed: root of every tenant's deterministic "
+                            "seed stream")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="process-pool size for the stochastic backends")
+    serve.add_argument("--max-inflight", type=int, default=4,
+                       help="concurrent executions (worker thread count)")
+    serve.add_argument("--queue-limit", type=int, default=16,
+                       help="admitted requests held beyond --max-inflight before "
+                            "shedding with 'overloaded'")
+    serve.add_argument("--timeout", type=float, default=30.0,
+                       help="default per-request budget in seconds")
+    serve.add_argument("--plan-cache-size", type=int, default=128)
+    serve.add_argument("--max-requests", type=int, default=None,
+                       help="shut down after this many responses (drills)")
+    serve.add_argument("--smoke", type=float, default=None, metavar="SECONDS",
+                       help="instead of serving, self-drive a load drill for "
+                            "SECONDS and exit nonzero on any non-ok response")
+    serve.add_argument("--smoke-clients", type=int, default=4,
+                       help="concurrent clients of the --smoke drill")
+    serve.add_argument("--smoke-circuit", default="ghz_10",
+                       help="benchmark circuit of the --smoke drill")
+    serve.set_defaults(func=_cmd_serve)
 
     bound = subparsers.add_parser("bound", help="evaluate the Theorem-1 bound")
     bound.add_argument("--noises", type=int, required=True)

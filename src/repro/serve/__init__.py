@@ -1,0 +1,46 @@
+"""Multi-tenant serving layer over the compile/execute split.
+
+One shared :class:`~repro.api.Session` (plan cache, process pool, dispatch
+layer) behind an asyncio server with request coalescing, per-tenant
+deterministic seed streams, bounded admission control, per-request
+deadlines, worker-fault recovery and a ``/stats`` surface — see
+:mod:`repro.serve.server` for the full design and ``docs/serving.md`` for
+the operator view.
+"""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.client import BackgroundServer, HttpServeClient, ServeClient
+from repro.serve.faults import FaultInjector, WorkerCrash, crash, hang
+from repro.serve.protocol import (
+    HTTP_STATUS,
+    STATUSES,
+    ProtocolError,
+    ServeRequest,
+    error_response,
+    ok_response,
+)
+from repro.serve.server import ReproServer
+from repro.serve.stats import LatencyHistogram, ServerStats
+from repro.serve.tenancy import TenantRegistry, tenant_request_seed
+
+__all__ = [
+    "AdmissionController",
+    "BackgroundServer",
+    "FaultInjector",
+    "HTTP_STATUS",
+    "HttpServeClient",
+    "LatencyHistogram",
+    "ProtocolError",
+    "ReproServer",
+    "STATUSES",
+    "ServeClient",
+    "ServeRequest",
+    "ServerStats",
+    "TenantRegistry",
+    "WorkerCrash",
+    "crash",
+    "hang",
+    "error_response",
+    "ok_response",
+    "tenant_request_seed",
+]

@@ -1,0 +1,94 @@
+"""Admission control: a bounded queue that sheds load instead of stalling.
+
+The server executes at most ``max_inflight`` requests concurrently (the size
+of its worker thread pool) and holds at most ``queue_limit`` admitted
+requests beyond that.  A request arriving with both tiers full is *shed*
+immediately with a structured ``overloaded`` response — the server never
+buffers unbounded work and never deadlocks behind a saturated process pool.
+
+Slots are released when the underlying work actually finishes (or is
+cancelled before it started), not when a response is sent: a request that
+timed out but whose worker thread is still computing keeps its slot until
+the thread returns, so ``in_flight`` always reflects real resource usage
+and timeouts cannot oversubscribe the pool.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Two-tier bounded admission: running slots plus a bounded wait queue."""
+
+    def __init__(self, max_inflight: int = 4, queue_limit: int = 16) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if queue_limit < 0:
+            raise ValueError("queue_limit must be >= 0")
+        self.max_inflight = int(max_inflight)
+        self.queue_limit = int(queue_limit)
+        self._lock = threading.Lock()
+        self._active = 0      # admitted and not yet finished
+        self._running = 0     # actually executing on a worker thread
+        self._admitted = 0
+        self._shed = 0
+        self._completed = 0
+        self._cancelled = 0
+        self._queue_high_water = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Total admitted requests the server will hold: running + queued."""
+        return self.max_inflight + self.queue_limit
+
+    def try_admit(self) -> bool:
+        """Claim a slot; False means the request must be shed (no blocking)."""
+        with self._lock:
+            if self._active >= self.capacity:
+                self._shed += 1
+                return False
+            self._active += 1
+            self._admitted += 1
+            queued = max(0, self._active - self.max_inflight)
+            self._queue_high_water = max(self._queue_high_water, queued)
+            return True
+
+    def on_start(self) -> None:
+        """The admitted request began executing on a worker thread."""
+        with self._lock:
+            self._running += 1
+
+    def release(self, *, started: bool, cancelled: bool = False) -> None:
+        """Return a claimed slot (exactly once per successful :meth:`try_admit`)."""
+        with self._lock:
+            self._active -= 1
+            if started:
+                self._running -= 1
+            if cancelled:
+                self._cancelled += 1
+            else:
+                self._completed += 1
+            if self._active < 0 or self._running < 0:  # pragma: no cover - invariant
+                raise AssertionError("admission slot released more often than claimed")
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, int]:
+        """Counters for ``/stats``; consistent (taken under one lock)."""
+        with self._lock:
+            return {
+                "in_flight": self._running,
+                "queue_depth": max(0, self._active - self._running),
+                "active": self._active,
+                "max_inflight": self.max_inflight,
+                "queue_limit": self.queue_limit,
+                "admitted_total": self._admitted,
+                "shed_total": self._shed,
+                "completed_total": self._completed,
+                "cancelled_total": self._cancelled,
+                "queue_high_water": self._queue_high_water,
+            }

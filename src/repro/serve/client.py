@@ -1,0 +1,207 @@
+"""Clients for the serving layer: in-process, asyncio HTTP, and background.
+
+Three ways to talk to a :class:`~repro.serve.server.ReproServer`:
+
+* :class:`ServeClient` — in-process: awaits ``server.handle`` directly on
+  the server's event loop.  No sockets, no serialisation; this is what the
+  concurrency/fault test harness uses, so failures point at the serving
+  logic rather than at HTTP plumbing.
+* :class:`HttpServeClient` — a minimal asyncio HTTP/1.1 client with
+  keep-alive, for load generation against the real socket front end.
+* :class:`BackgroundServer` — a context manager running a full server (HTTP
+  included) on a daemon thread with its own event loop, with synchronous
+  ``http.client`` helpers.  Used by the CLI smoke mode, the throughput
+  benchmark, and the HTTP integration tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from repro.serve.server import ReproServer
+
+__all__ = ["ServeClient", "HttpServeClient", "BackgroundServer"]
+
+
+class ServeClient:
+    """In-process client: drives the server's request path with no sockets."""
+
+    def __init__(self, server: ReproServer) -> None:
+        self._server = server
+
+    async def request(self, **fields: Any) -> Dict[str, Any]:
+        """Submit one request payload (protocol fields as keywords)."""
+        return await self._server.handle(fields)
+
+    async def stats(self) -> Dict[str, Any]:
+        """The server's ``/stats`` document."""
+        return self._server.stats()
+
+
+class HttpServeClient:
+    """A keep-alive asyncio HTTP client for one serving connection.
+
+    One instance equals one TCP connection (opened lazily, reused across
+    requests) — the shape a load generator wants: N concurrent clients means
+    N instances.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self._host = host
+        self._port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def _connection(self) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        if self._writer is None or self._writer.is_closing():
+            self._reader, self._writer = await asyncio.open_connection(
+                self._host, self._port
+            )
+        assert self._reader is not None and self._writer is not None
+        return self._reader, self._writer
+
+    async def _round_trip(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any]]:
+        reader, writer = await self._connection()
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self._host}:{self._port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: keep-alive\r\n\r\n"
+        )
+        writer.write(head.encode("latin1") + body)
+        await writer.drain()
+        status_line = await reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        status = int(status_line.split()[1])
+        length = 0
+        close_after = False
+        while True:
+            line = await reader.readline()
+            if not line or line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+            elif name.strip().lower() == "connection":
+                close_after = value.strip().lower() == "close"
+        payload = json.loads(await reader.readexactly(length)) if length else {}
+        if close_after:
+            await self.aclose()
+        return status, payload
+
+    async def request(self, payload: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        """POST ``/simulate``; returns ``(http_status, response_dict)``."""
+        return await self._round_trip(
+            "POST", "/simulate", json.dumps(payload).encode("utf-8")
+        )
+
+    async def get(self, path: str) -> Tuple[int, Dict[str, Any]]:
+        """GET an endpoint (``/stats``, ``/healthz``)."""
+        return await self._round_trip("GET", path, b"")
+
+    async def aclose(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+            self._reader = self._writer = None
+
+
+class BackgroundServer:
+    """A full serving stack on a daemon thread, for synchronous callers.
+
+    ``with BackgroundServer(seed=0) as bg:`` starts a :class:`ReproServer`
+    plus its HTTP endpoint on a private event loop; ``bg.host``/``bg.port``
+    name the bound socket, and :meth:`request`/:meth:`stats` are blocking
+    conveniences over ``http.client``.  Exiting the context shuts the server
+    down and joins the thread.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, **server_kwargs: Any):
+        self._host_arg = host
+        self._port_arg = port
+        self._server_kwargs = server_kwargs
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self.server: Optional[ReproServer] = None
+        self.host: str = host
+        self.port: int = 0
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "BackgroundServer":
+        self._thread = threading.Thread(
+            target=self._main, name="repro-serve-bg", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise RuntimeError("background server failed to start within 30s")
+        if self._startup_error is not None:
+            raise RuntimeError("background server failed to start") from self._startup_error
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if self.server is not None:
+            self.server.request_shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+
+    def _main(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # pragma: no cover - surfaced via __enter__
+            self._startup_error = exc
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self.server = ReproServer(**self._server_kwargs)
+        self.host, self.port = await self.server.start_http(
+            self._host_arg, self._port_arg
+        )
+        self._ready.set()
+        await self.server.serve_forever()
+
+    # ------------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def _sync_round_trip(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]], timeout: float
+    ) -> Tuple[int, Dict[str, Any]]:
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=timeout)
+        try:
+            body = json.dumps(payload).encode("utf-8") if payload is not None else None
+            connection.request(
+                method, path, body=body, headers={"Content-Type": "application/json"}
+            )
+            response = connection.getresponse()
+            data = response.read()
+            return response.status, (json.loads(data) if data else {})
+        finally:
+            connection.close()
+
+    def request(
+        self, payload: Dict[str, Any], timeout: float = 60.0
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Blocking POST ``/simulate``; returns ``(http_status, response)``."""
+        return self._sync_round_trip("POST", "/simulate", payload, timeout)
+
+    def stats(self, timeout: float = 30.0) -> Dict[str, Any]:
+        """Blocking GET ``/stats``."""
+        status, payload = self._sync_round_trip("GET", "/stats", None, timeout)
+        if status != 200:  # pragma: no cover - would be a server bug
+            raise RuntimeError(f"/stats returned HTTP {status}")
+        return payload

@@ -1,0 +1,92 @@
+"""Deterministic failpoints for the serving fault-injection harness.
+
+A :class:`FaultInjector` is handed to :class:`~repro.serve.server.ReproServer`
+(production default: ``None`` — the hooks vanish) and armed by tests::
+
+    injector = FaultInjector()
+    injector.inject("execute", crash("worker segfault"), times=1)
+    server = ReproServer(fault_injector=injector)
+
+The server fires named points on its worker threads; an armed action either
+raises (simulating a crashed worker / poisoned compile) or blocks
+(simulating a hung worker), and disarms itself after ``times`` firings.
+Points currently fired by the server: ``"compile"`` (before
+``Session.compile``) and ``"execute"`` (before ``Executable.run``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, List
+
+__all__ = ["FaultInjector", "WorkerCrash", "crash", "hang"]
+
+
+class WorkerCrash(RuntimeError):
+    """The injected stand-in for a worker dying mid-request."""
+
+
+def crash(message: str = "injected worker crash") -> Callable[..., None]:
+    """An action that raises :class:`WorkerCrash` at its failpoint."""
+
+    def action(**context: Any) -> None:
+        raise WorkerCrash(message)
+
+    return action
+
+
+def hang(seconds: float) -> Callable[..., None]:
+    """An action that blocks the worker thread for ``seconds`` (a hung worker).
+
+    Bounded on purpose: the thread eventually returns and its admission slot
+    is reclaimed, which is exactly what the timeout/backpressure tests
+    assert.
+    """
+
+    def action(**context: Any) -> None:
+        time.sleep(seconds)
+
+    return action
+
+
+class FaultInjector:
+    """Armable failpoints; thread-safe, firing in FIFO arm order per point."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._armed: Dict[str, List[List[Any]]] = {}
+        self._fired: Dict[str, int] = {}
+
+    def inject(
+        self, point: str, action: Callable[..., None], *, times: int = 1
+    ) -> None:
+        """Arm ``action`` at ``point`` for the next ``times`` firings."""
+        if times < 1:
+            raise ValueError("times must be >= 1")
+        with self._lock:
+            self._armed.setdefault(point, []).append([action, times])
+
+    def fire(self, point: str, **context: Any) -> None:
+        """Trigger ``point``: runs (and consumes) the oldest armed action."""
+        with self._lock:
+            queue = self._armed.get(point, [])
+            if not queue:
+                return
+            entry = queue[0]
+            entry[1] -= 1
+            if entry[1] <= 0:
+                queue.pop(0)
+            self._fired[point] = self._fired.get(point, 0) + 1
+            action = entry[0]
+        action(point=point, **context)
+
+    def fired(self, point: str) -> int:
+        """How many times ``point`` has actually triggered an action."""
+        with self._lock:
+            return self._fired.get(point, 0)
+
+    def pending(self, point: str) -> int:
+        """Remaining armed firings at ``point``."""
+        with self._lock:
+            return sum(entry[1] for entry in self._armed.get(point, []))

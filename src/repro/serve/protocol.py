@@ -1,0 +1,201 @@
+"""Wire schema of the serving layer: requests, responses, status codes.
+
+One JSON object in, one JSON object out — the same schema whether a request
+arrives over the HTTP front end (``POST /simulate``) or through the
+in-process :class:`~repro.serve.client.ServeClient` the test harness uses.
+
+A request names a benchmark circuit and the simulation knobs::
+
+    {"tenant": "alice", "circuit": "qaoa_5", "backend": "tn",
+     "noise": {"channel": "depolarizing", "parameter": 0.01, "count": 2},
+     "samples": 200, "timeout": 5.0}
+
+Every response carries ``status`` (one of :data:`STATUSES`) plus either the
+``result`` payload (a serialized :class:`repro.api.SimulationResult`) and
+serving provenance (``tenant_seq``, resolved ``seed``, ``coalesced``,
+``cache_hit``), or a structured ``error`` object — never a hung connection
+and never an unstructured traceback.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping
+
+__all__ = [
+    "HTTP_STATUS",
+    "ProtocolError",
+    "STATUSES",
+    "ServeRequest",
+    "error_response",
+    "ok_response",
+]
+
+
+class ProtocolError(ValueError):
+    """A request payload that cannot be accepted (unknown/ill-typed fields)."""
+
+
+#: Response statuses the server can emit.
+STATUSES = ("ok", "invalid", "overloaded", "timeout", "worker_failed", "error")
+
+#: HTTP status code of each response status (the HTTP front end's mapping).
+HTTP_STATUS = {
+    "ok": 200,
+    "invalid": 400,
+    "overloaded": 429,
+    "timeout": 504,
+    "worker_failed": 503,
+    "error": 500,
+}
+
+#: Which error statuses an immediate client retry can reasonably fix:
+#: ``overloaded`` clears when load drops, ``timeout`` may succeed with more
+#: budget, and ``worker_failed`` triggers a pool reset before the response
+#: is sent, so the retry runs against a fresh pool.
+_RETRYABLE = {"overloaded", "timeout", "worker_failed"}
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """A validated simulation request (see module docs for the JSON form)."""
+
+    #: Tenant identity: selects the deterministic per-tenant seed stream.
+    tenant: str = "default"
+    #: Benchmark circuit name (``qaoa_5``, ``ghz_4``, ``brickwork_6``, …).
+    circuit: str = ""
+    #: Seed of the circuit *construction* (benchmark families are seeded).
+    circuit_seed: int = 7
+    #: Use the native-gate decomposition of the parametrised families.
+    native_gates: bool = True
+    #: Noise mapping forwarded to :func:`repro.api.apply_noise` (optional).
+    noise: Mapping[str, Any] | None = None
+    #: Backend registry name, alias, or ``"auto"``.
+    backend: str = "auto"
+    #: Approximation level (``approximation`` backend).
+    level: int | None = None
+    #: Trajectory count (stochastic backends).
+    samples: int | None = None
+    #: MPS/MPDO bond-dimension ceiling.
+    max_bond_dim: int | None = None
+    #: Explicit RNG seed; ``None`` draws the tenant stream's next seed.
+    seed: int | None = None
+    #: Per-request wall-clock budget in seconds (``None``: server default).
+    timeout: float | None = None
+    #: Run the optimizing compiler passes.
+    passes: bool = True
+
+    _INT_FIELDS = ("circuit_seed", "level", "samples", "max_bond_dim", "seed")
+    _BOOL_FIELDS = ("native_gates", "passes")
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "ServeRequest":
+        """Validate a decoded JSON object into a request; raise :class:`ProtocolError`.
+
+        Strict on field names (an unknown key is an error, not silently
+        ignored — a typoed ``"sample"`` must not quietly run with defaults)
+        and on the types of the fields it checks; everything downstream
+        (backend names, noise mappings) is validated by the session layer,
+        whose :class:`~repro.utils.validation.ValidationError` the server
+        reports as an ``invalid`` response.
+        """
+        if not isinstance(payload, Mapping):
+            raise ProtocolError("request body must be a JSON object")
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ProtocolError(
+                f"unknown request field(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        fields: Dict[str, Any] = dict(payload)
+        circuit = fields.get("circuit")
+        if not isinstance(circuit, str) or not circuit:
+            raise ProtocolError("'circuit' is required and must be a benchmark name")
+        tenant = fields.get("tenant", cls.tenant)
+        if not isinstance(tenant, str) or not tenant:
+            raise ProtocolError("'tenant' must be a non-empty string")
+        backend = fields.get("backend", cls.backend)
+        if not isinstance(backend, str) or not backend:
+            raise ProtocolError("'backend' must be a non-empty string")
+        for name in cls._INT_FIELDS:
+            value = fields.get(name)
+            if value is None:
+                continue
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ProtocolError(f"'{name}' must be an integer")
+        for name in cls._BOOL_FIELDS:
+            value = fields.get(name)
+            if value is not None and not isinstance(value, bool):
+                raise ProtocolError(f"'{name}' must be a boolean")
+        timeout = fields.get("timeout")
+        if timeout is not None:
+            if isinstance(timeout, bool) or not isinstance(timeout, (int, float)):
+                raise ProtocolError("'timeout' must be a number of seconds")
+            if timeout <= 0:
+                raise ProtocolError("'timeout' must be positive")
+            fields["timeout"] = float(timeout)
+        noise = fields.get("noise")
+        if noise is not None and not isinstance(noise, Mapping):
+            raise ProtocolError("'noise' must be an object (channel/parameter/count/seed)")
+        return cls(**fields)
+
+
+def ok_response(
+    request_id: int,
+    request: ServeRequest,
+    *,
+    tenant_seq: int,
+    seed: int | None,
+    result: Mapping[str, Any],
+    coalesced: bool,
+    cache_hit: bool,
+    compile_seconds: float,
+    elapsed_seconds: float,
+) -> Dict[str, Any]:
+    """The success envelope: result payload plus serving provenance."""
+    return {
+        "status": "ok",
+        "request_id": request_id,
+        "tenant": request.tenant,
+        "tenant_seq": tenant_seq,
+        "seed": seed,
+        "coalesced": coalesced,
+        "cache_hit": cache_hit,
+        "compile_seconds": compile_seconds,
+        "elapsed_seconds": elapsed_seconds,
+        "result": dict(result),
+    }
+
+
+def error_response(
+    status: str,
+    request_id: int,
+    *,
+    kind: str,
+    message: str,
+    tenant: str | None = None,
+    tenant_seq: int | None = None,
+    **extra: Any,
+) -> Dict[str, Any]:
+    """A structured failure envelope (never a traceback, never a hang).
+
+    ``kind`` refines the status (e.g. ``"compile_error"`` vs
+    ``"execution_error"`` under ``status="error"``); ``extra`` lands inside
+    the ``error`` object (queue snapshots for ``overloaded``, the timeout
+    budget for ``timeout``, …).
+    """
+    if status not in STATUSES or status == "ok":
+        raise ValueError(f"not an error status: {status!r}")
+    body: Dict[str, Any] = {
+        "status": status,
+        "request_id": request_id,
+        "retryable": status in _RETRYABLE,
+        "error": {"kind": kind, "message": message, **extra},
+    }
+    if tenant is not None:
+        body["tenant"] = tenant
+    if tenant_seq is not None:
+        body["tenant_seq"] = tenant_seq
+    return body

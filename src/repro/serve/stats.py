@@ -1,0 +1,109 @@
+"""Serving metrics: request counters and log-bucketed latency histograms.
+
+Everything the ``/stats`` surface reports lives here.  The histogram uses
+fixed geometric buckets (factor 2 from 0.1 ms), so percentile estimates are
+exact to within one bucket (≤ 2x relative error), memory is constant, and
+recording is O(log buckets) — fit for the per-request hot path.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+import time
+from typing import Any, Dict
+
+from repro.serve.protocol import STATUSES
+
+__all__ = ["LatencyHistogram", "ServerStats"]
+
+#: Bucket upper bounds in seconds: 0.1 ms · 2^i, out to ~1.7 hours.
+_BOUNDS = tuple(0.0001 * (2.0**i) for i in range(26))
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with percentile estimates."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(_BOUNDS) + 1)
+        self._total = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    def record(self, seconds: float) -> None:
+        index = bisect.bisect_left(_BOUNDS, seconds)
+        with self._lock:
+            self._counts[index] += 1
+            self._total += 1
+            self._sum += seconds
+            self._max = max(self._max, seconds)
+
+    def percentile(self, fraction: float) -> float:
+        """Upper bound of the bucket holding the ``fraction`` quantile (seconds)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        with self._lock:
+            if self._total == 0:
+                return 0.0
+            rank = max(1, int(round(fraction * self._total)))
+            seen = 0
+            for index, count in enumerate(self._counts):
+                seen += count
+                if seen >= rank:
+                    return _BOUNDS[index] if index < len(_BOUNDS) else self._max
+            return self._max  # pragma: no cover - unreachable
+
+    def snapshot(self) -> Dict[str, float]:
+        """Summary in milliseconds (the ``/stats`` latency schema)."""
+        p50, p90, p99 = (self.percentile(f) for f in (0.50, 0.90, 0.99))
+        with self._lock:
+            total, mean = self._total, (self._sum / self._total if self._total else 0.0)
+            peak = self._max
+        return {
+            "count": total,
+            "mean_ms": mean * 1000.0,
+            "p50_ms": p50 * 1000.0,
+            "p90_ms": p90 * 1000.0,
+            "p99_ms": p99 * 1000.0,
+            "max_ms": peak * 1000.0,
+        }
+
+
+class ServerStats:
+    """Per-status request counters + latency histograms (ok and end-to-end)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self._by_status = {status: 0 for status in STATUSES}
+        self._coalesced = 0
+        self._pool_resets = 0
+        self.ok_latency = LatencyHistogram()
+        self.queue_wait = LatencyHistogram()
+
+    def count(self, status: str, *, coalesced: bool = False) -> None:
+        with self._lock:
+            self._by_status[status] += 1
+            if coalesced:
+                self._coalesced += 1
+
+    def count_pool_reset(self) -> None:
+        with self._lock:
+            self._pool_resets += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            by_status = dict(self._by_status)
+            coalesced = self._coalesced
+            pool_resets = self._pool_resets
+            uptime = time.monotonic() - self._started
+        return {
+            "uptime_seconds": uptime,
+            "requests_total": sum(by_status.values()),
+            "by_status": by_status,
+            "coalesced_requests": coalesced,
+            "pool_resets": pool_resets,
+            "latency_ms": self.ok_latency.snapshot(),
+            "queue_wait_ms": self.queue_wait.snapshot(),
+        }

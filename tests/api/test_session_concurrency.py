@@ -1,0 +1,207 @@
+"""Session plan-cache and compile-dedup safety under concurrent dispatch.
+
+The serving layer dispatches ``Session.compile`` from a thread pool, so the
+plan cache, its LRU eviction, the in-flight dedup registry and
+``cache_stats()`` must all hold up under genuinely concurrent callers.
+These tests hammer those paths from raw threads (no server in sight) and
+pin the dedup semantics with an event-gated plan search, where the
+interleaving is forced rather than hoped for.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.api import Session
+from repro.backends import get_backend
+from repro.circuits.library import benchmark_circuit
+
+
+def _gate_compile(monkeypatch, backend_name):
+    """Patch the backend's plan search to block until released.
+
+    Returns ``(entered, release)`` events: ``entered`` is set once the owner
+    is inside the plan search (the dedup window is provably open), and the
+    search does not return until the test sets ``release``.
+    """
+    backend_cls = type(get_backend(backend_name))
+    original = backend_cls.compile
+    entered = threading.Event()
+    release = threading.Event()
+
+    def gated(self, circuit, task):
+        entered.set()
+        assert release.wait(10), "test never released the gated plan search"
+        return original(self, circuit, task)
+
+    monkeypatch.setattr(backend_cls, "compile", gated)
+    return entered, release
+
+
+class TestCompileDedup:
+    def test_concurrent_identical_compiles_coalesce_to_one_miss(self, monkeypatch):
+        """Forced interleaving: T concurrent compiles of one key = 1 miss."""
+        threads = 6
+        circuit = benchmark_circuit("ghz_6")
+        entered, release = _gate_compile(monkeypatch, "statevector")
+        with Session(plan_cache_size=8) as session:
+            with ThreadPoolExecutor(max_workers=threads) as pool:
+                futures = [
+                    pool.submit(session.compile, circuit, "statevector")
+                    for _ in range(threads)
+                ]
+                assert entered.wait(10)
+                # The owner is parked inside the plan search; wait until
+                # every other thread has registered against its key.
+                deadline = threading.Event()
+                for _ in range(500):
+                    if session.cache_stats()["coalesced"] == threads - 1:
+                        break
+                    deadline.wait(0.01)
+                release.set()
+                executables = [future.result(timeout=30) for future in futures]
+            stats = session.cache_stats()
+            assert stats["misses"] == 1
+            assert stats["coalesced"] == threads - 1
+            assert stats["hits"] == 0
+            assert stats["inflight"] == 0
+            owners = [ex for ex in executables if not ex.cache_hit]
+            assert len(owners) == 1
+            assert sum(ex.coalesced for ex in executables) == threads - 1
+            # Every handle serves the identical plan: identical results.
+            values = {ex.run().value for ex in executables}
+            assert len(values) == 1
+
+    def test_failed_owner_fans_out_and_does_not_poison_the_key(self, monkeypatch):
+        """An owner whose plan search raises must fail its waiters and free
+        the key — the next compile succeeds from scratch."""
+        threads = 4
+        circuit = benchmark_circuit("ghz_6")
+        backend_cls = type(get_backend("statevector"))
+        original = backend_cls.compile
+        entered = threading.Event()
+        release = threading.Event()
+        fail_first = {"armed": True}
+
+        def gated(self, circuit_, task):
+            entered.set()
+            assert release.wait(10)
+            if fail_first.pop("armed", False):
+                raise RuntimeError("injected plan-search failure")
+            return original(self, circuit_, task)
+
+        monkeypatch.setattr(backend_cls, "compile", gated)
+        with Session(plan_cache_size=8) as session:
+            with ThreadPoolExecutor(max_workers=threads) as pool:
+                futures = [
+                    pool.submit(session.compile, circuit, "statevector")
+                    for _ in range(threads)
+                ]
+                assert entered.wait(10)
+                for _ in range(500):
+                    if session.cache_stats()["coalesced"] == threads - 1:
+                        break
+                    threading.Event().wait(0.01)
+                release.set()
+                outcomes = []
+                for future in futures:
+                    try:
+                        outcomes.append(("ok", future.result(timeout=30)))
+                    except RuntimeError as exc:
+                        outcomes.append(("error", str(exc)))
+            # The owner and every coalesced waiter saw the injected failure.
+            errors = [o for o in outcomes if o[0] == "error"]
+            assert len(errors) == threads
+            assert all("injected plan-search failure" in msg for _, msg in errors)
+            stats = session.cache_stats()
+            assert stats["inflight"] == 0, "failed compile left the key in-flight"
+            # The key is clean: compiling again succeeds and is a plain miss.
+            executable = session.compile(circuit, "statevector")
+            assert executable.run().value == pytest.approx(0.5)
+            assert session.cache_stats()["inflight"] == 0
+
+    def test_uncached_session_never_registers_inflight(self):
+        circuit = benchmark_circuit("ghz_6")
+        with Session(plan_cache_size=0) as session:
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                futures = [
+                    pool.submit(session.compile, circuit, "statevector")
+                    for _ in range(8)
+                ]
+                for future in futures:
+                    future.result(timeout=30)
+            stats = session.cache_stats()
+            assert stats["misses"] == 8  # capacity 0: every compile is cold
+            assert stats["coalesced"] == 0
+            assert stats["inflight"] == 0
+
+
+class TestConcurrentHammer:
+    @pytest.mark.slow
+    def test_compile_evict_run_hammer_from_threads(self):
+        """Thread-hammer compile/run over more keys than the cache holds.
+
+        Eviction, dedup, hits and stats all race here; the invariants that
+        must survive any interleaving: counters add up to the exact call
+        count, size never exceeds capacity, and results stay correct.
+        """
+        threads, rounds, capacity = 8, 12, 3
+        circuits = [benchmark_circuit(f"ghz_{n}") for n in (4, 5, 6, 7, 8)]
+        errors = []
+        with Session(plan_cache_size=capacity) as session:
+
+            def hammer(worker: int):
+                try:
+                    for round_ in range(rounds):
+                        circuit = circuits[(worker + round_) % len(circuits)]
+                        executable = session.compile(circuit, "statevector")
+                        result = executable.run()
+                        assert result.value == pytest.approx(0.5)
+                        stats = session.cache_stats()
+                        assert stats["size"] <= capacity
+                except BaseException as exc:  # noqa: BLE001 - collected
+                    errors.append(exc)
+
+            workers = [
+                threading.Thread(target=hammer, args=(index,))
+                for index in range(threads)
+            ]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join(timeout=120)
+            assert not errors, errors
+            stats = session.cache_stats()
+            assert (
+                stats["hits"] + stats["misses"] + stats["coalesced"]
+                == threads * rounds
+            )
+            assert stats["inflight"] == 0
+            assert stats["size"] <= capacity
+            assert stats["evictions"] > 0  # 5 keys through a 3-slot cache
+
+    def test_cache_stats_snapshot_is_consistent_under_load(self):
+        """cache_stats() taken mid-flight is internally consistent."""
+        circuit = benchmark_circuit("ghz_6")
+        stop = threading.Event()
+        snapshots = []
+
+        with Session(plan_cache_size=4) as session:
+
+            def reader():
+                while not stop.is_set():
+                    snapshots.append(session.cache_stats())
+
+            thread = threading.Thread(target=reader)
+            thread.start()
+            try:
+                for _ in range(50):
+                    session.compile(circuit, "statevector")
+            finally:
+                stop.set()
+                thread.join(timeout=30)
+        for snapshot in snapshots:
+            assert snapshot["size"] <= snapshot["capacity"]
+            assert snapshot["hits"] + snapshot["misses"] + snapshot["coalesced"] <= 50
+            assert snapshot["inflight"] >= 0

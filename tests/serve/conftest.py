@@ -1,0 +1,37 @@
+"""Fixtures for the serving-layer concurrency & fault-injection harness.
+
+No pytest-asyncio in the toolchain: each test drives its whole scenario —
+server construction, traffic, assertions, ``aclose()`` — inside one
+``asyncio.run`` via the ``run_async`` helper, which keeps every await on the
+same event loop the server bound.
+"""
+
+import asyncio
+
+import pytest
+
+
+@pytest.fixture
+def run_async():
+    """Run one async scenario to completion on a fresh event loop."""
+
+    def runner(coro):
+        return asyncio.run(coro)
+
+    return runner
+
+
+@pytest.fixture
+def poll_until():
+    """Async helper: await a predicate with a deadline (no bare sleeps)."""
+
+    async def wait_for(predicate, *, timeout=5.0, interval=0.01):
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while loop.time() < deadline:
+            if predicate():
+                return True
+            await asyncio.sleep(interval)
+        return predicate()
+
+    return wait_for

@@ -1,0 +1,216 @@
+"""Admission control under pressure: bounded shedding, no deadlock, no leaks.
+
+The backpressure contract: a saturated server answers *immediately* with a
+structured ``overloaded`` response (it never buffers unbounded work and
+never stalls the event loop), every admitted request eventually returns,
+the counters stay consistent, and timed-out requests release their slots
+exactly when their worker threads actually finish — never earlier (no
+oversubscription) and never never (no leak).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serve import FaultInjector, ReproServer, ServeClient, hang
+
+pytestmark = pytest.mark.serve
+
+OK_REQUEST = {"circuit": "ghz_8", "backend": "statevector"}
+
+
+class TestShedding:
+    def test_saturated_server_sheds_with_structured_response(self, run_async):
+        injector = FaultInjector()
+        # Both admitted requests block long enough for the rest to arrive.
+        injector.inject("execute", hang(0.4), times=2)
+
+        async def scenario():
+            server = ReproServer(seed=0, max_inflight=1, queue_limit=1,
+                                 fault_injector=injector)
+            client = ServeClient(server)
+            try:
+                responses = await asyncio.gather(
+                    *(client.request(tenant=f"t{i}", **OK_REQUEST) for i in range(4))
+                )
+                stats = await client.stats()
+            finally:
+                await server.aclose()
+            return responses, stats
+
+        responses, stats = run_async(scenario())
+        statuses = [response["status"] for response in responses]
+        # handle() decides admission before its first await, so arrival
+        # order is the gather order: 2 admitted (capacity 1+1), 2 shed.
+        assert statuses == ["ok", "ok", "overloaded", "overloaded"]
+        shed = responses[2]
+        assert shed["retryable"] is True
+        assert shed["error"]["kind"] == "queue_full"
+        assert shed["error"]["admission"]["active"] == 2
+        admission = stats["admission"]
+        assert admission["shed_total"] == 2
+        assert admission["admitted_total"] == 2
+        assert admission["completed_total"] == 2
+        assert admission["active"] == 0
+        assert admission["queue_high_water"] == 1
+
+    def test_shed_requests_do_not_consume_tenant_seeds(self, run_async):
+        injector = FaultInjector()
+        injector.inject("execute", hang(0.3), times=1)
+
+        async def scenario():
+            server = ReproServer(seed=0, max_inflight=1, queue_limit=0,
+                                 fault_injector=injector)
+            client = ServeClient(server)
+            try:
+                first, shed = await asyncio.gather(
+                    client.request(tenant="alice", **OK_REQUEST),
+                    client.request(tenant="alice", **OK_REQUEST),
+                )
+                after = await client.request(tenant="alice", **OK_REQUEST)
+            finally:
+                await server.aclose()
+            return first, shed, after
+
+        first, shed, after = run_async(scenario())
+        assert first["status"] == "ok" and first["tenant_seq"] == 0
+        assert shed["status"] == "overloaded"
+        assert "tenant_seq" not in shed
+        # The shed request never touched the stream: the next admitted
+        # request is seq 1, exactly as in a serial replay without the shed.
+        assert after["status"] == "ok" and after["tenant_seq"] == 1
+
+
+class TestNoDeadlock:
+    @pytest.mark.slow
+    def test_burst_far_beyond_capacity_all_respond(self, run_async):
+        burst = 30
+
+        async def scenario():
+            server = ReproServer(seed=0, max_inflight=2, queue_limit=4)
+            client = ServeClient(server)
+            try:
+                responses = await asyncio.wait_for(
+                    asyncio.gather(
+                        *(
+                            client.request(tenant=f"t{i % 5}", **OK_REQUEST)
+                            for i in range(burst)
+                        )
+                    ),
+                    timeout=60.0,
+                )
+                stats = await client.stats()
+            finally:
+                await server.aclose()
+            return responses, stats
+
+        responses, stats = run_async(scenario())
+        statuses = [response["status"] for response in responses]
+        assert all(status in ("ok", "overloaded") for status in statuses)
+        assert statuses.count("ok") >= 1
+        admission = stats["admission"]
+        assert admission["admitted_total"] + admission["shed_total"] == burst
+        assert admission["completed_total"] == admission["admitted_total"]
+        assert admission["active"] == 0
+        server_stats = stats["server"]
+        assert server_stats["requests_total"] == burst
+        assert server_stats["requests_total"] == sum(
+            server_stats["by_status"].values()
+        )
+
+
+class TestTimeoutSlotAccounting:
+    def test_timeout_holds_slot_until_worker_finishes(self, run_async, poll_until):
+        """A timed-out-but-running request keeps its slot (no oversubscribe),
+        then the slot comes back when the thread drains (no leak)."""
+        injector = FaultInjector()
+        injector.inject("execute", hang(0.5))
+
+        async def scenario():
+            server = ReproServer(seed=0, max_inflight=1, queue_limit=0,
+                                 fault_injector=injector)
+            client = ServeClient(server)
+            try:
+                timed_out = await client.request(timeout=0.05, **OK_REQUEST)
+                # The worker thread is still hanging: its slot must still be
+                # occupied, so the next request is shed, not oversubscribed.
+                while_running = await client.request(**OK_REQUEST)
+                drained = await poll_until(
+                    lambda: server.stats()["admission"]["active"] == 0
+                )
+                after = await client.request(**OK_REQUEST)
+                stats = await client.stats()
+            finally:
+                await server.aclose()
+            return timed_out, while_running, drained, after, stats
+
+        timed_out, while_running, drained, after, stats = run_async(scenario())
+        assert timed_out["status"] == "timeout"
+        assert timed_out["error"]["cancelled_before_start"] is False
+        assert while_running["status"] == "overloaded"
+        assert drained, "timed-out worker never returned its slot"
+        assert after["status"] == "ok"
+        assert stats["admission"]["active"] == 0
+        assert stats["admission"]["in_flight"] == 0
+
+    def test_timeout_before_start_cancels_cleanly(self, run_async, poll_until):
+        """A queued request that times out before any thread picks it up is
+        cancelled outright and its slot returns without running at all."""
+        injector = FaultInjector()
+        injector.inject("execute", hang(0.4))
+
+        async def scenario():
+            server = ReproServer(seed=0, max_inflight=1, queue_limit=1,
+                                 fault_injector=injector)
+            client = ServeClient(server)
+            try:
+                blocker, queued = await asyncio.gather(
+                    client.request(**OK_REQUEST),
+                    client.request(timeout=0.05, **OK_REQUEST),
+                )
+                drained = await poll_until(
+                    lambda: server.stats()["admission"]["active"] == 0
+                )
+                stats = await client.stats()
+            finally:
+                await server.aclose()
+            return blocker, queued, drained, stats
+
+        blocker, queued, drained, stats = run_async(scenario())
+        assert blocker["status"] == "ok"
+        assert queued["status"] == "timeout"
+        assert queued["error"]["cancelled_before_start"] is True
+        assert drained
+        assert stats["admission"]["cancelled_total"] == 1
+        assert stats["admission"]["completed_total"] == 1
+
+    def test_counters_consistent_after_mixed_outcomes(self, run_async, poll_until):
+        injector = FaultInjector()
+        injector.inject("execute", hang(0.3))
+
+        async def scenario():
+            server = ReproServer(seed=0, max_inflight=1, queue_limit=0,
+                                 fault_injector=injector)
+            client = ServeClient(server)
+            try:
+                await client.request(timeout=0.05, **OK_REQUEST)     # timeout
+                await client.request(**OK_REQUEST)                   # overloaded
+                await client.request(circuit="nope")                 # invalid
+                await poll_until(
+                    lambda: server.stats()["admission"]["active"] == 0
+                )
+                await client.request(**OK_REQUEST)                   # ok
+                stats = await client.stats()
+            finally:
+                await server.aclose()
+            return stats
+
+        stats = run_async(scenario())
+        by_status = stats["server"]["by_status"]
+        assert by_status["timeout"] == 1
+        assert by_status["overloaded"] == 1
+        assert by_status["invalid"] == 1
+        assert by_status["ok"] == 1
+        assert stats["server"]["requests_total"] == 4
+        assert stats["server"]["latency_ms"]["count"] == 1  # only ok recorded
+        assert stats["admission"]["active"] == 0

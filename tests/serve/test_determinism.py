@@ -1,0 +1,211 @@
+"""Concurrency determinism: interleaved multi-tenant traffic == serial replay.
+
+The serving layer's reproducibility contract: request ``k`` of tenant ``t``
+on a server seeded ``S`` produces a bit-identical result no matter how many
+other tenants run concurrently, because its seed is the pure function
+``tenant_request_seed(S, t, k)`` and nothing else about the pipeline depends
+on scheduling.  The oracle is literal serial replay: a fresh server, one
+tenant at a time, values compared with ``==`` (floats, not approx).
+
+The coalescing oracle rides here too: K identical concurrent requests must
+produce exactly one plan-cache miss, observable via ``cache_stats()``.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serve import ReproServer, ServeClient, tenant_request_seed
+
+pytestmark = pytest.mark.serve
+
+#: Noisy stochastic workload: the resolved per-request seed drives both the
+#: noise placement (unpinned noise seed) and the trajectory sampling, so any
+#: cross-tenant leakage of RNG state changes the value.
+NOISY = {
+    "circuit": "qaoa_5",
+    "backend": "trajectories",
+    "noise": {"channel": "depolarizing", "parameter": 0.02, "count": 3},
+    "samples": 24,
+}
+
+
+def _fingerprint(response):
+    assert response["status"] == "ok", response
+    return (
+        response["tenant"],
+        response["tenant_seq"],
+        response["seed"],
+        response["result"]["value"],
+        response["result"]["standard_error"],
+    )
+
+
+async def _serial_replay(server_seed, tenant, count):
+    """The oracle: one tenant alone, strictly sequential, fresh server."""
+    server = ReproServer(seed=server_seed, max_inflight=2, queue_limit=32)
+    client = ServeClient(server)
+    try:
+        return [
+            _fingerprint(await client.request(tenant=tenant, **NOISY))
+            for _ in range(count)
+        ]
+    finally:
+        await server.aclose()
+
+
+class TestSeedStream:
+    def test_response_seeds_match_pure_oracle(self, run_async):
+        async def scenario():
+            server = ReproServer(seed=11, max_inflight=2)
+            client = ServeClient(server)
+            try:
+                for seq in range(3):
+                    response = await client.request(
+                        circuit="ghz_6", backend="statevector", tenant="alice"
+                    )
+                    assert response["tenant_seq"] == seq
+                    assert response["seed"] == tenant_request_seed(11, "alice", seq)
+            finally:
+                await server.aclose()
+
+        run_async(scenario())
+
+    def test_explicit_seed_bypasses_stream_but_consumes_a_slot(self, run_async):
+        async def scenario():
+            server = ReproServer(seed=0, max_inflight=2)
+            client = ServeClient(server)
+            try:
+                pinned = await client.request(
+                    circuit="ghz_6", backend="statevector", tenant="t", seed=123
+                )
+                assert pinned["seed"] == 123
+                nxt = await client.request(
+                    circuit="ghz_6", backend="statevector", tenant="t"
+                )
+                # The pinned request still advanced the stream: seq 1, and
+                # its stream seed is the seq-1 oracle value.
+                assert nxt["tenant_seq"] == 1
+                assert nxt["seed"] == tenant_request_seed(0, "t", 1)
+            finally:
+                await server.aclose()
+
+        run_async(scenario())
+
+
+class TestSerialReplay:
+    @pytest.mark.slow
+    def test_concurrent_tenants_bit_identical_to_serial_replay(self, run_async):
+        tenants = [f"tenant-{index}" for index in range(4)]
+        requests_per_tenant = 5
+        server_seed = 3
+
+        async def concurrent():
+            server = ReproServer(seed=server_seed, max_inflight=4, queue_limit=64)
+            client = ServeClient(server)
+
+            async def tenant_stream(tenant):
+                # Per-tenant order is sequential (that *is* the stream);
+                # tenants run concurrently against the shared session.
+                return [
+                    _fingerprint(await client.request(tenant=tenant, **NOISY))
+                    for _ in range(requests_per_tenant)
+                ]
+
+            try:
+                streams = await asyncio.gather(
+                    *(tenant_stream(tenant) for tenant in tenants)
+                )
+            finally:
+                await server.aclose()
+            return dict(zip(tenants, streams))
+
+        observed = run_async(concurrent())
+        for tenant in tenants:
+            replayed = run_async(
+                _serial_replay(server_seed, tenant, requests_per_tenant)
+            )
+            assert observed[tenant] == replayed, (
+                f"{tenant}: interleaved execution diverged from serial replay"
+            )
+
+    def test_two_tenants_quick_replay(self, run_async):
+        """Tier-1-sized version of the replay oracle (2 tenants x 2)."""
+        server_seed = 5
+
+        async def concurrent():
+            server = ReproServer(seed=server_seed, max_inflight=2, queue_limit=16)
+            client = ServeClient(server)
+
+            async def stream(tenant):
+                return [
+                    _fingerprint(await client.request(tenant=tenant, **NOISY))
+                    for _ in range(2)
+                ]
+
+            try:
+                alice, bob = await asyncio.gather(stream("alice"), stream("bob"))
+            finally:
+                await server.aclose()
+            return alice, bob
+
+        alice, bob = run_async(concurrent())
+        assert alice == run_async(_serial_replay(server_seed, "alice", 2))
+        assert bob == run_async(_serial_replay(server_seed, "bob", 2))
+        # Distinct tenants draw distinct seeds (independent streams).
+        assert {entry[2] for entry in alice}.isdisjoint(entry[2] for entry in bob)
+
+
+class TestCoalescing:
+    def test_identical_concurrent_requests_cost_one_compile(self, run_async):
+        """The /stats oracle: K identical concurrent -> exactly 1 cache miss."""
+        k = 8
+
+        async def scenario():
+            server = ReproServer(seed=0, max_inflight=4, queue_limit=32)
+            client = ServeClient(server)
+            try:
+                responses = await asyncio.gather(
+                    *(
+                        client.request(
+                            circuit="ghz_8",
+                            backend="statevector",
+                            tenant=f"t{index}",
+                        )
+                        for index in range(k)
+                    )
+                )
+                stats = await client.stats()
+            finally:
+                await server.aclose()
+            return responses, stats
+
+        responses, stats = run_async(scenario())
+        assert all(response["status"] == "ok" for response in responses)
+        cache = stats["plan_cache"]
+        assert cache["misses"] == 1, cache
+        assert cache["hits"] + cache["coalesced"] == k - 1, cache
+        assert cache["inflight"] == 0
+        # Every non-owner request reports plan reuse in its provenance.
+        assert sum(1 for r in responses if not r["cache_hit"]) == 1
+        # All tenants got the same deterministic statevector value.
+        assert len({r["result"]["value"] for r in responses}) == 1
+
+    def test_distinct_configs_do_not_coalesce(self, run_async):
+        async def scenario():
+            server = ReproServer(seed=0, max_inflight=4)
+            client = ServeClient(server)
+            try:
+                await asyncio.gather(
+                    client.request(circuit="ghz_6", backend="statevector"),
+                    client.request(circuit="ghz_7", backend="statevector"),
+                )
+                stats = await client.stats()
+            finally:
+                await server.aclose()
+            return stats
+
+        stats = run_async(scenario())
+        cache = stats["plan_cache"]
+        assert cache["misses"] == 2
+        assert cache["coalesced"] == 0

@@ -1,0 +1,292 @@
+"""Unit coverage of the serving building blocks (no server, no sockets).
+
+Protocol envelopes, tenant seed streams, admission accounting, latency
+histograms and the fault injector — everything the integration suites lean
+on, checked in isolation first.
+"""
+
+import threading
+
+import pytest
+
+from repro.serve import (
+    HTTP_STATUS,
+    STATUSES,
+    AdmissionController,
+    FaultInjector,
+    LatencyHistogram,
+    ProtocolError,
+    ServeRequest,
+    ServerStats,
+    TenantRegistry,
+    WorkerCrash,
+    crash,
+    error_response,
+    hang,
+    ok_response,
+    tenant_request_seed,
+)
+
+pytestmark = pytest.mark.serve
+
+
+# ----------------------------------------------------------------------
+# Protocol
+# ----------------------------------------------------------------------
+class TestServeRequest:
+    def test_defaults(self):
+        request = ServeRequest.from_payload({"circuit": "ghz_8"})
+        assert request.tenant == "default"
+        assert request.backend == "auto"
+        assert request.noise is None
+        assert request.timeout is None
+        assert request.passes is True
+
+    def test_full_payload_roundtrip(self):
+        payload = {
+            "circuit": "qaoa_6",
+            "tenant": "alice",
+            "backend": "trajectories",
+            "noise": {"channel": "depolarizing", "parameter": 0.01, "count": 3},
+            "samples": 64,
+            "seed": 123,
+            "timeout": 2.5,
+        }
+        request = ServeRequest.from_payload(payload)
+        assert request.circuit == "qaoa_6"
+        assert request.tenant == "alice"
+        assert request.samples == 64
+        assert request.seed == 123
+        assert request.timeout == 2.5
+
+    def test_circuit_required(self):
+        with pytest.raises(ProtocolError, match="circuit"):
+            ServeRequest.from_payload({"tenant": "alice"})
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown"):
+            ServeRequest.from_payload({"circuit": "ghz_8", "shots": 100})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(ProtocolError):
+            ServeRequest.from_payload(["circuit", "ghz_8"])
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [("samples", "many"), ("timeout", "soon"), ("timeout", 0),
+         ("tenant", 7), ("native_gates", "yes")],
+    )
+    def test_type_errors_rejected(self, field, value):
+        with pytest.raises(ProtocolError):
+            ServeRequest.from_payload({"circuit": "ghz_8", field: value})
+
+
+class TestEnvelopes:
+    def test_http_status_covers_every_status(self):
+        assert set(HTTP_STATUS) == set(STATUSES)
+        assert HTTP_STATUS["ok"] == 200
+        assert HTTP_STATUS["overloaded"] == 429
+        assert HTTP_STATUS["timeout"] == 504
+        assert HTTP_STATUS["worker_failed"] == 503
+
+    def test_error_response_retryable_flags(self):
+        for status, retryable in [
+            ("overloaded", True), ("timeout", True), ("worker_failed", True),
+            ("invalid", False), ("error", False),
+        ]:
+            response = error_response(status, 1, kind="k", message="m")
+            assert response["retryable"] is retryable, status
+            assert response["status"] == status
+            assert response["error"]["kind"] == "k"
+
+    def test_ok_response_envelope(self):
+        request = ServeRequest.from_payload({"circuit": "ghz_8", "tenant": "t"})
+        response = ok_response(
+            5, request, tenant_seq=2, seed=99, result={"value": 0.5},
+            coalesced=True, cache_hit=True, compile_seconds=0.1,
+            elapsed_seconds=0.2,
+        )
+        assert response["status"] == "ok"
+        assert response["request_id"] == 5
+        assert response["tenant"] == "t"
+        assert response["tenant_seq"] == 2
+        assert response["seed"] == 99
+        assert response["coalesced"] is True
+        assert response["result"] == {"value": 0.5}
+
+
+# ----------------------------------------------------------------------
+# Tenancy
+# ----------------------------------------------------------------------
+class TestTenancy:
+    def test_seed_is_pure_and_distinct(self):
+        base = tenant_request_seed(0, "alice", 0)
+        assert base == tenant_request_seed(0, "alice", 0)
+        others = {
+            tenant_request_seed(0, "alice", 1),
+            tenant_request_seed(0, "bob", 0),
+            tenant_request_seed(1, "alice", 0),
+        }
+        assert base not in others and len(others) == 3
+        assert 0 <= base < 2**63
+
+    def test_registry_matches_oracle_in_order(self):
+        registry = TenantRegistry(7)
+        for expected_seq in range(5):
+            seq, seed = registry.allocate("alice")
+            assert seq == expected_seq
+            assert seed == tenant_request_seed(7, "alice", seq)
+        assert registry.snapshot() == {"alice": 5}
+        assert len(registry) == 1
+
+    def test_tenants_do_not_interact(self):
+        registry = TenantRegistry(0)
+        registry.allocate("alice")
+        registry.allocate("alice")
+        seq, seed = registry.allocate("bob")
+        assert seq == 0
+        assert seed == tenant_request_seed(0, "bob", 0)
+
+
+# ----------------------------------------------------------------------
+# Admission
+# ----------------------------------------------------------------------
+class TestAdmission:
+    def test_sheds_beyond_capacity(self):
+        admission = AdmissionController(max_inflight=1, queue_limit=1)
+        assert admission.try_admit() and admission.try_admit()
+        assert not admission.try_admit()  # capacity = 2
+        snapshot = admission.snapshot()
+        assert snapshot["shed_total"] == 1
+        assert snapshot["active"] == 2
+
+    def test_release_accounting(self):
+        admission = AdmissionController(max_inflight=2, queue_limit=2)
+        for _ in range(3):
+            assert admission.try_admit()
+        admission.on_start()
+        admission.on_start()
+        snapshot = admission.snapshot()
+        assert snapshot["in_flight"] == 2
+        assert snapshot["queue_depth"] == 1
+        assert snapshot["queue_high_water"] == 1
+        admission.release(started=True)
+        admission.release(started=True)
+        admission.release(started=False, cancelled=True)
+        snapshot = admission.snapshot()
+        assert snapshot["active"] == 0
+        assert snapshot["in_flight"] == 0
+        assert snapshot["completed_total"] == 2
+        assert snapshot["cancelled_total"] == 1
+        # Slots freed: admission works again.
+        assert admission.try_admit()
+
+    def test_over_release_is_an_invariant_violation(self):
+        admission = AdmissionController()
+        with pytest.raises(AssertionError):
+            admission.release(started=False)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight=0)
+        with pytest.raises(ValueError):
+            AdmissionController(queue_limit=-1)
+
+
+# ----------------------------------------------------------------------
+# Stats
+# ----------------------------------------------------------------------
+class TestStats:
+    def test_histogram_percentiles_bracket_samples(self):
+        histogram = LatencyHistogram()
+        for ms in (1, 1, 1, 1, 1, 1, 1, 1, 1, 100):
+            histogram.record(ms / 1000.0)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 10
+        # Geometric buckets: estimates are exact to within a factor of 2.
+        assert 1.0 <= snapshot["p50_ms"] <= 2.0
+        assert 100.0 <= snapshot["p99_ms"] <= 205.0
+        assert snapshot["max_ms"] == pytest.approx(100.0)
+        assert snapshot["p50_ms"] <= snapshot["p90_ms"] <= snapshot["p99_ms"]
+
+    def test_empty_histogram(self):
+        snapshot = LatencyHistogram().snapshot()
+        assert snapshot == {
+            "count": 0, "mean_ms": 0.0, "p50_ms": 0.0, "p90_ms": 0.0,
+            "p99_ms": 0.0, "max_ms": 0.0,
+        }
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().percentile(1.5)
+
+    def test_server_stats_counters(self):
+        stats = ServerStats()
+        stats.count("ok", coalesced=True)
+        stats.count("ok")
+        stats.count("overloaded")
+        stats.count_pool_reset()
+        snapshot = stats.snapshot()
+        assert snapshot["requests_total"] == 3
+        assert snapshot["by_status"]["ok"] == 2
+        assert snapshot["by_status"]["overloaded"] == 1
+        assert snapshot["coalesced_requests"] == 1
+        assert snapshot["pool_resets"] == 1
+        assert set(snapshot["by_status"]) == set(STATUSES)
+
+    def test_histogram_thread_safe(self):
+        histogram = LatencyHistogram()
+
+        def pound():
+            for _ in range(500):
+                histogram.record(0.001)
+
+        threads = [threading.Thread(target=pound) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert histogram.snapshot()["count"] == 2000
+
+
+# ----------------------------------------------------------------------
+# Fault injector
+# ----------------------------------------------------------------------
+class TestFaultInjector:
+    def test_unarmed_point_is_a_no_op(self):
+        FaultInjector().fire("compile")  # nothing raises
+
+    def test_crash_action_consumed_fifo(self):
+        injector = FaultInjector()
+        injector.inject("execute", crash("first"))
+        injector.inject("execute", crash("second"))
+        with pytest.raises(WorkerCrash, match="first"):
+            injector.fire("execute")
+        with pytest.raises(WorkerCrash, match="second"):
+            injector.fire("execute")
+        injector.fire("execute")  # drained
+        assert injector.fired("execute") == 2
+        assert injector.pending("execute") == 0
+
+    def test_times_repeats_one_action(self):
+        injector = FaultInjector()
+        injector.inject("compile", crash(), times=2)
+        assert injector.pending("compile") == 2
+        for _ in range(2):
+            with pytest.raises(WorkerCrash):
+                injector.fire("compile")
+        injector.fire("compile")
+        assert injector.fired("compile") == 2
+
+    def test_hang_blocks_then_returns(self):
+        injector = FaultInjector()
+        injector.inject("execute", hang(0.05))
+        import time
+
+        start = time.perf_counter()
+        injector.fire("execute")
+        assert time.perf_counter() - start >= 0.05
+
+    def test_times_validation(self):
+        with pytest.raises(ValueError):
+            FaultInjector().inject("compile", crash(), times=0)

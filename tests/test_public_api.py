@@ -64,6 +64,7 @@ BACKENDS = {
     "BatchedTrajectoryEngine",
     "SimulationBackend",
     "SimulationTask",
+    "WorkerPoolError",
     "apply_matrix_batched",
     "available_backends",
     "backend_aliases",
