@@ -41,6 +41,7 @@ def render_matrix() -> str:
         "Stochastic",
         "Max qubits",
         "Product states only",
+        "Device",
         "Simulator",
     ]
     rows = []
@@ -59,6 +60,7 @@ def render_matrix() -> str:
                 "yes" if caps.stochastic else "no",
                 str(caps.max_qubits) if caps.max_qubits is not None else "–",
                 "yes" if caps.needs_product_state else "no",
+                "cpu+device" if caps.supports_device else "cpu",
                 doc,
             ]
         )

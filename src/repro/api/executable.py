@@ -245,6 +245,7 @@ class Executable:
             "compile_seconds": self._compile_seconds,
             "executions": self._executions,
             "seed": self._task.seed,
+            "device": self._task.device or "cpu",
             "num_samples": self._task.num_samples,
             "level": self._task.level,
             "plan": plan_info,
@@ -303,7 +304,11 @@ class Executable:
             self._session.reset_pool()
             raise
         return SimulationResult.from_backend_result(
-            outcome, seed=task.seed, config_hash=config_hash, cache_hit=reused
+            outcome,
+            seed=task.seed,
+            config_hash=config_hash,
+            cache_hit=reused,
+            device=task.device,
         )
 
     def submit(

@@ -66,6 +66,7 @@ from repro.backends.registry import get_backend
 from repro.circuits.circuit import Circuit
 from repro.circuits.passes import PassConfig, run_passes
 from repro.utils.validation import ValidationError
+from repro.xp import default_device, get_namespace
 
 __all__ = ["Session", "ideal_output_state", "simulate"]
 
@@ -155,6 +156,17 @@ class Session:
         toggles; see :mod:`repro.circuits.passes`).  Overridable per call
         via the ``passes=`` argument of :meth:`compile`/:meth:`run`/
         :meth:`submit`.
+    device:
+        Default execution device for device-capable backends (see
+        :mod:`repro.xp` and ``docs/xp.md``).  ``None`` reads the
+        ``REPRO_DEVICE`` environment variable and falls back to ``"cpu"``.
+        Validated eagerly: an unavailable device (``"cuda"`` without
+        CuPy/torch) raises :class:`~repro.xp.DeviceUnavailableError` here
+        rather than falling back silently.  The session default is *soft* —
+        it is applied only to backends whose capabilities advertise
+        ``supports_device``, so cpu-only backends keep working; a per-call
+        ``device=`` (or ``SimulationTask.device``) is *hard* and makes
+        cpu-only backends fail capability checking instead.
     """
 
     def __init__(
@@ -164,6 +176,7 @@ class Session:
         seed: int | None = None,
         plan_cache_size: int = 32,
         passes: Any = True,
+        device: str | None = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ValidationError("workers must be >= 1 (or None for serial mode)")
@@ -171,6 +184,12 @@ class Session:
             raise ValidationError("max_parallel must be >= 1")
         if plan_cache_size < 0:
             raise ValidationError("plan_cache_size must be >= 0")
+        # Resolve the session-default device eagerly (DeviceUnavailableError
+        # now, not at dispatch time); "auto"/env values resolve to a concrete
+        # namespace, and a cpu resolution normalises back to None so cpu
+        # sessions hash and plan-cache exactly as before devices existed.
+        namespace = get_namespace(device if device is not None else default_device())
+        self.device = None if namespace.device == "cpu" else namespace.device
         self.workers = workers
         self.seed = seed
         self.passes = PassConfig.resolve(passes)
@@ -309,12 +328,13 @@ class Session:
         keep_samples: bool,
         max_bond_dim: int | None,
         options: Mapping[str, Any] | None,
+        device: str | None,
     ) -> SimulationTask:
         if task is not None:
             overrides = {
                 "level": level, "samples": samples, "seed": seed,
                 "input_state": input_state, "max_bond_dim": max_bond_dim,
-                "options": options,
+                "options": options, "device": device,
             }
             conflicting = sorted(key for key, value in overrides.items() if value is not None)
             if conflicting or keep_samples:
@@ -342,6 +362,7 @@ class Session:
                 keep_samples=keep_samples,
                 max_bond_dim=max_bond_dim,
                 options=dict(options or {}),
+                device=device,
             )
         if built.workers is not None and built.workers < 1:
             raise ValidationError("workers must be >= 1 (or None for serial mode)")
@@ -377,6 +398,19 @@ class Session:
         if isinstance(task.output_state, str) and task.output_state == "ideal":
             task = dataclasses.replace(task, output_state=self._ideal_output(circuit))
         backend = self.backend(backend_name, circuit, **dict(backend_options or {}))
+        # Device resolution.  An explicit task device is *hard*: it must name
+        # an available device (structured DeviceUnavailableError otherwise)
+        # and cpu-only backends reject it below in check_supported().  The
+        # session default is *soft*: applied only to device-capable backends.
+        # Either way a cpu resolution normalises to device=None, keeping
+        # config hashes and plan-cache keys identical to pre-device sessions.
+        if task.device is not None:
+            namespace = get_namespace(task.device)
+            resolved_device = None if namespace.device == "cpu" else namespace.device
+            if resolved_device != task.device:
+                task = dataclasses.replace(task, device=resolved_device)
+        elif self.device is not None and backend.capabilities.supports_device:
+            task = dataclasses.replace(task, device=self.device)
         stochastic = backend.capabilities.stochastic
         if stochastic:
             if task.workers is None and self.workers is not None:
@@ -475,6 +509,7 @@ class Session:
         max_bond_dim: int | None = None,
         options: Mapping[str, Any] | None = None,
         passes: Any = None,
+        device: str | None = None,
     ) -> Executable:
         """Perform all one-time work now; return an :class:`~repro.api.Executable`.
 
@@ -510,6 +545,7 @@ class Session:
             task=task, level=level, samples=samples, seed=seed, workers=workers,
             input_state=input_state, output_state=output_state,
             keep_samples=keep_samples, max_bond_dim=max_bond_dim, options=options,
+            device=device,
         )
         resolved, circuit, built, config_hash, pass_info = self._prepare(
             circuit, backend, noise, backend_options, built, passes
@@ -648,6 +684,7 @@ class Session:
         max_bond_dim: int | None = None,
         options: Mapping[str, Any] | None = None,
         passes: Any = None,
+        device: str | None = None,
     ) -> SimulationResult:
         """Simulate ``circuit`` on ``backend``, blocking until the result.
 
@@ -680,6 +717,7 @@ class Session:
                 max_bond_dim=max_bond_dim,
                 options=options,
                 passes=passes,
+                device=device,
             )
         )
 
@@ -701,6 +739,7 @@ class Session:
         max_bond_dim: int | None = None,
         options: Mapping[str, Any] | None = None,
         passes: Any = None,
+        device: str | None = None,
     ) -> "Future[SimulationResult]":
         """Non-blocking :meth:`run`: dispatch now, read the result later.
 
@@ -718,6 +757,7 @@ class Session:
             task=task, level=level, samples=samples, seed=seed, workers=workers,
             input_state=input_state, output_state=output_state,
             keep_samples=keep_samples, max_bond_dim=max_bond_dim, options=options,
+            device=device,
         )
         resolved, circuit, built, config_hash, pass_info = self._prepare(
             circuit, backend, noise, backend_options, built, passes
@@ -795,6 +835,7 @@ def simulate(
     backend_options: Mapping[str, Any] | None = None,
     options: Mapping[str, Any] | None = None,
     passes: Any = True,
+    device: str | None = None,
 ) -> SimulationResult:
     """One-call convenience: run ``circuit`` through a one-shot :class:`Session`.
 
@@ -818,4 +859,5 @@ def simulate(
             backend_options=backend_options,
             options=options,
             passes=passes,
+            device=device,
         )

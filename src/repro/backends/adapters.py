@@ -61,7 +61,10 @@ def _default_states(circuit: Circuit, task: SimulationTask):
     return input_state, output_state
 
 
-@register_backend("statevector", noisy=False, exact=True, max_qubits=24, aliases=("sv",))
+@register_backend(
+    "statevector", noisy=False, exact=True, max_qubits=24, supports_device=True,
+    aliases=("sv",),
+)
 class StatevectorBackend(SimulationBackend):
     """Dense noiseless simulation: ``|⟨v| C |ψ⟩|²``."""
 
@@ -78,7 +81,8 @@ class StatevectorBackend(SimulationBackend):
 
     def _amplitude(self, circuit: Circuit, task: SimulationTask, psi: np.ndarray, v: np.ndarray):
         simulator = StatevectorSimulator(
-            max_qubits=task.options.get("max_qubits", self.max_qubits())
+            max_qubits=task.options.get("max_qubits", self.max_qubits()),
+            device=task.device,
         )
         amplitude = simulator.amplitude(circuit, v, psi)
         return BackendResult(backend=self.name, value=float(abs(amplitude) ** 2))
@@ -92,7 +96,10 @@ class StatevectorBackend(SimulationBackend):
         return self._amplitude(circuit, task, psi, v)
 
 
-@register_backend("density_matrix", noisy=True, exact=True, max_qubits=12, aliases=("mm", "dm"))
+@register_backend(
+    "density_matrix", noisy=True, exact=True, max_qubits=12, supports_device=True,
+    aliases=("mm", "dm"),
+)
 class DensityMatrixBackend(SimulationBackend):
     """MM-based exact noisy simulation (the paper's Table II baseline)."""
 
@@ -110,7 +117,8 @@ class DensityMatrixBackend(SimulationBackend):
         input_state, output_state = _default_states(circuit, task)
         n = circuit.num_qubits
         simulator = DensityMatrixSimulator(
-            max_qubits=task.options.get("max_qubits", self.max_qubits())
+            max_qubits=task.options.get("max_qubits", self.max_qubits()),
+            device=task.device,
         )
         value = simulator.fidelity(
             circuit,
@@ -120,7 +128,7 @@ class DensityMatrixBackend(SimulationBackend):
         return BackendResult(backend=self.name, value=float(value))
 
 
-@register_backend("tn", noisy=True, exact=True)
+@register_backend("tn", noisy=True, exact=True, supports_device=True)
 class TNBackend(SimulationBackend):
     """Exact contraction of the paper's doubled tensor-network diagram."""
 
@@ -141,6 +149,7 @@ class TNBackend(SimulationBackend):
                 "max_intermediate_size", self.max_intermediate_size
             ),
             strategy=task.options.get("strategy", self.strategy),
+            device=task.device,
         )
 
     def _compile(self, circuit: Circuit, task: SimulationTask):
@@ -282,9 +291,31 @@ class _TrajectoryBackendBase(SimulationBackend):
 
     _engine_backend = "statevector"
 
-    def __init__(self, max_intermediate_size: int | None = 2**26) -> None:
+    def __init__(
+        self, max_intermediate_size: int | None = 2**26, device: str | None = None
+    ) -> None:
+        self.max_intermediate_size = max_intermediate_size
         self.engine = BatchedTrajectoryEngine(
-            backend=self._engine_backend, max_intermediate_size=max_intermediate_size
+            backend=self._engine_backend,
+            max_intermediate_size=max_intermediate_size,
+            device=device,
+        )
+
+    def _engine_for(self, task: SimulationTask) -> BatchedTrajectoryEngine:
+        """The default engine, or a same-configuration one on ``task.device``.
+
+        Engine construction is cheap (namespaces are cached by the registry)
+        and the prepared context from :meth:`_compile` is engine-independent
+        — it caches device tensors per namespace — so plans compiled on one
+        device replay on another.
+        """
+        device = task.device if task.device is not None else self.engine.device
+        if device == self.engine.device:
+            return self.engine
+        return BatchedTrajectoryEngine(
+            backend=self._engine_backend,
+            max_intermediate_size=self.max_intermediate_size,
+            device=device,
         )
 
     def _compile(self, circuit: Circuit, task: SimulationTask):
@@ -298,7 +329,7 @@ class _TrajectoryBackendBase(SimulationBackend):
 
     def _run(self, circuit: Circuit, task: SimulationTask, plan=None) -> BackendResult:
         input_state, output_state = _default_states(circuit, task)
-        result = self.engine.estimate_fidelity(
+        result = self._engine_for(task).estimate_fidelity(
             circuit,
             task.num_samples,
             input_state,
@@ -356,7 +387,7 @@ class _TrajectoryBackendBase(SimulationBackend):
 
 @register_backend(
     "trajectories", noisy=True, exact=False, stochastic=True, max_qubits=22,
-    aliases=("traj", "traj_mm"),
+    supports_device=True, aliases=("traj", "traj_mm"),
 )
 class TrajectoryMMBackend(_TrajectoryBackendBase):
     """Quantum trajectories on batched dense statevectors (Traj (MM))."""
@@ -365,7 +396,8 @@ class TrajectoryMMBackend(_TrajectoryBackendBase):
 
 
 @register_backend(
-    "trajectories_tn", noisy=True, exact=False, stochastic=True, aliases=("traj_tn",)
+    "trajectories_tn", noisy=True, exact=False, stochastic=True, supports_device=True,
+    aliases=("traj_tn",),
 )
 class TrajectoryTNBackend(_TrajectoryBackendBase):
     """Quantum trajectories as cached-plan tensor-network contractions (Traj (TN))."""

@@ -53,6 +53,10 @@ class BackendCapabilities:
     max_qubits: int | None = None
     #: Input/output states must be product states (bitstrings or factor lists).
     needs_product_state: bool = False
+    #: Honours ``SimulationTask.device`` by dispatching its dense hot path
+    #: through :func:`repro.xp.get_namespace` (cpu-only backends reject
+    #: non-cpu tasks in :meth:`SimulationBackend.supports`).
+    supports_device: bool = False
 
     def as_dict(self) -> Dict[str, object]:
         """Plain-dict view used by the CLI capability table and JSON reports."""
@@ -62,6 +66,7 @@ class BackendCapabilities:
             "stochastic": self.stochastic,
             "max_qubits": self.max_qubits,
             "needs_product_state": self.needs_product_state,
+            "supports_device": self.supports_device,
         }
 
 
@@ -87,7 +92,10 @@ class SimulationTask:
     backend), so batches of tasks share one pool.  ``options`` carries per-run
     overrides of adapter configuration (``max_qubits``, ``max_nodes``,
     ``max_intermediate_size``, ``strategy``, ``truncation_threshold``); keys a
-    backend does not define are ignored.
+    backend does not define are ignored.  ``device`` selects the
+    :class:`repro.xp.ArrayNamespace` a device-capable backend executes its
+    dense hot path on (``None`` = host cpu); backends without the
+    ``supports_device`` capability reject non-cpu tasks.
     """
 
     input_state: Any = None
@@ -100,6 +108,7 @@ class SimulationTask:
     max_bond_dim: int | None = None
     executor: Any = None
     options: Mapping[str, Any] = field(default_factory=dict)
+    device: str | None = None
 
     def resolved_executor(self) -> Any:
         """The caller-owned process pool, honouring the legacy options key.
@@ -178,6 +187,12 @@ class SimulationBackend(ABC):
             ceiling = task.options.get("max_qubits", ceiling)
         if ceiling is not None and circuit.num_qubits > ceiling:
             return f"{self.name} is limited to {ceiling} qubits (circuit has {circuit.num_qubits})"
+        if (
+            task is not None
+            and task.device not in (None, "cpu")
+            and not self.capabilities.supports_device
+        ):
+            return f"{self.name} runs on the cpu only (task requests device {task.device!r})"
         if self.capabilities.needs_product_state and task is not None:
             for state in (task.input_state, task.output_state):
                 if state is None or isinstance(state, str):

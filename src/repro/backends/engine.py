@@ -25,6 +25,14 @@ Two RNG regimes are supported:
   ``default_rng([seed, b])``.  Results are therefore identical for any worker
   count (1, 2, …), and blocks are executed by a ``concurrent.futures``
   process pool when ``k > 1``.
+
+Both hot paths dispatch their dense math through an
+:class:`repro.xp.ArrayNamespace` (``device=`` on the constructor).  Gate and
+Kraus tensors are transferred once per prepared context and cached per
+namespace; the per-slab result buffer comes from the namespace ``workspace``
+cache; sampling decisions (Born probabilities, cdfs, choices) run on the host
+from small transferred weight vectors, so the same uniforms produce the same
+trajectories on every device.
 """
 
 from __future__ import annotations
@@ -33,8 +41,6 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
-
-import numpy as np
 
 from repro.circuits.circuit import Circuit
 from repro.simulators.statevector import apply_matrix
@@ -46,6 +52,10 @@ from repro.tensornetwork.circuit_to_tn import (
 )
 from repro.tensornetwork.plan import ContractionPlan
 from repro.utils.validation import ValidationError
+from repro.xp import declare_seam, get_namespace
+from repro.xp import host as np
+
+declare_seam(__name__, mode="dispatch")
 
 __all__ = ["BatchedTrajectoryEngine", "RNG_BLOCK", "WorkerPoolError", "apply_matrix_batched"]
 
@@ -67,35 +77,38 @@ class WorkerPoolError(RuntimeError):
 RNG_BLOCK = 256
 
 
-def _apply_gate_tensor(
-    tensor: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], num_qubits: int
-) -> np.ndarray:
-    """Apply a gate to a batched state tensor, returning a lazy transpose view."""
+def _apply_gate_tensor(tensor, gate_tensor, qubits: Sequence[int], num_qubits: int, xp):
+    """Apply a reshaped gate tensor to a batched state, returning a lazy transpose view."""
     qubits = [int(q) for q in qubits]
     k = len(qubits)
-    gate_tensor = np.asarray(matrix, dtype=complex).reshape([2] * (2 * k))
     axes = [q + 1 for q in qubits]
-    contracted = np.tensordot(gate_tensor, tensor, axes=(list(range(k, 2 * k)), axes))
+    contracted = xp.tensordot(gate_tensor, tensor, axes=(list(range(k, 2 * k)), axes))
     order = list(axes) + [ax for ax in range(num_qubits + 1) if ax not in axes]
-    return np.transpose(contracted, np.argsort(order))
+    return xp.transpose(contracted, np.argsort(order))
 
 
 def apply_matrix_batched(
-    states: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], num_qubits: int
-) -> np.ndarray:
+    states, matrix, qubits: Sequence[int], num_qubits: int, xp=None
+):
     """Apply ``matrix`` to the given qubits of every state in a ``(batch, 2**n)`` array.
 
     The batched analogue of :func:`repro.simulators.statevector.apply_matrix`:
     one ``tensordot`` contracts the gate's input axes with the qubit axes of
-    the whole batch at once.
+    the whole batch at once.  ``matrix`` is host data; ``states`` must already
+    live on ``xp``'s device (default: host numpy).
     """
+    if xp is None:
+        xp = get_namespace("cpu")
     matrix = np.asarray(matrix, dtype=complex)
     k = len(qubits)
     if matrix.shape != (2**k, 2**k):
         raise ValidationError(f"matrix shape {matrix.shape} does not match {k} qubits")
     batch = states.shape[0]
-    tensor = np.asarray(states, dtype=complex).reshape([batch] + [2] * num_qubits)
-    return _apply_gate_tensor(tensor, matrix, qubits, num_qubits).reshape(batch, -1)
+    gate_tensor = xp.asarray(matrix.reshape([2] * (2 * k)))
+    tensor = xp.reshape(xp.asarray(states, dtype=xp.complex_dtype), [batch] + [2] * num_qubits)
+    return xp.reshape(
+        _apply_gate_tensor(tensor, gate_tensor, qubits, num_qubits, xp), (batch, -1)
+    )
 
 
 def _searchsorted_rows(cdf_rows: np.ndarray, uniforms: np.ndarray) -> np.ndarray:
@@ -153,6 +166,9 @@ class _TrajectoryContext:
         self.circuit = circuit
         self.num_qubits = circuit.num_qubits
         self.num_channels = circuit.noise_count()
+        #: Per-namespace cache of device-resident operator tensors (see
+        #: :meth:`device_tensors`); contexts are reusable across devices.
+        self._device_cache = {}
         if engine.backend == "statevector":
             self.psi0 = dense_product_state(input_state, self.num_qubits)
             self.v = dense_product_state(output_state, self.num_qubits)
@@ -219,6 +235,36 @@ class _TrajectoryContext:
             self.q_dists.append(weights)
             self.q_cdfs.append(cdf)
 
+    # -- device residency (statevector path) -----------------------------
+    def device_tensors(self, xp):
+        """Return ``(psi0, v_conj, op_tensors)`` resident on ``xp``'s device.
+
+        Transferred once per namespace and cached: per-slab replays then touch
+        the host only for the small Born-weight vectors.  ``op_tensors`` holds
+        one reshaped gate tensor per gate instruction and a list of reshaped
+        Kraus tensors per noise instruction, in circuit order.
+        """
+        cached = self._device_cache.get(xp.name)
+        if cached is None:
+            op_tensors = []
+            for inst in self.circuit:
+                k = len(inst.qubits)
+                if inst.is_gate:
+                    matrix = np.asarray(inst.operation.matrix, dtype=complex)
+                    op_tensors.append(xp.asarray(matrix.reshape([2] * (2 * k))))
+                else:
+                    op_tensors.append(
+                        [
+                            xp.asarray(
+                                np.asarray(op, dtype=complex).reshape([2] * (2 * k))
+                            )
+                            for op in inst.operation.kraus_operators
+                        ]
+                    )
+            cached = (xp.asarray(self.psi0), xp.asarray(self.v.conj()), op_tensors)
+            self._device_cache[xp.name] = cached
+        return cached
+
 
 class BatchedTrajectoryEngine:
     """Batched, optionally multi-process quantum-trajectories estimator."""
@@ -228,10 +274,15 @@ class BatchedTrajectoryEngine:
         backend: str = "statevector",
         max_intermediate_size: int | None = 2**26,
         max_batch_entries: int = 2**16,
+        device: str | None = None,
     ) -> None:
         if backend not in ("statevector", "tn"):
             raise ValidationError(f"unknown trajectory backend {backend!r}")
         self.backend = backend
+        #: Execution device for the batched hot paths (None = host).  Resolved
+        #: eagerly so an unavailable device fails at construction, not mid-run.
+        self.device = device
+        self._xp = get_namespace(device or "cpu")
         self.max_intermediate_size = max_intermediate_size
         #: Cap on ``batch × 2**n`` entries evolved at once (statevector path).
         #: The default keeps each batched array around 1 MB, which measures
@@ -425,6 +476,7 @@ class BatchedTrajectoryEngine:
                 output_state,
                 seed,
                 group,
+                self.device,
             )
             for group in groups
             if group
@@ -481,6 +533,8 @@ class BatchedTrajectoryEngine:
             value = float(abs(np.vdot(context.v, state)) ** 2)
             return np.full(num_samples, value)
 
+        xp = self._xp
+        psi0, v_conj, op_tensors = context.device_tensors(xp)
         values = np.empty(num_samples)
         slab = self._slab_size(n)
         for start in range(0, num_samples, slab):
@@ -490,26 +544,27 @@ class BatchedTrajectoryEngine:
             # axes may be a lazy transpose view: the next tensordot reorders
             # internally anyway, so forcing contiguity per gate would only add
             # a full copy.  Contiguity is restored at sampling points.
-            tensor = np.repeat(context.psi0[None, :], batch, axis=0).reshape(
-                [batch] + [2] * n
+            tensor = xp.reshape(
+                xp.repeat(xp.reshape(psi0, (1, -1)), batch, axis=0), [batch] + [2] * n
             )
             channel = 0
-            for inst in context.circuit:
+            for position, inst in enumerate(context.circuit):
                 if inst.is_gate:
-                    tensor = _apply_gate_tensor(tensor, inst.operation.matrix, inst.qubits, n)
+                    tensor = _apply_gate_tensor(
+                        tensor, op_tensors[position], inst.qubits, n, xp
+                    )
                 else:
                     tensor = self._sample_kraus_batched(
-                        tensor, inst, n, uniforms[start:stop, channel]
+                        tensor, op_tensors[position], inst, n,
+                        uniforms[start:stop, channel], xp,
                     )
                     channel += 1
-            states = np.ascontiguousarray(tensor).reshape(batch, -1)
-            values[start:stop] = np.abs(states @ context.v.conj()) ** 2
+            states = xp.reshape(xp.ascontiguousarray(tensor), (batch, -1))
+            values[start:stop] = np.abs(xp.to_host(xp.matmul(states, v_conj))) ** 2
         return values
 
     @staticmethod
-    def _sample_kraus_batched(
-        tensor: np.ndarray, inst, num_qubits: int, uniforms: np.ndarray
-    ) -> np.ndarray:
+    def _sample_kraus_batched(tensor, kraus_tensors, inst, num_qubits, uniforms, xp):
         """Draw one Kraus operator per trajectory with exact Born probabilities.
 
         Works directly on the batched state tensor: each Kraus branch is one
@@ -517,27 +572,26 @@ class BatchedTrajectoryEngine:
         per-branch Born weights ``‖E_k|ψ⟩‖²`` come from a single float-view
         einsum pass with no conjugate temporaries, and only the *chosen*
         branch of each trajectory is ever copied back into standard axis
-        order.
+        order.  Only the (batch,)-sized weight vectors cross back to the host
+        for the sampling decision; state tensors stay on the device.
         """
-        operators = inst.operation.kraus_operators
         qubits = [int(q) for q in inst.qubits]
         k = len(qubits)
         axes = [q + 1 for q in qubits]
         batch = tensor.shape[0]
         weights = []
         raws = []
-        for op in operators:
-            gate_tensor = np.asarray(op, dtype=complex).reshape([2] * (2 * k))
+        for gate_tensor in kraus_tensors:
             # Raw axes: k gate-output axes, then batch, then the spectators.
-            raw = np.tensordot(gate_tensor, tensor, axes=(list(range(k, 2 * k)), axes))
-            floats = raw.reshape(2**k, batch, -1).view(np.float64)
-            weights.append(np.einsum("asd,asd->s", floats, floats))
+            raw = xp.tensordot(gate_tensor, tensor, axes=(list(range(k, 2 * k)), axes))
+            floats = xp.view_real(xp.reshape(raw, (2**k, batch, -1)))
+            weights.append(xp.to_host(xp.einsum("asd,asd->s", floats, floats)))
             raws.append(raw)
         order = list(axes) + [ax for ax in range(num_qubits + 1) if ax not in axes]
         inverse = np.argsort(order)
         # Selection gathers only each trajectory's chosen branch through a
         # lazy transpose view — no branch is materialised in full.
-        flats = [np.transpose(raw, inverse) for raw in raws]
+        flats = [xp.transpose(raw, inverse) for raw in raws]
 
         probabilities = np.stack(weights, axis=1)
         totals = probabilities.sum(axis=1)
@@ -547,15 +601,20 @@ class BatchedTrajectoryEngine:
         cdf = np.cumsum(probabilities, axis=1)
         cdf = cdf / cdf[:, -1:]
         chosen_index = _searchsorted_rows(cdf, uniforms)
-        chosen = np.empty((batch, 2**num_qubits), dtype=complex)
+        # The result buffer comes from the namespace workspace cache, so every
+        # channel and slab of a run reuses one allocation per batch size.
+        # Overwriting it here is safe: all reads of the previous state tensor
+        # happened in the tensordots above, and the masks partition the batch,
+        # so the buffer is fully overwritten before anything reads it.
+        chosen = xp.workspace((batch, 2**num_qubits), tag="kraus_chosen")
         for index, flat in enumerate(flats):
             mask = chosen_index == index
             if mask.any():
                 chosen[mask] = flat[mask].reshape(-1, 2**num_qubits)
-        floats = chosen.view(np.float64)
-        norms = np.sqrt(np.einsum("bd,bd->b", floats, floats))
-        chosen /= norms[:, None]
-        return chosen.reshape((batch,) + (2,) * num_qubits)
+        floats = xp.view_real(chosen)
+        norms = xp.sqrt(xp.einsum("bd,bd->b", floats, floats))
+        chosen = xp.idivide(chosen, xp.reshape(norms, (batch, 1)))
+        return xp.reshape(chosen, (batch,) + (2,) * num_qubits)
 
     def _run_tn(self, context: _TrajectoryContext, uniforms: np.ndarray) -> np.ndarray:
         num_samples = uniforms.shape[0]
@@ -576,16 +635,27 @@ class BatchedTrajectoryEngine:
             np.clip(choices[:, channel], 0, len(cdf) - 1, out=choices[:, channel])
             weights /= context.q_dists[channel][choices[:, channel]]
 
+        # On a device, the small sampled Kraus tensors are the only per-sample
+        # host->device traffic: they are staged through per-position workspace
+        # buffers (reused across samples) and the specialized plan replays on
+        # the device against its cached baked tensors.
+        dispatch = None if self._xp.device == "cpu" else self._xp
         values = np.empty(num_samples)
         for sample in range(num_samples):
             substitutions = {}
             for channel, (position, inst) in enumerate(context.noise_positions):
                 operator = inst.operation.kraus_operators[choices[sample, channel]]
                 k = len(inst.qubits)
-                substitutions[position] = np.asarray(operator, dtype=complex).reshape(
-                    [2] * (2 * k)
-                )
-            amplitude = context.specialized.execute(substitutions)
+                host_tensor = np.asarray(operator, dtype=complex).reshape([2] * (2 * k))
+                if dispatch is None:
+                    substitutions[position] = host_tensor
+                else:
+                    staged = dispatch.workspace(
+                        host_tensor.shape, host_tensor.dtype, tag=("kraus", position)
+                    )
+                    dispatch.copyto(staged, host_tensor)
+                    substitutions[position] = staged
+            amplitude = context.specialized.execute(substitutions, xp=dispatch)
             values[sample] = float(abs(amplitude) ** 2) * weights[sample]
         return values
 
@@ -601,11 +671,13 @@ def _pool_worker(payload) -> List[np.ndarray]:
         output_state,
         seed,
         group,
+        device,
     ) = payload
     engine = BatchedTrajectoryEngine(
         backend=backend,
         max_intermediate_size=max_intermediate_size,
         max_batch_entries=max_batch_entries,
+        device=device,
     )
     context = _TrajectoryContext(engine, circuit, input_state, output_state)
     return [

@@ -68,7 +68,7 @@ def _cmd_simulate(args) -> int:
     circuit = _make_noisy_circuit(args)
     print(circuit.summary())
     passes = not args.no_passes
-    with Session(passes=passes) as session:
+    with Session(passes=passes, device=args.device) as session:
         start = time.perf_counter()
         executable = session.compile(circuit, backend="approximation", level=args.level)
         compile_seconds = time.perf_counter() - start
@@ -98,7 +98,7 @@ def _cmd_simulate(args) -> int:
                 assert repeat.value == result.value  # bit-identical serving
             cached = (time.perf_counter() - cached_start) / (args.repeat - 1)
             # Cold path: what each request costs when every call recompiles.
-            with Session(plan_cache_size=0, passes=passes) as cold:
+            with Session(plan_cache_size=0, passes=passes, device=args.device) as cold:
                 uncached_start = time.perf_counter()
                 for _ in range(args.repeat - 1):
                     cold.run(circuit, backend="approximation", level=args.level)
@@ -122,7 +122,12 @@ def _cmd_compare(args) -> int:
     # max_parallel=1 keeps the Time(s) column meaningful: each backend is
     # timed alone (as the old sequential loop did), while the submit() batch
     # still exercises the session's async front door end to end.
-    with Session(workers=args.workers, max_parallel=1, passes=not args.no_passes) as session:
+    with Session(
+        workers=args.workers,
+        max_parallel=1,
+        passes=not args.no_passes,
+        device=args.device,
+    ) as session:
         futures = []
         for name in names:
             stochastic = get_backend(name).capabilities.stochastic
@@ -169,7 +174,8 @@ def _cmd_compare(args) -> int:
 def _cmd_list_backends(args) -> int:
     print(
         format_table(
-            ["Backend", "Noisy", "Exact", "Stochastic", "Max qubits", "Product states only"],
+            ["Backend", "Noisy", "Exact", "Stochastic", "Max qubits",
+             "Product states only", "Device"],
             capability_table(),
             title="Registered simulation backends",
         )
@@ -190,6 +196,7 @@ def _cmd_verify(args) -> int:
         artifact_dir=args.artifacts,
         shrink=not args.no_shrink,
         passes=not args.no_passes,
+        device=args.device,
     )
     report = runner.run(progress=print if not args.quiet else None)
     print(report.summary_table())
@@ -482,6 +489,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "noise folding, lightcone pruning)")
         sub.add_argument("--composite-gates", action="store_true",
                          help="use composite gates (ZZ/Givens) instead of the native decomposition")
+        sub.add_argument("--device", default=None,
+                         help="execution device for device-capable backends "
+                              "(cpu, fake_gpu, cuda, auto; default: REPRO_DEVICE or cpu)")
 
     simulate = subparsers.add_parser("simulate", help="run the approximation algorithm")
     add_circuit_options(simulate)
@@ -537,6 +547,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run the oracles against the raw (unoptimized) pipeline")
     verify.add_argument("--quiet", action="store_true",
                         help="suppress per-case progress lines")
+    verify.add_argument("--device", default=None,
+                        help="session device for device-capable backends "
+                             "(cpu, fake_gpu, cuda, auto; default: REPRO_DEVICE or cpu)")
     verify.set_defaults(func=_cmd_verify)
 
     replay = subparsers.add_parser(

@@ -12,7 +12,10 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-import numpy as np
+from repro.xp import declare_seam
+from repro.xp import host as np
+
+declare_seam(__name__, mode="host")
 
 __all__ = ["DDNode", "DDEdge", "UniqueTable", "TERMINAL", "WEIGHT_DECIMALS"]
 

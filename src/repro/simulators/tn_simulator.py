@@ -9,13 +9,17 @@ gate appears as ``U`` and ``U*`` and every noise as its matrix representation
 The contraction respects an optional intermediate-size budget; exceeding it
 raises :class:`~repro.tensornetwork.network.ContractionMemoryError`, which the
 benchmark harness reports as "MO" exactly like the paper's Table II.
+
+The replay hot path (:class:`PreparedFidelity`) dispatches its contractions
+through an :class:`repro.xp.ArrayNamespace` when the simulator is constructed
+with ``device=``: the recorded plan's tensors are transferred to the device
+once at prepare time and every :meth:`PreparedFidelity.execute` replays on
+the device.  Network *construction* and ordering search stay on the host.
 """
 
 from __future__ import annotations
 
 from typing import List
-
-import numpy as np
 
 from repro.circuits.circuit import Circuit
 from repro.tensornetwork.circuit_to_tn import (
@@ -25,6 +29,10 @@ from repro.tensornetwork.circuit_to_tn import (
     noisy_observable_network,
 )
 from repro.tensornetwork.plan import ContractionPlan
+from repro.xp import declare_seam, get_namespace
+from repro.xp import host as np
+
+declare_seam(__name__, mode="dispatch")
 
 __all__ = ["PreparedFidelity", "TNSimulator"]
 
@@ -43,7 +51,7 @@ class PreparedFidelity:
     like the unprepared path.
     """
 
-    __slots__ = ("plan", "tensors", "noiseless", "_recorded_value")
+    __slots__ = ("plan", "tensors", "noiseless", "_recorded_value", "_xp", "_device_tensors")
 
     def __init__(
         self,
@@ -51,11 +59,23 @@ class PreparedFidelity:
         tensors: List[np.ndarray],
         noiseless: bool,
         recorded_value: float | None = None,
+        xp=None,
     ) -> None:
         self.plan = plan
         self.tensors = tensors
         self.noiseless = noiseless
         self._recorded_value = recorded_value
+        #: Replay namespace (None = host numpy); device copies are lazy.
+        self._xp = xp
+        self._device_tensors = None
+
+    def _replay_tensors(self) -> List:
+        if self._xp is None or self._xp.device == "cpu":
+            return list(self.tensors)
+        if self._device_tensors is None:
+            # One-time host -> device transfer, reused by every replay.
+            self._device_tensors = [self._xp.asarray(tensor) for tensor in self.tensors]
+        return list(self._device_tensors)
 
     def execute(self) -> float:
         """Return the fidelity (recorded value first, plan replay after)."""
@@ -65,7 +85,7 @@ class PreparedFidelity:
             # return the identical value, so no lock is needed.
             self._recorded_value = None
             return recorded
-        value = self.plan.execute(list(self.tensors))
+        value = self.plan.execute(self._replay_tensors(), xp=self._xp)
         if self.noiseless:
             return float(abs(value) ** 2)
         return float(np.real(value))
@@ -82,11 +102,16 @@ class TNSimulator:
         self,
         max_intermediate_size: int | None = 2**26,
         strategy: str = "greedy",
+        device: str | None = None,
     ) -> None:
         #: Budget on the entry count of any intermediate tensor (None = unlimited).
         self.max_intermediate_size = max_intermediate_size
         #: Contraction-order heuristic ("greedy" or "sequential").
         self.strategy = strategy
+        #: Replay device for prepared plans (None = host; construction and
+        #: the ordering search always run on the host).
+        self.device = device
+        self._xp = None if device is None else get_namespace(device)
 
     # ------------------------------------------------------------------
     def amplitude(
@@ -166,7 +191,7 @@ class TNSimulator:
         tensors = [node.tensor for node in network.nodes]
         plan, value = ContractionPlan.record(network, strategy=self.strategy)
         recorded = float(abs(value) ** 2) if noiseless else float(np.real(value))
-        return PreparedFidelity(plan, tensors, noiseless, recorded_value=recorded)
+        return PreparedFidelity(plan, tensors, noiseless, recorded_value=recorded, xp=self._xp)
 
     def expectation(
         self,

@@ -25,17 +25,24 @@ samples, and both support chunked multi-process execution (``workers=k``)
 with per-chunk seeded RNG streams.  With ``workers=None`` the engine consumes
 the RNG stream in exactly the order of the historical per-sample loop, so
 results for a given seed are unchanged.
+
+``device=`` selects the :class:`repro.xp.ArrayNamespace` the engine's batched
+hot paths execute on (``None``/"cpu" = host numpy); sampling decisions always
+run on the host from the same seeded uniforms, so estimates are bit-identical
+across devices.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.circuits.circuit import Circuit
 from repro.tensornetwork.circuit_to_tn import StateLike
 from repro.utils.validation import ValidationError
+from repro.xp import declare_seam, get_namespace
+from repro.xp import host as np
+
+declare_seam(__name__, mode="dispatch")
 
 __all__ = ["TrajectoryResult", "TrajectorySimulator", "required_samples"]
 
@@ -98,11 +105,17 @@ class TrajectorySimulator:
         backend: str = "statevector",
         max_intermediate_size: int | None = 2**26,
         optimize: bool = False,
+        device: str | None = None,
     ) -> None:
         if backend not in ("statevector", "tn"):
             raise ValidationError(f"unknown trajectory backend {backend!r}")
         self.backend = backend
         self.max_intermediate_size = max_intermediate_size
+        #: Execution device for the batched engine (None = host).  Validated
+        #: eagerly so an unavailable device fails at construction time.
+        self.device = device
+        if device is not None:
+            get_namespace(device)
         #: Apply the trajectory-safe compiler passes (unitary-noise folding,
         #: gate fusion, boundary pruning — see :mod:`repro.circuits.passes`)
         #: before sampling.  Off by default for this seed-era class: removing
@@ -132,7 +145,9 @@ class TrajectorySimulator:
         from repro.backends.engine import BatchedTrajectoryEngine
 
         return BatchedTrajectoryEngine(
-            backend=self.backend, max_intermediate_size=self.max_intermediate_size
+            backend=self.backend,
+            max_intermediate_size=self.max_intermediate_size,
+            device=self.device,
         )
 
     def estimate_fidelity(

@@ -190,7 +190,9 @@ class SweepRunner:
         # it is created lazily on first use, so a fully-resumed re-run never
         # pays the pool start-up cost.
         with Session(
-            workers=self.workers if self.workers > 1 else None, passes=self.spec.passes
+            workers=self.workers if self.workers > 1 else None,
+            passes=self.spec.passes,
+            device=self.spec.device,
         ) as session:
             with SweepRecords.open_for(self.spec, self.out_path, resume=self.resume) as records:
                 pending = [cell for cell in cells if cell.cell_id not in records.completed]

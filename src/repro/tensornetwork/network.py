@@ -4,10 +4,13 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence
 
-import numpy as np
-
 from repro.tensornetwork.node import Edge, Node, connect
 from repro.utils.validation import ValidationError
+
+from repro.xp import declare_seam
+from repro.xp import host as np
+
+declare_seam(__name__, mode="host")
 
 __all__ = ["TensorNetwork", "ContractionMemoryError", "contract_nodes"]
 

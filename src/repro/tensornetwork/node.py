@@ -13,9 +13,12 @@ from __future__ import annotations
 import itertools
 from typing import List, Optional, Tuple
 
-import numpy as np
-
 from repro.utils.validation import ValidationError
+
+from repro.xp import declare_seam
+from repro.xp import host as np
+
+declare_seam(__name__, mode="host")
 
 __all__ = ["Edge", "Node"]
 

@@ -18,10 +18,13 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
-import numpy as np
-
 from repro.tensornetwork.network import TensorNetwork
 from repro.tensornetwork.node import Node
+
+from repro.xp import declare_seam
+from repro.xp import host as np
+
+declare_seam(__name__, mode="host")
 
 __all__ = [
     "contract_greedy",

@@ -34,10 +34,12 @@ from __future__ import annotations
 
 from typing import List, Mapping, Sequence, Tuple
 
-import numpy as np
-
 from repro.tensornetwork.network import TensorNetwork
 from repro.utils.validation import ValidationError
+from repro.xp import declare_seam, get_namespace
+from repro.xp import host as np
+
+declare_seam(__name__, mode="dispatch")
 
 __all__ = ["ContractionPlan", "SpecializedPlan"]
 
@@ -123,31 +125,29 @@ class ContractionPlan:
         return cls(steps, num_inputs, peak_intermediate_entries=peak[0]), value
 
     # ------------------------------------------------------------------
-    def execute(self, tensors: List[np.ndarray]) -> complex:
+    def execute(self, tensors: List[np.ndarray], xp=None) -> complex:
         """Replay the schedule over ``tensors`` and return the scalar result.
 
         ``tensors`` must match the template's node order and shapes; only the
-        values may differ.  Mirrors ``contract_pair``'s list evolution (remove
-        both operands, append the result) so the recorded positions stay valid.
+        values may differ (device arrays of ``xp`` when a namespace is given).
+        Mirrors ``contract_pair``'s list evolution (remove both operands,
+        append the result) so the recorded positions stay valid.
         """
+        if xp is None:
+            xp = get_namespace("cpu")
         if len(tensors) != self.num_inputs:
             raise ValidationError(
                 f"plan expects {self.num_inputs} tensors, got {len(tensors)}"
             )
         arrays = list(tensors)
         for position_a, position_b, axes_a, axes_b in self.steps:
-            tensor_a = arrays[position_a]
-            tensor_b = arrays[position_b]
-            if axes_a:
-                result = np.tensordot(tensor_a, tensor_b, axes=(list(axes_a), list(axes_b)))
-            else:
-                result = np.tensordot(tensor_a, tensor_b, axes=0)
+            result = _contract_step(arrays[position_a], arrays[position_b], axes_a, axes_b, xp)
             for position in sorted((position_a, position_b), reverse=True):
                 del arrays[position]
             arrays.append(result)
         if len(arrays) != 1 or arrays[0].size != 1:
             raise ValidationError("plan did not reduce the network to a scalar")
-        return complex(arrays[0].reshape(()))
+        return complex(xp.to_scalar(arrays[0]))
 
     # ------------------------------------------------------------------
     def _slot_program(self) -> List[_SlotStep]:
@@ -202,7 +202,7 @@ class ContractionPlan:
         residual: List[_SlotStep] = []
         for slot_a, slot_b, axes_a, axes_b, out in program:
             if static[slot_a] and static[slot_b]:
-                baked[out] = _contract_step(baked[slot_a], baked[slot_b], axes_a, axes_b)
+                baked[out] = _contract_step(baked[slot_a], baked[slot_b], axes_a, axes_b, None)
             else:
                 static[out] = False
                 residual.append((slot_a, slot_b, axes_a, axes_b, out))
@@ -219,7 +219,7 @@ class SpecializedPlan:
     same inputs.
     """
 
-    __slots__ = ("_baked", "_residual", "variable_positions", "_result_slot")
+    __slots__ = ("_baked", "_residual", "variable_positions", "_result_slot", "_device_baked")
 
     def __init__(
         self,
@@ -232,19 +232,37 @@ class SpecializedPlan:
         self._residual = residual
         self.variable_positions = variable_positions
         self._result_slot = result_slot
+        #: Per-namespace device copies of the baked tensors, transferred once
+        #: on the first device execute (only the small variable Kraus tensors
+        #: move per call; see BatchedTrajectoryEngine._run_tn).
+        self._device_baked: dict = {}
+
+    def _baked_for(self, xp) -> List:
+        if xp is None or xp.device == "cpu":
+            return self._baked
+        cached = self._device_baked.get(xp.name)
+        if cached is None:
+            cached = [
+                None if tensor is None else xp.asarray(tensor)
+                for tensor in self._baked
+            ]
+            self._device_baked[xp.name] = cached
+        return cached
 
     @property
     def num_residual_steps(self) -> int:
         """Contractions actually replayed per call (the rest are baked)."""
         return len(self._residual)
 
-    def execute(self, substitutions: Mapping[int, np.ndarray]) -> complex:
+    def execute(self, substitutions: Mapping[int, np.ndarray], xp=None) -> complex:
         """Return the scalar for the given variable-input values.
 
         ``substitutions`` maps every variable input position to its tensor
-        for this call (shapes must match the template's).
+        for this call (shapes must match the template's; device arrays of
+        ``xp`` when a namespace is given — the baked static intermediates are
+        transferred to that device once and cached).
         """
-        buffer = list(self._baked)
+        buffer = list(self._baked_for(xp))
         for position in self.variable_positions:
             tensor = substitutions.get(position)
             if tensor is None:
@@ -253,11 +271,13 @@ class SpecializedPlan:
                 )
             buffer[position] = tensor
         for slot_a, slot_b, axes_a, axes_b, out in self._residual:
-            buffer[out] = _contract_step(buffer[slot_a], buffer[slot_b], axes_a, axes_b)
+            buffer[out] = _contract_step(buffer[slot_a], buffer[slot_b], axes_a, axes_b, xp)
         result = buffer[self._result_slot]
         if result is None or result.size != 1:
             raise ValidationError("plan did not reduce the network to a scalar")
-        return complex(result.reshape(()))
+        if xp is None:
+            return complex(result.reshape(()))
+        return complex(xp.to_scalar(result))
 
 
 def _contract_step(
@@ -265,7 +285,9 @@ def _contract_step(
     tensor_b: np.ndarray,
     axes_a: Tuple[int, ...],
     axes_b: Tuple[int, ...],
+    xp=None,
 ) -> np.ndarray:
-    if axes_a:
-        return np.tensordot(tensor_a, tensor_b, axes=(list(axes_a), list(axes_b)))
-    return np.tensordot(tensor_a, tensor_b, axes=0)
+    axes = (list(axes_a), list(axes_b)) if axes_a else 0
+    if xp is None:
+        return np.tensordot(tensor_a, tensor_b, axes=axes)
+    return xp.tensordot(tensor_a, tensor_b, axes=axes)

@@ -1,0 +1,119 @@
+"""CuPy :class:`~repro.xp.namespace.ArrayNamespace` (CUDA via ``cupy``).
+
+Imported lazily by :func:`repro.xp.get_namespace` — this module must never be
+imported on machines without CuPy (the registry catches the ``ImportError``
+and raises a structured ``DeviceUnavailableError`` instead).  The mapping is
+nearly one-to-one because CuPy mirrors the numpy API; the seams that differ
+are exactly the protocol's transfer ops (``asarray``/``to_host``) and
+``random_normal``, which draws on the host so seeded values stay bit-identical
+with the cpu namespace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import cupy  # noqa: F401 - import error handled by the registry
+
+from repro.xp.namespace import ArrayNamespace
+
+__all__ = ["CupyNamespace"]
+
+
+class CupyNamespace(ArrayNamespace):
+    """CUDA namespace backed by CuPy (device ``cuda``)."""
+
+    name = "cupy"
+    device = "cuda"
+
+    # creation / transfer
+    def asarray(self, data, dtype=None):
+        return cupy.asarray(data, dtype=dtype)
+
+    def to_host(self, array) -> np.ndarray:
+        return cupy.asnumpy(array)
+
+    def to_scalar(self, array):
+        return cupy.asnumpy(array).reshape(()).item()
+
+    def zeros(self, shape, dtype=None):
+        return cupy.zeros(shape, dtype=dtype or self.complex_dtype)
+
+    def empty(self, shape, dtype=None):
+        return cupy.empty(shape, dtype=dtype or self.complex_dtype)
+
+    def full(self, shape, value, dtype=None):
+        return cupy.full(shape, value, dtype=dtype)
+
+    def is_device_array(self, value) -> bool:
+        return isinstance(value, cupy.ndarray)
+
+    def copyto(self, destination, source) -> None:
+        if isinstance(source, np.ndarray):
+            destination.set(np.ascontiguousarray(source))
+        else:
+            cupy.copyto(destination, source)
+
+    # shape manipulation
+    def reshape(self, array, shape):
+        return cupy.reshape(array, shape)
+
+    def transpose(self, array, axes=None):
+        return cupy.transpose(array, axes)
+
+    def ascontiguousarray(self, array):
+        return cupy.ascontiguousarray(array)
+
+    def repeat(self, array, repeats, axis=None):
+        return cupy.repeat(array, repeats, axis=axis)
+
+    def stack(self, arrays, axis=0):
+        return cupy.stack(arrays, axis=axis)
+
+    # contractions and elementwise math
+    def tensordot(self, a, b, axes):
+        return cupy.tensordot(a, b, axes=axes)
+
+    def einsum(self, subscripts, *operands):
+        return cupy.einsum(subscripts, *operands)
+
+    def matmul(self, a, b):
+        return a @ b
+
+    def kron(self, a, b):
+        return cupy.kron(a, b)
+
+    def add(self, a, b):
+        return a + b
+
+    def conj(self, array):
+        return cupy.conj(array)
+
+    def abs(self, array):
+        return cupy.abs(array)
+
+    def sqrt(self, array):
+        return cupy.sqrt(array)
+
+    def sum(self, array, axis=None):
+        return cupy.sum(array, axis=axis)
+
+    def cumsum(self, array, axis=None):
+        return cupy.cumsum(array, axis=axis)
+
+    def vdot(self, a, b):
+        return cupy.vdot(a, b)
+
+    def idivide(self, array, divisor):
+        array /= divisor
+        return array
+
+    def view_real(self, array):
+        return array.view(self.real_dtype)
+
+    # linear algebra
+    def svd(self, array, full_matrices=True):
+        return cupy.linalg.svd(array, full_matrices=full_matrices)
+
+    def eigh(self, array):
+        return cupy.linalg.eigh(array)

@@ -1,0 +1,29 @@
+"""Host-side numpy alias for seam modules (``from repro.xp import host as np``).
+
+Hot-path modules under ``simulators/``, ``tensornetwork/`` and
+``circuits/passes/`` are forbidden (by ``tools/check_xp_seam.py``) from
+importing ``numpy`` directly: *device* math must go through an
+:class:`~repro.xp.namespace.ArrayNamespace`, and *host* math — RNG streams,
+index bookkeeping, result accumulation, small constant tensors — goes through
+this module, which is a transparent alias for ``numpy`` itself.
+
+The alias costs nothing on the hot path: the first access to an attribute
+resolves it via PEP 562 ``__getattr__`` and caches it in this module's
+globals, so every subsequent ``np.tensordot`` is an ordinary module-dict
+lookup, exactly as with ``import numpy as np``.
+"""
+
+import numpy as _numpy
+
+
+def __getattr__(name: str):
+    try:
+        value = getattr(_numpy, name)
+    except AttributeError:
+        raise AttributeError(f"module 'repro.xp.host' has no attribute {name!r}") from None
+    globals()[name] = value  # cache: later accesses skip __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(dir(_numpy)))

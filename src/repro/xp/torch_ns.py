@@ -1,0 +1,153 @@
+"""Torch :class:`~repro.xp.namespace.ArrayNamespace` (CUDA via ``torch``).
+
+Imported lazily by :func:`repro.xp.get_namespace` as the fallback ``cuda``
+provider when CuPy is absent; never imported on machines without torch.
+Torch diverges from the numpy API in a few places the protocol papers over:
+``view_real`` is ``view_as_real`` + flatten (complex tensors are not
+reinterpretable in place), ``transpose`` is ``permute``, and host transfer is
+``.cpu().numpy()``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import torch  # noqa: F401 - import error handled by the registry
+
+from repro.xp.namespace import ArrayNamespace
+
+__all__ = ["TorchNamespace"]
+
+
+class TorchNamespace(ArrayNamespace):
+    """CUDA namespace backed by torch (device ``cuda``)."""
+
+    name = "torch"
+    device = "cuda"
+
+    def __init__(self, dtype="complex128", **kwargs):
+        super().__init__(dtype=dtype, **kwargs)
+        self._device = torch.device("cuda")
+        self._complex = torch.complex64 if self.complex_dtype == np.dtype(
+            np.complex64
+        ) else torch.complex128
+        self._real = torch.float32 if self._complex == torch.complex64 else torch.float64
+
+    def _torch_dtype(self, dtype):
+        if dtype is None:
+            return None
+        mapping = {
+            np.dtype(np.complex64): torch.complex64,
+            np.dtype(np.complex128): torch.complex128,
+            np.dtype(np.float32): torch.float32,
+            np.dtype(np.float64): torch.float64,
+            np.dtype(np.int64): torch.int64,
+        }
+        return mapping[np.dtype(dtype)]
+
+    # creation / transfer
+    def asarray(self, data, dtype=None):
+        if isinstance(data, torch.Tensor):
+            tensor = data
+        else:
+            tensor = torch.as_tensor(np.ascontiguousarray(data))
+        tensor = tensor.to(self._device)
+        torch_dtype = self._torch_dtype(dtype)
+        return tensor if torch_dtype is None else tensor.to(torch_dtype)
+
+    def to_host(self, array) -> np.ndarray:
+        return array.detach().cpu().numpy()
+
+    def to_scalar(self, array):
+        return array.detach().cpu().reshape(()).item()
+
+    def zeros(self, shape, dtype=None):
+        return torch.zeros(
+            tuple(shape), dtype=self._torch_dtype(dtype) or self._complex, device=self._device
+        )
+
+    def empty(self, shape, dtype=None):
+        return torch.empty(
+            tuple(shape), dtype=self._torch_dtype(dtype) or self._complex, device=self._device
+        )
+
+    def full(self, shape, value, dtype=None):
+        return torch.full(
+            tuple(shape), value, dtype=self._torch_dtype(dtype), device=self._device
+        )
+
+    def is_device_array(self, value) -> bool:
+        return isinstance(value, torch.Tensor)
+
+    def copyto(self, destination, source) -> None:
+        if not isinstance(source, torch.Tensor):
+            source = torch.as_tensor(np.ascontiguousarray(source))
+        destination.copy_(source)
+
+    # shape manipulation
+    def reshape(self, array, shape):
+        return array.reshape(tuple(shape))
+
+    def transpose(self, array, axes=None):
+        if axes is None:
+            axes = tuple(reversed(range(array.dim())))
+        return array.permute(tuple(axes))
+
+    def ascontiguousarray(self, array):
+        return array.contiguous()
+
+    def repeat(self, array, repeats, axis=None):
+        return torch.repeat_interleave(array, repeats, dim=axis)
+
+    def stack(self, arrays, axis=0):
+        return torch.stack(list(arrays), dim=axis)
+
+    # contractions and elementwise math
+    def tensordot(self, a, b, axes):
+        if isinstance(axes, tuple):
+            axes = (list(axes[0]), list(axes[1]))
+        return torch.tensordot(a, b, dims=axes)
+
+    def einsum(self, subscripts, *operands):
+        return torch.einsum(subscripts, *operands)
+
+    def matmul(self, a, b):
+        return a @ b
+
+    def kron(self, a, b):
+        return torch.kron(a, b)
+
+    def add(self, a, b):
+        return a + b
+
+    def conj(self, array):
+        return array.conj()
+
+    def abs(self, array):
+        return array.abs()
+
+    def sqrt(self, array):
+        return array.sqrt()
+
+    def sum(self, array, axis=None):
+        return array.sum() if axis is None else array.sum(dim=axis)
+
+    def cumsum(self, array, axis=None):
+        return array.cumsum(dim=0 if axis is None else axis)
+
+    def vdot(self, a, b):
+        return torch.vdot(a.reshape(-1), b.reshape(-1))
+
+    def idivide(self, array, divisor):
+        array.div_(divisor)
+        return array
+
+    def view_real(self, array):
+        return torch.view_as_real(array).reshape(array.shape[:-1] + (-1,))
+
+    # linear algebra
+    def svd(self, array, full_matrices=True):
+        return torch.linalg.svd(array, full_matrices=full_matrices)
+
+    def eigh(self, array):
+        return torch.linalg.eigh(array)

@@ -1,0 +1,91 @@
+"""Workspace buffer cache: reuse, tag isolation, LRU eviction, thread locality."""
+
+import threading
+
+import numpy as np
+
+from repro.xp.fake_gpu import FakeGpuNamespace
+from repro.xp.numpy_ns import NumpyNamespace
+
+
+def fresh_namespaces():
+    # Fresh instances, not get_namespace(): these tests mutate workspace
+    # state and must not bleed counters into the shared cached namespaces.
+    return [NumpyNamespace(), FakeGpuNamespace()]
+
+
+class TestReuse:
+    def test_same_key_returns_the_same_buffer(self):
+        for xp in fresh_namespaces():
+            first = xp.workspace((4, 8))
+            second = xp.workspace((4, 8))
+            assert first is second, xp.name
+            stats = xp.workspace_stats()
+            assert stats["misses"] == 1 and stats["hits"] == 1
+
+    def test_dtype_defaults_to_the_namespace_complex_dtype(self):
+        for xp in fresh_namespaces():
+            assert xp.workspace((2,)).dtype == xp.complex_dtype
+
+    def test_distinct_shapes_dtypes_and_tags_do_not_alias(self):
+        for xp in fresh_namespaces():
+            buffers = [
+                xp.workspace((2, 2)),
+                xp.workspace((4,)),
+                xp.workspace((2, 2), dtype=np.float64),
+                xp.workspace((2, 2), tag="kraus"),
+                xp.workspace((2, 2), tag=("kraus", 1)),
+            ]
+            assert len({id(buffer) for buffer in buffers}) == len(buffers)
+            assert xp.workspace_stats()["hits"] == 0
+
+    def test_buffer_contents_survive_between_requests(self):
+        xp = NumpyNamespace()
+        buffer = xp.workspace((3,))
+        buffer[:] = 7.0
+        again = xp.workspace((3,))
+        assert np.array_equal(again, np.full(3, 7.0, dtype=complex))
+
+
+class TestEviction:
+    def test_lru_eviction_beyond_capacity(self):
+        xp = NumpyNamespace(workspace_entries=2)
+        first = xp.workspace((1,))
+        xp.workspace((2,))
+        xp.workspace((3,))  # evicts (1,)
+        stats = xp.workspace_stats()
+        assert stats["evictions"] == 1 and stats["entries"] == 2
+        assert xp.workspace((1,)) is not first  # re-allocated, not cached
+
+    def test_recently_used_entry_survives(self):
+        xp = NumpyNamespace(workspace_entries=2)
+        first = xp.workspace((1,))
+        xp.workspace((2,))
+        assert xp.workspace((1,)) is first  # refresh recency
+        xp.workspace((3,))  # evicts (2,), not (1,)
+        assert xp.workspace((1,)) is first
+
+    def test_clear_resets_buffers_and_counters(self):
+        xp = NumpyNamespace()
+        xp.workspace((2,))
+        xp.workspace((2,))
+        xp.workspace_clear()
+        stats = xp.workspace_stats()
+        assert stats == {"hits": 0, "misses": 0, "evictions": 0, "entries": 0}
+
+
+class TestThreadLocality:
+    def test_threads_get_distinct_buffers(self):
+        xp = NumpyNamespace()
+        main_buffer = xp.workspace((8,))
+        seen = {}
+
+        def worker():
+            seen["buffer"] = xp.workspace((8,))
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert seen["buffer"] is not main_buffer
+        # Both allocations were misses on their own thread-local cache.
+        assert xp.workspace_stats()["misses"] == 2

@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""Lint the array-namespace seam (see ``docs/xp.md``).
+
+Hot-path packages — the modules whose dense math must flow through
+:mod:`repro.xp` so it can be dispatched to an accelerator — may not import
+``numpy`` directly.  Host-side bookkeeping goes through the auditable
+``from repro.xp import host as np`` alias, device math through an
+:class:`~repro.xp.ArrayNamespace`, and every hot-path module must register
+itself with :func:`repro.xp.declare_seam`.
+
+Checks, per module under the scanned roots:
+
+1. no ``import numpy`` / ``import numpy as np`` (module imports always fail);
+2. ``from numpy import ...`` only for the dtype-constant allowlist
+   (``complex64``, ``complex128``, ``float32``, ``float64``, ``int64``,
+   ``dtype``) — dtype *names* are device-neutral, numpy *functions* are not;
+3. a top-level ``declare_seam(__name__, mode=...)`` call (``__init__.py``
+   re-export shims are exempt);
+4. after importing ``repro``, the module actually appears in
+   :func:`repro.xp.seam_modules` — catching a declare call that is present
+   but dead (guarded behind ``if TYPE_CHECKING`` and the like).
+
+Run from the repository root (CI does)::
+
+    python tools/check_xp_seam.py
+
+Exit status 0 when the seam is intact, 1 with a per-violation report
+otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+#: Package roots whose modules form the dense-math hot path.
+SEAM_ROOTS = (
+    "repro/simulators",
+    "repro/tensornetwork",
+    "repro/circuits/passes",
+)
+
+#: Individual hot-path modules outside the roots above.
+SEAM_FILES = ("repro/backends/engine.py",)
+
+#: ``from numpy import <name>`` stays legal for these device-neutral names.
+ALLOWED_NUMPY_NAMES = frozenset(
+    {"complex64", "complex128", "float32", "float64", "int64", "dtype"}
+)
+
+
+def seam_sources() -> list:
+    files = []
+    for root in SEAM_ROOTS:
+        files.extend(sorted((SRC / root).rglob("*.py")))
+    files.extend(SRC / name for name in SEAM_FILES)
+    return files
+
+
+def module_name(path: Path) -> str:
+    relative = path.relative_to(SRC).with_suffix("")
+    parts = list(relative.parts)
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def check_file(path: Path) -> list:
+    """Static checks 1-3; returns a list of violation strings."""
+    violations = []
+    relative = path.relative_to(REPO_ROOT)
+    tree = ast.parse(path.read_text(), filename=str(path))
+    declares = False
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy" or alias.name.startswith("numpy."):
+                    violations.append(
+                        f"{relative}:{node.lineno}: imports {alias.name!r} directly; "
+                        "use 'from repro.xp import host as np' (host math) or an "
+                        "ArrayNamespace (device math)"
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module != "numpy" and not (node.module or "").startswith("numpy."):
+                continue
+            banned = [
+                alias.name
+                for alias in node.names
+                if alias.name not in ALLOWED_NUMPY_NAMES
+            ]
+            if banned or node.module != "numpy":
+                violations.append(
+                    f"{relative}:{node.lineno}: 'from {node.module} import "
+                    f"{', '.join(alias.name for alias in node.names)}' — only the "
+                    f"dtype constants {sorted(ALLOWED_NUMPY_NAMES)} may come from "
+                    "numpy directly"
+                )
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "declare_seam"
+        ):
+            declares = True
+    if not declares and path.name != "__init__.py":
+        violations.append(
+            f"{relative}:1: hot-path module never calls "
+            "declare_seam(__name__, mode=...) (see repro.xp.declare_seam)"
+        )
+    return violations
+
+
+def check_registry(paths: list) -> list:
+    """Check 4: the declared seams are live in the runtime registry."""
+    sys.path.insert(0, str(SRC))
+    import importlib
+
+    from repro.xp import seam_modules
+
+    expected = {
+        module_name(path) for path in paths if path.name != "__init__.py"
+    }
+    for name in sorted(expected):
+        importlib.import_module(name)
+    missing = expected - set(seam_modules())
+    return [
+        f"{name}: declares no live seam (declare_seam call unreachable at import?)"
+        for name in sorted(missing)
+    ]
+
+
+def main() -> int:
+    paths = seam_sources()
+    violations = []
+    for path in paths:
+        violations.extend(check_file(path))
+    if not violations:
+        violations.extend(check_registry(paths))
+    if violations:
+        print(f"xp-seam lint: {len(violations)} violation(s)", file=sys.stderr)
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    print(f"xp-seam lint: {len(paths)} modules clean (registry live)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
