@@ -1,0 +1,92 @@
+"""Variational QAOA optimization on the compile-once / bind-per-iteration path.
+
+The parametric-executable workflow end to end: a noisy MaxCut QAOA ansatz
+with *symbolic* angles is compiled exactly once — optimizing passes, noise
+binding and the contraction-plan search all happen up front — and every
+optimizer iteration then costs one ``Executable.bind`` (a plan-cache hit
+that swaps tensor values into the recorded plan) plus the executions
+themselves.  Gradients come from the exact two-term parameter-shift rule
+(``Executable.gradient``), so plain gradient ascent on the noisy cost
+expectation converges without any stochastic-gradient tuning.
+
+The loop asserts what the CI smoke relies on: the cost expectation improves
+over the run (monotonically-ish: every iteration is a non-trivial ascent
+step until convergence), and the plan cache serves >90% of lookups — the
+whole optimization triggers exactly one plan search.
+
+Run:  python examples/optimize_qaoa.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.api import Session, apply_noise
+from repro.circuits.library import grid_graph
+from repro.circuits.library.qaoa import QAOAProblem, qaoa_problem_circuit
+from repro.circuits.observables import ising_cost_observable
+
+ITERATIONS = 12
+LEARNING_RATE = 0.05
+
+
+def main() -> None:
+    # A 2x2 hardware-grid MaxCut instance, one QAOA round, with depolarizing
+    # noise injected at seeded positions (the circuit an optimizer actually
+    # sees on hardware-adjacent simulations).
+    rng = np.random.default_rng(5)
+    graph = grid_graph(2, 2, rng=rng)
+    edges = tuple(
+        (int(u), int(v), float(d["weight"])) for u, v, d in graph.edges(data=True)
+    )
+    problem = QAOAProblem(4, edges, gammas=(0.1,), betas=(0.1,))
+    ansatz = apply_noise(
+        qaoa_problem_circuit(problem, native_gates=False, parametric=True),
+        {"channel": "depolarizing", "parameter": 0.002, "count": 2, "seed": 7},
+    )
+    cost = ising_cost_observable(edges)
+    params = {"gamma0": 0.1, "beta0": 0.1}
+
+    rows = []
+    with Session(seed=3) as session:
+        # The one plan search of the whole optimization happens here.
+        executable = session.compile(ansatz, backend="tn")
+        value = executable.bind(params).expectation(cost)
+        rows.append([0, params["gamma0"], params["beta0"], value, None])
+        for iteration in range(1, ITERATIONS + 1):
+            grad = executable.gradient(params, observable=cost)
+            params = {
+                name: angle + LEARNING_RATE * grad[name]
+                for name, angle in params.items()
+            }
+            value = executable.bind(params).expectation(cost)
+            norm = float(np.hypot(grad["gamma0"], grad["beta0"]))
+            rows.append([iteration, params["gamma0"], params["beta0"], value, norm])
+        stats = session.cache_stats()
+
+    print(
+        format_table(
+            ["Iter", "gamma0", "beta0", "Noisy <C>", "|grad|"],
+            rows,
+            title="QAOA-4 gradient ascent on the noisy cut expectation "
+            "(parameter-shift, compile-once/bind-per-iteration)",
+        )
+    )
+    hit_rate = stats["hits"] / (stats["hits"] + stats["misses"])
+    print(
+        f"\nPlan cache: {stats['misses']} search(es), {stats['hits']} hits "
+        f"({hit_rate:.0%} hit rate) for {ITERATIONS} iterations."
+    )
+
+    # The CI smoke gate: convergence and plan reuse.
+    values = [row[3] for row in rows]
+    assert values[-1] > values[0], "optimizer failed to improve the cost"
+    assert sum(b >= a for a, b in zip(values, values[1:])) >= ITERATIONS - 1, (
+        "ascent steps regressed more than once"
+    )
+    assert stats["misses"] == 1, "optimization triggered more than one plan search"
+    assert hit_rate > 0.9, f"plan-cache hit rate collapsed to {hit_rate:.0%}"
+    print("Converged; every iteration reused the one compiled plan.")
+
+
+if __name__ == "__main__":
+    main()

@@ -42,15 +42,22 @@ engine) and below :mod:`repro.sweeps` and :mod:`repro.cli`, which are both
 implemented on top of it.
 """
 
-from repro.api.executable import Executable, plan_cache_key
+from repro.api.executable import (
+    PARAMETER_SHIFT_GATES,
+    BoundExecutable,
+    Executable,
+    plan_cache_key,
+)
 from repro.api.noise import NOISE_CHANNELS, apply_noise, noise_model
 from repro.api.result import SimulationResult, task_config_hash
 from repro.api.session import Session, ideal_output_state, simulate
 from repro.circuits.passes import PassConfig, PassStats
 
 __all__ = [
+    "BoundExecutable",
     "Executable",
     "NOISE_CHANNELS",
+    "PARAMETER_SHIFT_GATES",
     "PassConfig",
     "PassStats",
     "Session",

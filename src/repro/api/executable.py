@@ -22,6 +22,7 @@ only in their sampling seed share one compiled plan.
 from __future__ import annotations
 
 import dataclasses
+import math
 import threading
 from concurrent.futures import Future
 from typing import Any, Dict, Mapping
@@ -35,9 +36,25 @@ from repro.api.result import (
 from repro.backends.base import SimulationBackend, SimulationTask
 from repro.backends.engine import WorkerPoolError
 from repro.circuits.circuit import Circuit
+from repro.circuits.parameters import (
+    UnboundParameterError,
+    circuit_parameters,
+    normalize_binding,
+    substitute,
+)
 from repro.utils.validation import ValidationError
 
-__all__ = ["Executable", "plan_cache_key"]
+__all__ = ["BoundExecutable", "Executable", "PARAMETER_SHIFT_GATES", "plan_cache_key"]
+
+#: Gates the two-term parameter-shift rule is exact for: their generator has
+#: two eigenvalues with gap 1 (in the ``exp(-i θ G / 2)`` convention), so
+#: ``∂θ f = [f(θ+π/2) − f(θ−π/2)] / 2``.  ``p``/``cp`` differ from ``rz``/a
+#: controlled ``rz`` only by a global phase, which every figure of merit the
+#: backends report is insensitive to.  ``givens``/``crz``/``fsim``/``u3``
+#: have three or more distinct generator eigenvalues (or several angles with
+#: coupled generators) and are excluded — shifting them needs a multi-term
+#: rule this helper does not implement.
+PARAMETER_SHIFT_GATES = frozenset({"rx", "ry", "rz", "p", "cp", "zzphase", "xxphase"})
 
 
 def plan_cache_key(
@@ -74,9 +91,16 @@ def plan_cache_key(
     False
     >>> key == plan_cache_key("tdd", ghz_circuit(2), SimulationTask(seed=1))
     False
+
+    Parametric circuits key on the :meth:`~repro.circuits.Circuit.\
+structural_fingerprint` — parameter *names*, expression coefficients and
+    gate structure enter the key, bound *values* and parameter-shift offsets
+    do not — so N bindings of one parametric circuit share a single plan
+    (for literal circuits the structural fingerprint equals the exact one,
+    leaving every pre-existing key unchanged).
     """
     payload = structural_config_payload(backend, task, backend_options)
-    payload["circuit"] = circuit.fingerprint()
+    payload["circuit"] = circuit.structural_fingerprint()
     payload["pooled"] = task.workers is not None and task.workers > 1
     return hash_payload(payload)
 
@@ -250,7 +274,206 @@ class Executable:
             "level": self._task.level,
             "plan": plan_info,
             "passes": dict(self._pass_info) if self._pass_info is not None else None,
+            "bound_params": self.bound_params,
+            "free_parameters": sorted(circuit_parameters(self._circuit)),
         }
+
+    @property
+    def bound_params(self) -> Dict[str, float] | None:
+        """The parameter binding of a :meth:`bind` result (None otherwise)."""
+        return None
+
+    # ------------------------------------------------------------------
+    # Parameter binding
+    # ------------------------------------------------------------------
+    def _check_binding(self, params: Mapping) -> Dict[str, float]:
+        """Validate ``params`` against this executable's free parameters."""
+        normalized = normalize_binding(params)
+        free = circuit_parameters(self._circuit)
+        missing = sorted(free - frozenset(normalized))
+        if missing:
+            raise UnboundParameterError(
+                f"bind() is missing values for parameters {missing}"
+            )
+        unknown = sorted(frozenset(normalized) - free)
+        if unknown:
+            raise ValidationError(
+                f"bind() got unknown parameters {unknown} "
+                f"(this executable's parameters: {sorted(free)})"
+            )
+        return normalized
+
+    def _rebind(self, bound_circuit: Circuit, bound_params: Dict[str, float]) -> "BoundExecutable":
+        """Plan lookup + :class:`BoundExecutable` construction (no plan search).
+
+        With the plan cache enabled this goes through the session's
+        :meth:`~repro.api.Session._finish_compile`: the bound circuit's
+        structural fingerprint equals the parent's, so the lookup is a cache
+        *hit* that reuses the one plan recorded at compile time (a re-record
+        happens only if the plan was evicted in between).  With caching
+        disabled (``plan_cache_size=0``) the parent's plan is reused
+        directly — it is value-independent by construction — without
+        touching the cache counters.
+        """
+        config_hash = task_config_hash(
+            self._backend.name, self._task, self._backend_options,
+            bound_params=bound_params,
+        )
+        if self._session._plan_capacity > 0:
+            inner = self._session._finish_compile(
+                self._backend, bound_circuit, self._task, self._backend_options,
+                config_hash, self._pass_info,
+            )
+            plan = inner._plan
+            plan_key = inner._plan_key
+            cache_hit = inner._cache_hit
+            compile_seconds = inner._compile_seconds
+            coalesced = inner._coalesced
+        else:
+            plan, plan_key = self._plan, self._plan_key
+            cache_hit, compile_seconds, coalesced = True, 0.0, False
+        return BoundExecutable(
+            session=self._session,
+            backend=self._backend,
+            circuit=bound_circuit,
+            task=self._task,
+            backend_options=self._backend_options,
+            config_hash=config_hash,
+            plan=plan,
+            plan_key=plan_key,
+            cache_hit=cache_hit,
+            compile_seconds=compile_seconds,
+            pass_info=self._pass_info,
+            coalesced=coalesced,
+            parent=self,
+            bound_params=bound_params,
+        )
+
+    def bind(self, params: Mapping) -> "BoundExecutable":
+        """Bind every free parameter; return a runnable :class:`BoundExecutable`.
+
+        This is the cheap half of the compile/bind split: all
+        structure-dependent work (passes, noise binding, the backend's plan
+        search) happened once at :meth:`~repro.api.Session.compile` time, and
+        binding only substitutes tensor *values* into the optimized circuit —
+        an optimizer iteration costs one execute and zero plan searches.
+        ``params`` maps parameter names (or :class:`~repro.circuits.\
+parameters.Parameter` objects) to floats and must cover the free parameters
+        exactly: missing names raise
+        :class:`~repro.circuits.parameters.UnboundParameterError`, unknown
+        names raise :class:`~repro.utils.validation.ValidationError`.  Raises
+        after the owning session closes, like :meth:`run` does.
+        """
+        self._session._check_open()
+        normalized = self._check_binding(params)
+        bound_circuit = substitute(self._circuit, normalized)
+        return self._rebind(bound_circuit, normalized)
+
+    # ------------------------------------------------------------------
+    # Parameter-shift gradients
+    # ------------------------------------------------------------------
+    def _shift_occurrences(self):
+        """Every (instruction index, slot, expression) a gradient must shift.
+
+        Validates eligibility: a free parameter reaching a gate outside
+        :data:`PARAMETER_SHIFT_GATES` has no exact two-term shift rule.
+        """
+        occurrences = []
+        for index, inst in enumerate(self._circuit):
+            operation = inst.operation
+            if not getattr(operation, "is_parametric_gate", False):
+                continue
+            for slot, expr in enumerate(operation.expressions):
+                if not (expr.parameters & operation.free_parameters):
+                    continue
+                if operation.name not in PARAMETER_SHIFT_GATES:
+                    raise ValidationError(
+                        f"gate {operation.name!r} has no exact two-term "
+                        f"parameter-shift rule (supported: "
+                        f"{sorted(PARAMETER_SHIFT_GATES)})"
+                    )
+                occurrences.append((index, slot, expr))
+        return occurrences
+
+    @staticmethod
+    def _shifted_circuit(bound_circuit: Circuit, index: int, slot: int, delta: float) -> Circuit:
+        """Copy of ``bound_circuit`` with one gate occurrence's angle shifted."""
+        shifted = Circuit(bound_circuit.num_qubits, name=bound_circuit.name)
+        for i, inst in enumerate(bound_circuit):
+            operation = inst.operation
+            if i == index:
+                operation = operation.shifted(slot, delta)
+            shifted.append(operation, inst.qubits)
+        return shifted
+
+    def gradient(
+        self, params: Mapping, observable: Any = None
+    ) -> Dict[str, float]:
+        """Parameter-shift gradient of the figure of merit at ``params``.
+
+        For every gate occurrence whose angle depends on a free parameter,
+        the exact two-term rule ``∂θ f = [f(θ+π/2) − f(θ−π/2)] / 2`` is
+        applied through the occurrence's post-evaluation angle offset
+        (:meth:`~repro.circuits.parameters.ParametricGate.shifted`), and the
+        chain rule over the linear angle expression accumulates
+        ``coeff · ∂θ f`` into each parameter's entry.  Offsets are excluded
+        from the structural fingerprint, so all ``2K`` shifted evaluations
+        replay the one compiled plan (cache hits, no plan searches).
+
+        With ``observable=None`` the differentiated objective is the
+        compiled task's own figure of merit — ``bind(p).run().value`` with
+        the compiled seed, evaluated concurrently via :meth:`submit`
+        batching.  With an observable (anything
+        :meth:`repro.simulators.TNSimulator.expectation` accepts) the
+        objective is that operator's expectation on the bound circuit's
+        output state; this path contracts per evaluation rather than
+        replaying the compiled plan.
+
+        Returns ``{parameter name: partial derivative}`` over the free
+        parameters.
+        """
+        self._session._check_open()
+        normalized = self._check_binding(params)
+        occurrences = self._shift_occurrences()
+        bound_circuit = substitute(self._circuit, normalized)
+
+        evaluations: list = []
+        if observable is None:
+            futures = []
+            for index, slot, _ in occurrences:
+                for sign in (1.0, -1.0):
+                    shifted = self._shifted_circuit(
+                        bound_circuit, index, slot, sign * math.pi / 2.0
+                    )
+                    futures.append(self._rebind(shifted, normalized).submit())
+            evaluations = [future.result().value for future in futures]
+        else:
+            from repro.simulators import TNSimulator
+
+            simulator = TNSimulator()
+            for index, slot, _ in occurrences:
+                for sign in (1.0, -1.0):
+                    shifted = self._shifted_circuit(
+                        bound_circuit, index, slot, sign * math.pi / 2.0
+                    )
+                    evaluations.append(
+                        float(
+                            simulator.expectation(
+                                shifted,
+                                observable,
+                                input_state=self._task.input_state,
+                            )
+                        )
+                    )
+
+        grad = {name: 0.0 for name in sorted(circuit_parameters(self._circuit))}
+        for k, (index, slot, expr) in enumerate(occurrences):
+            plus, minus = evaluations[2 * k], evaluations[2 * k + 1]
+            partial = (plus - minus) / 2.0
+            for name, coeff in expr.terms:
+                if name in grad:
+                    grad[name] += coeff * partial
+        return grad
 
     # ------------------------------------------------------------------
     # Execution
@@ -258,6 +481,12 @@ class Executable:
     def _resolve_call(self, num_samples: int | None, seed: int | None):
         """Per-call task + provenance; counts the execution for cache_hit."""
         self._session._check_open()
+        free = sorted(circuit_parameters(self._circuit))
+        if free:
+            raise UnboundParameterError(
+                f"executable has unbound parameters {free}; call "
+                "bind({name: value, ...}) and run the bound executable"
+            )
         task = self._task
         if num_samples is not None:
             if num_samples <= 0:
@@ -269,7 +498,8 @@ class Executable:
             config_hash = self._config_hash
         else:
             config_hash = task_config_hash(
-                self._backend.name, task, self._backend_options
+                self._backend.name, task, self._backend_options,
+                bound_params=self.bound_params,
             )
         with self._lock:
             reused = self._cache_hit or self._executions > 0
@@ -360,4 +590,72 @@ class Executable:
         return (
             f"<Executable backend={self._backend.name!r} "
             f"config_hash={self._config_hash!r} cache_hit={self._cache_hit}>"
+        )
+
+
+class BoundExecutable(Executable):
+    """A parametric executable with every parameter bound to a value.
+
+    Produced by :meth:`Executable.bind`; behaves exactly like an
+    :class:`Executable` (same ``run``/``submit``/``describe`` surface) whose
+    circuit has the binding substituted in, and shares the parent's compiled
+    plan — binding never repeats the structure-dependent work.  The binding
+    is reported in ``describe()["bound_params"]`` and folded into
+    :attr:`config_hash`, so two bindings of one structure are
+    provenance-distinct while sharing one plan-cache entry.
+
+    :meth:`bind` on a bound executable delegates to the *parent* parametric
+    executable, so an optimizer loop can re-bind from whichever handle it
+    holds.
+    """
+
+    __slots__ = ("_parent", "_bound_params")
+
+    def __init__(self, *, parent: Executable, bound_params: Mapping[str, float], **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._parent = parent
+        self._bound_params = {
+            str(name): float(value) for name, value in dict(bound_params).items()
+        }
+
+    @property
+    def bound_params(self) -> Dict[str, float]:
+        """The full parameter binding this executable runs under."""
+        return dict(self._bound_params)
+
+    @property
+    def parent(self) -> Executable:
+        """The parametric executable this binding came from."""
+        return self._parent
+
+    def bind(self, params: Mapping) -> "BoundExecutable":
+        """Re-bind from the parent parametric executable (optimizer loops)."""
+        return self._parent.bind(params)
+
+    def gradient(self, params: Mapping, observable: Any = None) -> Dict[str, float]:
+        """Parameter-shift gradient via the parent (see :meth:`Executable.gradient`)."""
+        return self._parent.gradient(params, observable)
+
+    def expectation(self, observable: Any) -> float:
+        """Expectation of ``observable`` on this binding's output state.
+
+        Contracts via :meth:`repro.simulators.TNSimulator.expectation`
+        (lightcone-pruned per Pauli term); unlike :meth:`run` this does not
+        replay the compiled plan, so it is the right tool for occasional
+        energy readouts, not the hot loop.
+        """
+        from repro.simulators import TNSimulator
+
+        self._session._check_open()
+        return float(
+            TNSimulator().expectation(
+                self._circuit, observable, input_state=self._task.input_state
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        names = ",".join(sorted(self._bound_params))
+        return (
+            f"<BoundExecutable backend={self._backend.name!r} "
+            f"params=[{names}] config_hash={self._config_hash!r}>"
         )

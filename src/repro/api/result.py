@@ -86,6 +86,7 @@ def task_config_hash(
     backend: str,
     task: SimulationTask,
     backend_options: Mapping[str, Any] | None = None,
+    bound_params: Mapping[str, float] | None = None,
 ) -> str:
     """Content hash of one task configuration (the provenance key).
 
@@ -96,6 +97,12 @@ def task_config_hash(
     stream vs the blocked mode) is included, because those two regimes
     compute different estimates for the same seed.
 
+    ``bound_params`` is the parameter binding of a
+    :meth:`repro.api.Executable.bind` executable; it enters the payload only
+    when given (``None`` for ordinary tasks), so every hash minted before
+    parametric circuits existed is unchanged while two bindings of one
+    parametric executable hash differently.
+
     >>> from repro.backends import SimulationTask
     >>> a = task_config_hash("tn", SimulationTask(seed=7, workers=1))
     >>> a == task_config_hash("tn", SimulationTask(seed=7, workers=8))
@@ -104,6 +111,10 @@ def task_config_hash(
     False
     >>> a == task_config_hash("tn", SimulationTask(seed=8, workers=1))
     False
+    >>> b = task_config_hash("tn", SimulationTask(seed=7, workers=1),
+    ...                      bound_params={"gamma0": 0.5})
+    >>> b != a
+    True
     """
     payload = structural_config_payload(backend, task, backend_options)
     payload.update(
@@ -115,6 +126,10 @@ def task_config_hash(
             "keep_samples": task.keep_samples,
         }
     )
+    if bound_params is not None:
+        payload["bound_params"] = {
+            str(name): float(value) for name, value in dict(bound_params).items()
+        }
     return hash_payload(payload)
 
 

@@ -64,6 +64,7 @@ from repro.api.result import SimulationResult, task_config_hash
 from repro.backends.base import SimulationBackend, SimulationTask
 from repro.backends.registry import get_backend
 from repro.circuits.circuit import Circuit
+from repro.circuits.parameters import circuit_parameters, substitute
 from repro.circuits.passes import PassConfig, run_passes
 from repro.utils.validation import ValidationError
 from repro.xp import default_device, get_namespace
@@ -396,6 +397,12 @@ class Session:
             task = dataclasses.replace(task, seed=submission_seed())
         circuit = apply_noise(circuit, noise, seed=task.seed)
         if isinstance(task.output_state, str) and task.output_state == "ideal":
+            if circuit_parameters(circuit):
+                raise ValidationError(
+                    "output_state='ideal' depends on the parameter values; "
+                    "substitute() the binding into the circuit first (or pass "
+                    "an explicit output state) instead of compiling unbound"
+                )
             task = dataclasses.replace(task, output_state=self._ideal_output(circuit))
         backend = self.backend(backend_name, circuit, **dict(backend_options or {}))
         # Device resolution.  An explicit task device is *hard*: it must name
@@ -605,10 +612,18 @@ class Session:
             cache_hit = True
         elif not cache_hit:
             # The backend's plan search runs outside the lock, so distinct
-            # keys never block each other.
+            # keys never block each other.  A circuit with free parameters is
+            # planned from a placeholder binding (all zeros): backend plans
+            # for parametric circuits are value-independent by construction
+            # (the bind slot re-reads tensor values from the executed
+            # circuit), so any binding records the same plan.
+            plan_circuit = circuit
+            free = circuit_parameters(circuit)
+            if free:
+                plan_circuit = substitute(circuit, dict.fromkeys(free, 0.0))
             start = time.perf_counter()
             try:
-                plan = resolved.compile(circuit, built)
+                plan = resolved.compile(plan_circuit, built)
             except BaseException as exc:
                 if owner_future is not None:
                     with self._lock:

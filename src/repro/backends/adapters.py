@@ -28,6 +28,7 @@ from repro.backends.base import (
 from repro.backends.engine import BatchedTrajectoryEngine
 from repro.backends.registry import register_backend
 from repro.circuits.circuit import Circuit
+from repro.circuits.parameters import is_parametric
 from repro.circuits.passes import PassProfile
 from repro.core import ApproximateNoisySimulator
 from repro.simulators import (
@@ -162,6 +163,12 @@ class TNBackend(SimulationBackend):
         return BackendResult(backend=self.name, value=float(value), num_contractions=1)
 
     def _run_plan(self, circuit: Circuit, task: SimulationTask, plan) -> BackendResult:
+        if getattr(plan, "parametric", False):
+            # Bind-slot template: replay the recorded schedule on tensors
+            # rebuilt from the bound circuit actually being executed.
+            return BackendResult(
+                backend=self.name, value=plan.execute_bound(circuit), num_contractions=1
+            )
         return BackendResult(
             backend=self.name, value=plan.execute(), num_contractions=1
         )
@@ -329,6 +336,12 @@ class _TrajectoryBackendBase(SimulationBackend):
 
     def _run(self, circuit: Circuit, task: SimulationTask, plan=None) -> BackendResult:
         input_state, output_state = _default_states(circuit, task)
+        if plan is not None and getattr(plan, "parametric", False):
+            # The compiled context is a bind-slot template (prepared from a
+            # placeholder binding): swap in the bound circuit's gate values
+            # while reusing the recorded contraction plan and the Kraus
+            # sampling distributions, which are value-independent.
+            plan = plan.rebound(circuit)
         result = self._engine_for(task).estimate_fidelity(
             circuit,
             task.num_samples,
@@ -433,6 +446,12 @@ class ApproximationBackend(SimulationBackend):
         simulator = self._simulator(task)
         if simulator.backend != "tn":
             # The dense term evaluator has no plan to record.
+            return None
+        if is_parametric(circuit):
+            # The approximation plan bakes gate tensors into its specialized
+            # per-term schedules, which would freeze one binding's values;
+            # parametric circuits use the plan-less path, which reads the
+            # bound circuit on every run.
             return None
         input_state, output_state = _default_states(circuit, task)
         return simulator.prepare(circuit, input_state, output_state)

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, ClassVar, Dict, Mapping
 
 from repro.circuits.circuit import Circuit
+from repro.circuits.parameters import UnboundParameterError, circuit_parameters
 from repro.circuits.passes import PassProfile
 from repro.tensornetwork.circuit_to_tn import resolve_product_state
 from repro.utils.validation import ValidationError
@@ -288,6 +289,14 @@ class SimulationBackend(ABC):
             0.5
         """
         task = SimulationTask() if task is None else task
+        # compile() accepts circuits with free parameters (planning happens on
+        # a placeholder binding), but execution needs every angle concrete.
+        free = sorted(circuit_parameters(circuit))
+        if free:
+            raise UnboundParameterError(
+                f"circuit has unbound parameters {free}; bind them "
+                "(Executable.bind / substitute) before execution"
+            )
         self.check_supported(circuit, task)
         start = time.perf_counter()
         if plan is None:

@@ -43,6 +43,7 @@ from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from repro.circuits.circuit import Circuit
+from repro.circuits.parameters import is_parametric
 from repro.simulators.statevector import apply_matrix
 from repro.tensornetwork.circuit_to_tn import (
     StateLike,
@@ -166,6 +167,14 @@ class _TrajectoryContext:
         self.circuit = circuit
         self.num_qubits = circuit.num_qubits
         self.num_channels = circuit.noise_count()
+        #: True when the circuit carries parametric gates: the context is then
+        #: a bind-slot template whose tensor values belong to whichever
+        #: binding prepared it — :meth:`rebound` swaps in another binding's
+        #: values without repeating the plan recording.
+        self.parametric = is_parametric(circuit)
+        self._engine = engine
+        self._input_state = input_state
+        self._output_state = output_state
         #: Per-namespace cache of device-resident operator tensors (see
         #: :meth:`device_tensors`); contexts are reusable across devices.
         self._device_cache = {}
@@ -176,13 +185,19 @@ class _TrajectoryContext:
             self._prepare_tn(engine, circuit, input_state, output_state)
 
     # -- TN template -----------------------------------------------------
-    def _prepare_tn(
+    def _build_template(
         self,
         engine: "BatchedTrajectoryEngine",
         circuit: Circuit,
         input_state: StateLike,
         output_state: StateLike,
-    ) -> None:
+    ):
+        """Build the trajectory amplitude network for ``circuit``.
+
+        Returns ``(template, template_tensors, noise_positions)``.  Shared by
+        the initial preparation and :meth:`rebound`, which rebuilds only the
+        tensors (same topology, different gate values) for a new binding.
+        """
         n = circuit.num_qubits
         operations: List[Tuple[np.ndarray, Tuple[int, ...]]] = []
         noise_meta: List[Tuple[int, object]] = []  # (op index, instruction)
@@ -204,10 +219,22 @@ class _TrajectoryContext:
         # qubit for product states, a single node for a dense state.
         resolved_in = resolve_product_state(input_state, n)
         input_nodes = n if isinstance(resolved_in, list) else 1
-        self.template_tensors = [node.tensor for node in template.nodes]
-        self.noise_positions = [
+        template_tensors = [node.tensor for node in template.nodes]
+        noise_positions = [
             (input_nodes + op_index, inst) for op_index, inst in noise_meta
         ]
+        return template, template_tensors, noise_positions
+
+    def _prepare_tn(
+        self,
+        engine: "BatchedTrajectoryEngine",
+        circuit: Circuit,
+        input_state: StateLike,
+        output_state: StateLike,
+    ) -> None:
+        template, self.template_tensors, self.noise_positions = self._build_template(
+            engine, circuit, input_state, output_state
+        )
         self.plan, _ = ContractionPlan.record(template)
         # Partial evaluation over the static tensors: per-sample replays touch
         # only the contractions downstream of a sampled Kraus tensor (values
@@ -221,6 +248,9 @@ class _TrajectoryContext:
             if self.noise_positions
             else None
         )
+        self._derive_kraus_distributions()
+
+    def _derive_kraus_distributions(self) -> None:
         # State-independent sampling distributions q_k = tr(E_k† E_k)/d and
         # their cdfs (normalised exactly as np.random.Generator.choice does).
         self.q_dists: List[np.ndarray] = []
@@ -234,6 +264,54 @@ class _TrajectoryContext:
             cdf = cdf / cdf[-1]
             self.q_dists.append(weights)
             self.q_cdfs.append(cdf)
+
+    # -- bind slot -------------------------------------------------------
+    def rebound(self, circuit: Circuit) -> "_TrajectoryContext":
+        """Return this context re-targeted at another binding of its structure.
+
+        ``circuit`` must be a binding of the parametric structure this
+        context was prepared from (same instruction sequence; only gate
+        *values* differ).  All value-independent products are shared with the
+        parent: the recorded :class:`ContractionPlan` (the greedy ordering
+        inspects tensor sizes, never entries), the Kraus sampling
+        distributions (noise channels carry no parameters) and the boundary
+        states.  Only the value-dependent pieces are rebuilt — the TN
+        template tensors plus their static-prefix specialization, or, for the
+        statevector path, the per-device gate-tensor cache (invalidated, and
+        repopulated lazily from the bound circuit's matrices).
+        """
+        if not self.parametric:
+            raise ValueError("rebound() requires a context prepared from a parametric circuit")
+        bound = object.__new__(_TrajectoryContext)
+        bound.circuit = circuit
+        bound.num_qubits = self.num_qubits
+        bound.num_channels = self.num_channels
+        # The rebound context serves exactly one binding; marking it
+        # non-parametric keeps a second rebind from chaining off stale values.
+        bound.parametric = False
+        bound._engine = self._engine
+        bound._input_state = self._input_state
+        bound._output_state = self._output_state
+        bound._device_cache = {}
+        if self._engine.backend == "statevector":
+            bound.psi0 = self.psi0
+            bound.v = self.v
+            return bound
+        _, bound.template_tensors, bound.noise_positions = self._build_template(
+            self._engine, circuit, self._input_state, self._output_state
+        )
+        bound.plan = self.plan
+        bound.specialized = (
+            self.plan.specialize(
+                bound.template_tensors,
+                [position for position, _ in bound.noise_positions],
+            )
+            if bound.noise_positions
+            else None
+        )
+        bound.q_dists = self.q_dists
+        bound.q_cdfs = self.q_cdfs
+        return bound
 
     # -- device residency (statevector path) -----------------------------
     def device_tensors(self, xp):

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.circuits import gates as glib
 from repro.circuits.gates import Gate
+from repro.circuits.parameters import Parameter, ParameterExpression, ParametricGate
 from repro.utils.linalg import embed_operator
 from repro.utils.validation import ValidationError, check_qubit_index
 
@@ -29,8 +30,22 @@ __all__ = ["Instruction", "Circuit"]
 
 
 def _is_gate(operation) -> bool:
-    """Return True when ``operation`` is a unitary gate (has a ``matrix``)."""
+    """Return True when ``operation`` is a unitary gate (has a ``matrix``).
+
+    Parametric gates are recognised by their class marker *before* the
+    ``matrix`` probe: an unbound :class:`~repro.circuits.parameters.
+    ParametricGate` raises on matrix access (not ``AttributeError``, so
+    ``hasattr`` would propagate it), and a gate's gate-ness must not depend
+    on whether its angles are bound yet.
+    """
+    if getattr(operation, "is_parametric_gate", False):
+        return True
     return hasattr(operation, "matrix") and not hasattr(operation, "kraus_operators")
+
+
+def _symbolic(theta) -> bool:
+    """True when an angle argument is a parameter or parameter expression."""
+    return isinstance(theta, (Parameter, ParameterExpression))
 
 
 def _is_channel(operation) -> bool:
@@ -171,15 +186,21 @@ class Circuit:
         return self.append(glib.T(), qubit)
 
     def rx(self, theta: float, qubit: int) -> "Circuit":
-        """Append an Rx rotation."""
+        """Append an Rx rotation (``theta`` may be a symbolic parameter)."""
+        if _symbolic(theta):
+            return self.append(ParametricGate("rx", (theta,)), qubit)
         return self.append(glib.Rx(theta), qubit)
 
     def ry(self, theta: float, qubit: int) -> "Circuit":
-        """Append an Ry rotation."""
+        """Append an Ry rotation (``theta`` may be a symbolic parameter)."""
+        if _symbolic(theta):
+            return self.append(ParametricGate("ry", (theta,)), qubit)
         return self.append(glib.Ry(theta), qubit)
 
     def rz(self, theta: float, qubit: int) -> "Circuit":
-        """Append an Rz rotation."""
+        """Append an Rz rotation (``theta`` may be a symbolic parameter)."""
+        if _symbolic(theta):
+            return self.append(ParametricGate("rz", (theta,)), qubit)
         return self.append(glib.Rz(theta), qubit)
 
     def cx(self, control: int, target: int) -> "Circuit":
@@ -195,7 +216,9 @@ class Circuit:
         return self.append(glib.SWAP(), (qubit_a, qubit_b))
 
     def zz(self, theta: float, qubit_a: int, qubit_b: int) -> "Circuit":
-        """Append a ZZ interaction (the QAOA cost gate)."""
+        """Append a ZZ interaction (the QAOA cost gate; ``theta`` may be symbolic)."""
+        if _symbolic(theta):
+            return self.append(ParametricGate("zzphase", (theta,)), (qubit_a, qubit_b))
         return self.append(glib.ZZPhase(theta), (qubit_a, qubit_b))
 
     # ------------------------------------------------------------------
@@ -256,20 +279,27 @@ class Circuit:
                 frontier[q] = level + 1
         return moments
 
-    def fingerprint(self) -> str:
-        """Stable content hash of the circuit's exact structure.
+    def _digest(self, structural: bool) -> str:
+        """Shared fingerprint machinery (see :meth:`fingerprint`).
 
-        Covers the qubit count and, per instruction, the operation kind,
-        name, qubit tuple and the exact tensor bytes (gate matrix or Kraus
-        operators), so two circuits share a fingerprint iff they describe the
-        same computation element-for-element.  This is the identity the
-        session layer's compiled-plan cache keys on: a plan recorded for one
-        circuit is valid for any other circuit with the same fingerprint.
+        Literal gate and noise instructions contribute identical bytes in
+        both modes, so for circuits without parametric gates the structural
+        and exact fingerprints coincide (pre-existing plan-cache keys stay
+        stable).  A parametric instruction contributes its structure token
+        (gate name + expression shape) in both modes, plus its bound values
+        and parameter-shift offsets in exact mode only.
         """
         digest = hashlib.sha256()
         digest.update(str(self.num_qubits).encode())
         for inst in self._instructions:
             operation = inst.operation
+            if getattr(operation, "is_parametric_gate", False):
+                digest.update(b"\x1fpgate")
+                digest.update(operation.structure_token().encode())
+                digest.update(repr(inst.qubits).encode())
+                if not structural:
+                    digest.update(operation.value_token().encode())
+                continue
             digest.update(b"\x1fnoise" if inst.is_noise else b"\x1fgate")
             digest.update(inst.name.encode())
             digest.update(repr(inst.qubits).encode())
@@ -283,6 +313,31 @@ class Circuit:
                     np.ascontiguousarray(np.asarray(operation.matrix, dtype=complex)).tobytes()
                 )
         return digest.hexdigest()[:16]
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the circuit's exact structure.
+
+        Covers the qubit count and, per instruction, the operation kind,
+        name, qubit tuple and the exact tensor bytes (gate matrix or Kraus
+        operators), so two circuits share a fingerprint iff they describe the
+        same computation element-for-element.  Parametric gates contribute
+        their expression structure plus their bound values and offsets, so
+        two bindings of one circuit fingerprint differently here but share a
+        :meth:`structural_fingerprint`.
+        """
+        return self._digest(structural=False)
+
+    def structural_fingerprint(self) -> str:
+        """Value-independent fingerprint: parametric angles count as free slots.
+
+        Identical to :meth:`fingerprint` for circuits without parametric
+        gates; for parametric circuits every binding (and every
+        parameter-shift offset) shares one structural fingerprint.  This is
+        the identity the session layer's compiled-plan cache keys on: a plan
+        recorded for one binding replays for any other binding of the same
+        structure (see :func:`repro.api.executable.plan_cache_key`).
+        """
+        return self._digest(structural=True)
 
     def count_ops(self) -> dict:
         """Return a histogram ``{operation name: count}``."""

@@ -84,7 +84,12 @@ _FAMILY_PREFIXES = {
 }
 
 
-def benchmark_circuit(name: str, seed: int | None = 7, native_gates: bool = True) -> Circuit:
+def benchmark_circuit(
+    name: str,
+    seed: int | None = 7,
+    native_gates: bool = True,
+    parametric: bool = False,
+) -> Circuit:
     """Resolve a paper-style benchmark name into a circuit.
 
     Supported forms: ``qaoa_N``, ``hf_N``, ``inst_RxC_D``, ``ghz_N``,
@@ -93,9 +98,17 @@ def benchmark_circuit(name: str, seed: int | None = 7, native_gates: bool = True
     ``brickwork_NxS``, ``cliffordt_N``, ``qaoalike_N``, ``ghzladder_N``,
     ``deepnarrow_N`` and ``wideshallow_N`` (``S`` pins the depth/layer/rung
     count, otherwise the family default applies).
+
+    ``parametric=True`` builds the variational families (``qaoa_N`` /
+    ``hf_N``) with symbolic angles for use with ``Executable.bind``; the
+    non-variational families have no parameters and reject the flag.
     """
     parts = name.split("_")
     family = parts[0].lower()
+    if parametric and family not in ("qaoa", "hf"):
+        raise ValidationError(
+            f"benchmark family {family!r} has no parametric form (only qaoa_N / hf_N do)"
+        )
     if family in _FAMILY_PREFIXES and len(parts) == 2:
         builder = FAMILY_BUILDERS[_FAMILY_PREFIXES[family]]
         size = parts[1]
@@ -107,9 +120,13 @@ def benchmark_circuit(name: str, seed: int | None = 7, native_gates: bool = True
         except ValueError as exc:
             raise ValidationError(f"malformed benchmark circuit name {name!r}") from exc
     if family == "qaoa" and len(parts) == 2:
-        return qaoa_circuit(int(parts[1]), seed=seed, native_gates=native_gates)
+        return qaoa_circuit(
+            int(parts[1]), seed=seed, native_gates=native_gates, parametric=parametric
+        )
     if family == "hf" and len(parts) == 2:
-        return hf_circuit(int(parts[1]), seed=seed, native_gates=native_gates)
+        return hf_circuit(
+            int(parts[1]), seed=seed, native_gates=native_gates, parametric=parametric
+        )
     if family == "inst":
         rows, cols, depth = parse_inst_name(name)
         return supremacy_circuit(rows, cols, depth, seed=seed)

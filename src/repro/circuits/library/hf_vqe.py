@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.circuits.circuit import Circuit
 from repro.circuits import gates as glib
+from repro.circuits.parameters import Parameter, ParameterExpression, ParametricGate
 from repro.circuits.pauli import pauli_exponential_circuit
 from repro.utils.validation import ValidationError
 
@@ -44,11 +45,19 @@ def givens_layer_pattern(num_qubits: int) -> List[List[Tuple[int, int]]]:
     return layers
 
 
-def _append_givens(circuit: Circuit, theta: float, pair: Tuple[int, int], native: bool) -> None:
-    """Append a Givens rotation on ``pair``, optionally decomposed into native gates."""
+def _append_givens(circuit: Circuit, theta, pair: Tuple[int, int], native: bool) -> None:
+    """Append a Givens rotation on ``pair``, optionally decomposed into native gates.
+
+    ``theta`` may be a float or a symbolic parameter/expression; the native
+    decomposition threads it into the ``Rz`` of each Pauli exponential, the
+    composite form wraps the ``givens`` factory in a ``ParametricGate``.
+    """
     a, b = pair
     if not native:
-        circuit.append(glib.Givens(theta), (a, b))
+        if isinstance(theta, (Parameter, ParameterExpression)):
+            circuit.append(ParametricGate("givens", (theta,)), (a, b))
+        else:
+            circuit.append(glib.Givens(theta), (a, b))
         return
     # G(θ) = exp(iθ (X⊗Y − Y⊗X)/2) = exp(-i(-θ)/2 · XY) · exp(-iθ/2 · YX);
     # the two Pauli exponentials commute, so the decomposition is exact.
@@ -63,6 +72,7 @@ def hf_circuit(
     num_occupied: int | None = None,
     seed: int | None = 11,
     native_gates: bool = True,
+    parametric: bool = False,
 ) -> Circuit:
     """Build the ``hf_N`` Hartree-Fock VQE benchmark circuit.
 
@@ -77,6 +87,10 @@ def hf_circuit(
         Seed for the Givens rotation angles.
     native_gates:
         Decompose Givens rotations into CNOT + rotations when True.
+    parametric:
+        Keep the Givens angles symbolic: rotation ``k`` (in append order)
+        uses the :class:`~repro.circuits.parameters.Parameter` ``theta{k}``,
+        so the circuit compiles once and binds per VQE iteration.
     """
     if num_qubits < 2:
         raise ValidationError("Hartree-Fock circuits need at least 2 qubits")
@@ -91,8 +105,12 @@ def hf_circuit(
     circuit = Circuit(num_qubits, name=f"hf_{num_qubits}")
     for qubit in range(num_occupied):
         circuit.x(qubit)
+    index = 0
     for pairs in givens_layer_pattern(num_qubits):
         for pair in pairs:
             theta = float(rng.uniform(-np.pi / 4.0, np.pi / 4.0))
+            if parametric:
+                theta = Parameter(f"theta{index}")
+            index += 1
             _append_givens(circuit, theta, pair, native_gates)
     return circuit

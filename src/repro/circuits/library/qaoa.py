@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.circuits.circuit import Circuit
 from repro.circuits import gates as glib
+from repro.circuits.parameters import Parameter
 from repro.utils.validation import ValidationError
 
 __all__ = [
@@ -96,6 +97,7 @@ def qaoa_problem_circuit(
     problem: QAOAProblem,
     native_gates: bool = True,
     hardware_prep: bool | None = None,
+    parametric: bool = False,
 ) -> Circuit:
     """Build the QAOA circuit for ``problem``.
 
@@ -107,6 +109,13 @@ def qaoa_problem_circuit(
     convenient in tests.  ``hardware_prep`` selects the hardware state
     preparation ``Ry(-π/2)·Rz(π/2)`` instead of a plain Hadamard layer and
     defaults to ``native_gates``.
+
+    With ``parametric=True`` the variational angles stay symbolic — round
+    ``r`` uses :class:`~repro.circuits.parameters.Parameter` symbols
+    ``gamma{r}`` / ``beta{r}`` instead of ``problem.gammas`` /
+    ``problem.betas`` — so the circuit can be compiled once and bound per
+    optimizer iteration (``Executable.bind``).  ``problem.gammas`` then
+    serve only as a natural initial point.
     """
     hardware_prep = native_gates if hardware_prep is None else hardware_prep
     circuit = Circuit(problem.num_qubits, name=f"qaoa_{problem.num_qubits}")
@@ -117,7 +126,11 @@ def qaoa_problem_circuit(
         else:
             circuit.h(qubit)
 
-    for gamma, beta in zip(problem.gammas, problem.betas):
+    gammas, betas = problem.gammas, problem.betas
+    if parametric:
+        gammas = tuple(Parameter(f"gamma{r}") for r in range(problem.rounds))
+        betas = tuple(Parameter(f"beta{r}") for r in range(problem.rounds))
+    for gamma, beta in zip(gammas, betas):
         for u, v, weight in problem.edges:
             angle = 2.0 * gamma * weight
             if native_gates:
@@ -143,11 +156,14 @@ def qaoa_circuit(
     seed: int | None = 7,
     native_gates: bool = True,
     graph: nx.Graph | None = None,
+    parametric: bool = False,
 ) -> Circuit:
     """Build the ``qaoa_N`` benchmark circuit for ``num_qubits`` qubits.
 
     A perfect-square qubit count produces the hardware-grid problem (matching
     qaoa_64 / qaoa_121 / qaoa_225 of the paper); other counts use a ring graph.
+    ``parametric=True`` keeps the per-round angles symbolic (``gamma{r}`` /
+    ``beta{r}``, see :func:`qaoa_problem_circuit`).
     """
     if num_qubits < 2:
         raise ValidationError("QAOA circuits need at least 2 qubits")
@@ -163,7 +179,7 @@ def qaoa_circuit(
             f"graph has {graph.number_of_nodes()} nodes but num_qubits={num_qubits}"
         )
     problem = _problem_from_graph(graph, rounds, rng)
-    circuit = qaoa_problem_circuit(problem, native_gates=native_gates)
+    circuit = qaoa_problem_circuit(problem, native_gates=native_gates, parametric=parametric)
     circuit.name = f"qaoa_{num_qubits}"
     return circuit
 

@@ -121,7 +121,13 @@ def fuse_gates(circuit: Circuit) -> Tuple[Circuit, int]:
                 seen.add(id(block))
                 overlapping.append(block)
 
-        if instruction.is_noise:
+        if instruction.is_noise or getattr(
+            instruction.operation, "is_parametric_gate", False
+        ):
+            # Parametric gates (bound or not) are barriers exactly like noise:
+            # fusing a bound value would break the structural identity every
+            # binding of one circuit must share, and the bind-equivalence
+            # guarantee needs passes to commute with substitution exactly.
             flush(overlapping)
             output.append(instruction)
             continue

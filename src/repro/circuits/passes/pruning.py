@@ -101,6 +101,14 @@ def _forward_sweep(
     kept: List[Instruction] = []
     removed = 0
     for instruction in instructions:
+        if getattr(instruction.operation, "is_parametric_gate", False):
+            # A parametric angle (even a bound one) is a value-dependent
+            # rewrite opportunity this pass must provably skip: keep the
+            # instruction and stop tracking its qubits' factors.
+            for qubit in instruction.qubits:
+                factors[qubit] = None
+            kept.append(instruction)
+            continue
         local = _local_state(factors, instruction.qubits)
         if local is None:
             for qubit in instruction.qubits:
@@ -140,6 +148,12 @@ def _backward_sweep(
     kept_reversed: List[Instruction] = []
     removed = 0
     for instruction in reversed(instructions):
+        if getattr(instruction.operation, "is_parametric_gate", False):
+            # Same barrier rule as the forward sweep (see above).
+            for qubit in instruction.qubits:
+                factors[qubit] = None
+            kept_reversed.append(instruction)
+            continue
         local = _local_state(factors, instruction.qubits)
         if local is None:
             for qubit in instruction.qubits:

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.circuits import gates as glib
 from repro.circuits.circuit import Circuit
+from repro.circuits.parameters import Parameter, ParameterExpression
 from repro.utils.linalg import kron_all
 from repro.utils.validation import ValidationError
 
@@ -82,6 +83,11 @@ def pauli_exponential_circuit(
     if not active:
         # exp(-i angle/2 I) is a global phase; represent it on qubit 0 so the
         # circuit still reproduces the exact matrix.
+        if isinstance(angle, (Parameter, ParameterExpression)):
+            raise ValidationError(
+                "an all-identity Pauli string needs a concrete angle "
+                "(a global phase has no parametric gate form)"
+            )
         circuit.append(glib.Gate("gphase", 1, np.exp(-1j * angle / 2) * np.eye(2)), (qubits[0],))
         return circuit
 

@@ -8,16 +8,29 @@ rejected on export.
 The goal is interoperability for the *ideal* benchmark circuits — e.g. dumping
 a generated QAOA circuit so it can be cross-checked in another simulator —
 not a full QASM toolchain.
+
+Parametric circuits round-trip symbolically: an *unbound*
+:class:`~repro.circuits.parameters.ParametricGate` serialises its linear
+expressions as text (``rz(2.0*gamma0+0.1) q[3];``) and parses back to an
+equal parametric gate.  A *bound* parametric gate serialises its evaluated
+literal angles — the binding is baked in and the symbolic identity is lost,
+which matches what any external QASM consumer would see anyway.
 """
 
 from __future__ import annotations
 
+import ast
 import math
 import re
 from typing import List
 
 from repro.circuits import gates as glib
 from repro.circuits.circuit import Circuit
+from repro.circuits.parameters import (
+    Parameter,
+    ParameterExpression,
+    ParametricGate,
+)
 from repro.utils.validation import ValidationError
 
 __all__ = ["to_qasm", "from_qasm", "QasmError"]
@@ -37,13 +50,21 @@ _NATIVE = {
 _QASM_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
 
 
-def _format_params(params) -> str:
+def _param_text(param) -> str:
     # repr() is the shortest string that round-trips the float exactly, so
     # parse -> emit -> parse is the identity (%.12g silently truncated the
     # mantissa, which the verify fuzz corpus surfaced as a round-trip drift).
+    # Symbolic expressions use their canonical structure key, whose
+    # coefficients are repr()s too, so they round-trip to an equal expression.
+    if isinstance(param, (Parameter, ParameterExpression)):
+        return param.structure_key()
+    return repr(float(param))
+
+
+def _format_params(params) -> str:
     if not params:
         return ""
-    return "(" + ",".join(repr(float(p)) for p in params) + ")"
+    return "(" + ",".join(_param_text(p) for p in params) + ")"
 
 
 def to_qasm(circuit: Circuit) -> str:
@@ -60,7 +81,7 @@ def to_qasm(circuit: Circuit) -> str:
                 (theta,) = params
                 a, b = inst.qubits
                 lines.append(f"cx q[{a}],q[{b}];")
-                lines.append(f"rz({float(theta)!r}) q[{b}];")
+                lines.append(f"rz({_param_text(theta)}) q[{b}];")
                 lines.append(f"cx q[{a}],q[{b}];")
                 continue
             if name == "sx":
@@ -83,16 +104,53 @@ _INSTR_RE = re.compile(
 _QREG_RE = re.compile(r"^qreg\s+(?P<name>\w+)\[(?P<size>\d+)\];$")
 
 
-def _eval_param(text: str) -> float:
-    """Evaluate a numeric QASM parameter expression (numbers, pi, + - * /)."""
-    allowed = set("0123456789.+-*/() epi")
-    expr = text.strip().replace("pi", str(math.pi))
-    if not set(expr) <= allowed:
-        raise QasmError(f"unsupported parameter expression {text!r}")
+def _eval_param(text: str):
+    """Parse a QASM parameter: arithmetic over numbers, ``pi``, and identifiers.
+
+    Purely numeric expressions evaluate to a float.  Expressions mentioning
+    identifiers other than ``pi`` build a linear
+    :class:`~repro.circuits.parameters.ParameterExpression` over those names
+    (``2.0*gamma0+0.1``); non-linear forms are rejected.
+    """
     try:
-        return float(eval(expr, {"__builtins__": {}}, {}))  # noqa: S307 - sanitised above
-    except Exception as exc:  # pragma: no cover - defensive
-        raise QasmError(f"could not evaluate parameter {text!r}") from exc
+        tree = ast.parse(text.strip(), mode="eval")
+    except SyntaxError as exc:
+        raise QasmError(f"cannot parse parameter {text!r}") from exc
+
+    def walk(node):
+        if isinstance(node, ast.Expression):
+            return walk(node.body)
+        if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+            return float(node.value)
+        if isinstance(node, ast.Name):
+            if node.id == "pi":
+                return math.pi
+            return Parameter(node.id)._expr()
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+            operand = walk(node.operand)
+            return -operand if isinstance(node.op, ast.USub) else operand
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.Add, ast.Sub, ast.Mult, ast.Div)
+        ):
+            left, right = walk(node.left), walk(node.right)
+            try:
+                if isinstance(node.op, ast.Add):
+                    return left + right
+                if isinstance(node.op, ast.Sub):
+                    return left - right
+                if isinstance(node.op, ast.Mult):
+                    return left * right
+                return left / right
+            except (ValidationError, ZeroDivisionError) as exc:
+                raise QasmError(f"unsupported parameter expression {text!r}") from exc
+        raise QasmError(f"unsupported parameter expression {text!r}")
+
+    value = walk(tree)
+    if isinstance(value, ParameterExpression):
+        if value.parameters:
+            return value
+        return float(value.const)
+    return float(value)
 
 
 def from_qasm(text: str) -> Circuit:
@@ -129,6 +187,9 @@ def from_qasm(text: str) -> Circuit:
         factory = glib.GATE_FACTORIES.get(name)
         if factory is None:
             raise QasmError(f"unknown gate {name!r}")
+        if any(isinstance(p, ParameterExpression) for p in params):
+            circuit.append(ParametricGate(name, params), qubits)
+            continue
         gate = factory(*params) if params else factory()
         circuit.append(gate, qubits)
     return circuit

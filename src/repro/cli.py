@@ -48,7 +48,12 @@ __all__ = ["main", "build_parser"]
 
 
 def _make_noisy_circuit(args) -> object:
-    circuit = benchmark_circuit(args.circuit, seed=args.seed, native_gates=not args.composite_gates)
+    circuit = benchmark_circuit(
+        args.circuit,
+        seed=args.seed,
+        native_gates=not args.composite_gates,
+        parametric=getattr(args, "parametric", False),
+    )
     if args.noises <= 0:
         return circuit
     return apply_noise(
@@ -62,15 +67,53 @@ def _make_noisy_circuit(args) -> object:
     )
 
 
+def _resolve_binding(circuit, args) -> dict:
+    """Parse ``--param name=value`` flags and check them against the circuit.
+
+    Fails fast (before any compile) when parameters are missing or the flags
+    are malformed, so both ``simulate`` and ``compare`` report one clear
+    error instead of a per-backend failure table.
+    """
+    from repro.circuits.parameters import circuit_parameters
+    from repro.utils.validation import ValidationError
+
+    binding = {}
+    for entry in getattr(args, "param", None) or []:
+        name, sep, value = entry.partition("=")
+        if not sep or not name:
+            raise ValidationError(f"--param expects NAME=VALUE, got {entry!r}")
+        try:
+            binding[name] = float(value)
+        except ValueError as exc:
+            raise ValidationError(f"--param {name}: invalid value {value!r}") from exc
+    free = sorted(circuit_parameters(circuit))
+    if binding and not free:
+        raise ValidationError(
+            "--param given but the circuit has no free parameters "
+            "(use --parametric with a qaoa_N or hf_N benchmark)"
+        )
+    missing = sorted(set(free) - set(binding))
+    if missing:
+        raise ValidationError(
+            f"circuit has free parameters {free}; bind them with "
+            f"--param name=value (missing: {', '.join(missing)})"
+        )
+    return binding
+
+
 def _cmd_simulate(args) -> int:
     import time
 
     circuit = _make_noisy_circuit(args)
+    binding = _resolve_binding(circuit, args)
     print(circuit.summary())
     passes = not args.no_passes
     with Session(passes=passes, device=args.device) as session:
         start = time.perf_counter()
         executable = session.compile(circuit, backend="approximation", level=args.level)
+        if binding:
+            # Structure-dependent work is done; bind swaps in the values.
+            executable = executable.bind(binding)
         compile_seconds = time.perf_counter() - start
         pass_info = executable.describe().get("passes") or {}
         stats = pass_info.get("stats")
@@ -98,10 +141,16 @@ def _cmd_simulate(args) -> int:
                 assert repeat.value == result.value  # bit-identical serving
             cached = (time.perf_counter() - cached_start) / (args.repeat - 1)
             # Cold path: what each request costs when every call recompiles.
+            if binding:
+                from repro.circuits.parameters import substitute
+
+                cold_circuit = substitute(circuit, binding)
+            else:
+                cold_circuit = circuit
             with Session(plan_cache_size=0, passes=passes, device=args.device) as cold:
                 uncached_start = time.perf_counter()
                 for _ in range(args.repeat - 1):
-                    cold.run(circuit, backend="approximation", level=args.level)
+                    cold.run(cold_circuit, backend="approximation", level=args.level)
                 uncached = (time.perf_counter() - uncached_start) / (args.repeat - 1)
             print(f"\nrepeated execution x{args.repeat} (compile once, then run):")
             print(f"  per call, compiled   = {cached:.4f} s")
@@ -112,6 +161,7 @@ def _cmd_simulate(args) -> int:
 
 def _cmd_compare(args) -> int:
     circuit = _make_noisy_circuit(args)
+    binding = _resolve_binding(circuit, args)
     print(circuit.summary())
     names = resolve_backends(args.backends, circuit)
     if not names:
@@ -142,6 +192,8 @@ def _cmd_compare(args) -> int:
                     seed=args.seed,
                     workers=args.workers,
                 )
+                if binding:
+                    executable = executable.bind(binding)
                 future = executable.submit()
             except Exception as exc:  # noqa: BLE001 - report and continue
                 futures.append((name, stochastic, None, None, exc))
@@ -489,6 +541,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "noise folding, lightcone pruning)")
         sub.add_argument("--composite-gates", action="store_true",
                          help="use composite gates (ZZ/Givens) instead of the native decomposition")
+        sub.add_argument("--parametric", action="store_true",
+                         help="build the benchmark with symbolic parameters "
+                              "(qaoa_N / hf_N); bind them with --param")
+        sub.add_argument("--param", action="append", metavar="NAME=VALUE",
+                         help="bind one parameter of a --parametric circuit "
+                              "(repeatable, e.g. --param gamma0=0.3)")
         sub.add_argument("--device", default=None,
                          help="execution device for device-capable backends "
                               "(cpu, fake_gpu, cuda, auto; default: REPRO_DEVICE or cpu)")

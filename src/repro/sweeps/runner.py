@@ -250,6 +250,10 @@ class SweepRunner:
                 backend_options=cell.backend.options,
                 task=task,
             )
+            if cell.params:
+                # All bindings of a row share the parent's cached plan: the
+                # params axis costs one plan search, then one bind per cell.
+                executable = executable.bind(dict(cell.params))
             # One-shot semantics for the record: a cache miss bills its
             # compile time into elapsed_seconds (what this cell actually
             # cost), a hit records the pure serving cost.

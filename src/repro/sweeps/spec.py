@@ -106,6 +106,7 @@ class CircuitSpec:
     seed: int | None = None
     native_gates: bool = True
     family: str | None = None
+    parametric: bool = False
 
     @classmethod
     def parse(cls, entry: Any) -> "CircuitSpec":
@@ -114,16 +115,28 @@ class CircuitSpec:
                 return cls(qasm=entry)
             return cls(name=entry)
         entry = _require_mapping(entry, "circuit entry")
-        _check_keys(entry, ("name", "qasm", "seed", "native_gates", "family"), "circuit")
+        _check_keys(
+            entry,
+            ("name", "qasm", "seed", "native_gates", "family", "parametric"),
+            "circuit",
+        )
         spec = cls(
             name=entry.get("name"),
             qasm=entry.get("qasm"),
             seed=None if entry.get("seed") is None else int(entry["seed"]),
             native_gates=bool(entry.get("native_gates", True)),
             family=entry.get("family"),
+            parametric=bool(entry.get("parametric", False)),
         )
         if (spec.name is None) == (spec.qasm is None):
             raise ValidationError("a circuit entry needs exactly one of 'name' or 'qasm'")
+        if spec.parametric and spec.qasm is not None:
+            # QASM files carry their own symbols (rz(2.0*gamma0) parses to a
+            # parametric gate); the flag only drives the library builders.
+            raise ValidationError(
+                "'parametric' applies to named benchmark circuits only; QASM "
+                "files are parametric when they contain symbolic parameters"
+            )
         return spec
 
     @property
@@ -145,7 +158,12 @@ class CircuitSpec:
             circuit.name = self.label
             return circuit
         seed = default_seed if self.seed is None else self.seed
-        return benchmark_circuit(self.name, seed=seed, native_gates=self.native_gates)
+        return benchmark_circuit(
+            self.name,
+            seed=seed,
+            native_gates=self.native_gates,
+            parametric=self.parametric,
+        )
 
 
 @dataclass(frozen=True)
@@ -231,13 +249,21 @@ class BackendSpec:
         return cls(name=canonical, label=str(entry.get("label") or canonical), options=options)
 
 
+def _params_label(params: Tuple[Tuple[str, float], ...]) -> str:
+    """Stable reporting label of one ``params`` axis entry (sorted by name)."""
+    return ",".join(f"{name}={value:g}" for name, value in params)
+
+
 @dataclass(frozen=True)
 class SweepCell:
     """One grid point: (circuit, noise, backend, level, samples) plus its seed.
 
     ``seed`` is derived from the spec seed and the cell's identity via
     :func:`stable_seed`; it drives the stochastic backends through
-    :meth:`task`.
+    :meth:`task`.  ``params`` is one binding of the ``params`` grid axis (a
+    sorted name/value tuple; empty for non-parametric sweeps): the runner
+    compiles the parametric circuit once per row and serves each binding via
+    :meth:`repro.api.Executable.bind` — one plan search for the whole axis.
     """
 
     circuit: CircuitSpec
@@ -246,14 +272,20 @@ class SweepCell:
     level: int
     samples: int
     seed: int
+    params: Tuple[Tuple[str, float], ...] = ()
 
     @property
     def cell_id(self) -> str:
         """Stable identifier used as the JSONL resume key."""
-        return (
+        base = (
             f"{self.circuit.label}/{self.noise.label}/{self.backend.label}"
             f"/level={self.level}/samples={self.samples}"
         )
+        if self.params:
+            # Appended only for parametric cells, so pre-existing sweep files
+            # (whose ids never mentioned params) keep resuming cleanly.
+            base += f"/params={_params_label(self.params)}"
+        return base
 
     def task(
         self,
@@ -281,7 +313,7 @@ class SweepCell:
 
     def record_params(self) -> Dict[str, Any]:
         """The deterministic cell parameters stored in each JSONL record."""
-        return {
+        record = {
             "circuit": self.circuit.label,
             "family": self.circuit.family,
             "noise": self.noise.label,
@@ -291,6 +323,9 @@ class SweepCell:
             "samples": self.samples,
             "seed": self.seed,
         }
+        if self.params:
+            record["params"] = dict(self.params)
+        return record
 
 
 @dataclass(frozen=True)
@@ -310,15 +345,22 @@ class SweepSpec:
     backends: Tuple[BackendSpec, ...] = ()
     levels: Tuple[int, ...] = (1,)
     samples: Tuple[int, ...] = (1000,)
+    #: Entries of the ``params`` axis: one sorted name/value binding per
+    #: entry.  The default single empty binding keeps non-parametric grids
+    #: identical to the pre-params expansion.
+    params: Tuple[Tuple[Tuple[str, float], ...], ...] = ((),)
     base_dir: Path | None = None
 
     def cells(self) -> List[SweepCell]:
         """Expand the grid into its deterministic cell list."""
         cells = []
-        for circuit, noise, backend, level, num_samples in itertools.product(
-            self.circuits, self.noises, self.backends, self.levels, self.samples
+        for circuit, noise, backend, level, num_samples, params in itertools.product(
+            self.circuits, self.noises, self.backends, self.levels, self.samples,
+            self.params,
         ):
-            cell = SweepCell(circuit, noise, backend, level, num_samples, seed=0)
+            cell = SweepCell(
+                circuit, noise, backend, level, num_samples, seed=0, params=params
+            )
             cells.append(
                 dataclasses.replace(
                     cell, seed=stable_seed(self.seed, "cell", cell.cell_id)
@@ -350,6 +392,9 @@ class SweepSpec:
                     "seed": c.seed,
                     "native_gates": c.native_gates,
                     "family": c.family,
+                    # Emitted only when set, keeping pre-params spec hashes
+                    # (which never mentioned the key) stable on resume.
+                    **({"parametric": True} if c.parametric else {}),
                 }
                 for c in self.circuits
             ],
@@ -369,6 +414,10 @@ class SweepSpec:
             "level": list(self.levels),
             "samples": list(self.samples),
         }
+        if self.params != ((),):
+            # Emitted only for parametric grids, so pre-params spec hashes
+            # (which never mentioned the axis) remain stable for resumes.
+            payload["grid"]["params"] = [dict(binding) for binding in self.params]
         return payload
 
     def spec_hash(self) -> str:
@@ -388,7 +437,7 @@ _SPEC_KEYS = (
     "device",
     "grid",
 )
-_GRID_KEYS = ("circuit", "noise", "backend", "level", "samples")
+_GRID_KEYS = ("circuit", "noise", "backend", "level", "samples", "params")
 
 
 def _parse_spec(data: Mapping, base_dir: Path | None) -> SweepSpec:
@@ -414,12 +463,37 @@ def _parse_spec(data: Mapping, base_dir: Path | None) -> SweepSpec:
     if any(count <= 0 for count in samples):
         raise ValidationError("sample counts must be positive")
 
+    params_entries = _as_list(grid.get("params"))
+    params: Tuple[Tuple[Tuple[str, float], ...], ...] = ((),)
+    if params_entries:
+        bindings = []
+        for entry in params_entries:
+            entry = _require_mapping(entry, "params entry")
+            if not entry:
+                raise ValidationError(
+                    "a params entry must bind at least one parameter "
+                    "(omit the axis for non-parametric sweeps)"
+                )
+            bindings.append(
+                tuple(sorted((str(name), float(value)) for name, value in entry.items()))
+            )
+        params = tuple(bindings)
+        # QASM entries may carry symbols that only surface at load time, so
+        # the axis is rejected here only when no entry could be parametric.
+        if not any(c.parametric or c.qasm is not None for c in circuits):
+            raise ValidationError(
+                "a 'params' axis needs at least one parametric circuit entry "
+                "(set parametric: true on a named benchmark, or load a QASM "
+                "file with symbolic parameters)"
+            )
+
     # Axis labels are the cell-id / cache / resume keys, so duplicates would
     # silently alias distinct grid points onto one record.
     for axis, entries in (
         ("backend", [b.label for b in backends]),
         ("circuit", [c.label for c in circuits]),
         ("noise", [n.label for n in noises]),
+        ("params", [_params_label(binding) for binding in params if binding]),
     ):
         duplicates = sorted({label for label in entries if entries.count(label) > 1})
         if duplicates:
@@ -435,6 +509,14 @@ def _parse_spec(data: Mapping, base_dir: Path | None) -> SweepSpec:
     if output_state not in _OUTPUT_STATES:
         raise ValidationError(
             f"output_state must be one of {', '.join(_OUTPUT_STATES)}, got {output_state!r}"
+        )
+    if output_state == "ideal" and any(c.parametric for c in circuits):
+        # The ideal output state depends on the parameter values, so a
+        # value-free compile cannot produce it; fail at parse time instead of
+        # per cell.
+        raise ValidationError(
+            "output_state: ideal is incompatible with parametric circuit "
+            "entries (the ideal state depends on the bound parameter values)"
         )
     device = None if data.get("device") is None else str(data["device"])
     if device is not None and device not in KNOWN_DEVICES:
@@ -458,6 +540,7 @@ def _parse_spec(data: Mapping, base_dir: Path | None) -> SweepSpec:
         backends=backends,
         levels=levels,
         samples=samples,
+        params=params,
         base_dir=base_dir,
     )
 

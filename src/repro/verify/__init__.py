@@ -12,7 +12,9 @@ against metamorphic oracles —
 * noise-count monotonicity of the TVD from the noiseless value under stacked
   depolarizing noise;
 * seed determinism of the stochastic backends across worker counts;
-* Pauli-observable agreement between the dense and tensor-network engines.
+* Pauli-observable agreement between the dense and tensor-network engines;
+* bind equivalence: ``compile(c).bind(p)`` is bit-identical to compiling the
+  substituted circuit in an independent session with no plan cache.
 
 Any failing case is shrunk to a minimal reproducing circuit
 (:mod:`repro.verify.shrink`) and written out as a replayable JSON artifact
@@ -38,6 +40,7 @@ from repro.verify.generators import (
 )
 from repro.verify.oracles import (
     DEFAULT_ORACLES,
+    BindEquivalence,
     CrossBackendAgreement,
     NoiseMonotonicity,
     ObservableAgreement,
@@ -45,6 +48,7 @@ from repro.verify.oracles import (
     SeedDeterminism,
     TranspileInvariance,
     Violation,
+    parametrize_circuit,
 )
 from repro.verify.runner import (
     ConformanceReport,
@@ -67,6 +71,8 @@ __all__ = [
     "NoiseMonotonicity",
     "SeedDeterminism",
     "ObservableAgreement",
+    "BindEquivalence",
+    "parametrize_circuit",
     "DEFAULT_ORACLES",
     "shrink_circuit",
     "compact_qubits",

@@ -26,6 +26,7 @@ import numpy as np
 from repro.circuits import gates as glib
 from repro.circuits.circuit import Circuit
 from repro.circuits.gates import Gate
+from repro.circuits.parameters import ParameterExpression, ParametricGate
 from repro.noise.kraus import KrausChannel
 from repro.utils.validation import ValidationError
 
@@ -61,9 +62,23 @@ def circuit_to_dict(circuit: Circuit) -> Dict[str, Any]:
     """
     instructions = []
     for inst in circuit:
-        if inst.is_gate:
-            gate = inst.operation
+        if getattr(inst.operation, "is_parametric_gate", False):
+            pgate = inst.operation
             entry: Dict[str, Any] = {
+                "kind": "pgate",
+                "name": pgate.name,
+                "qubits": list(inst.qubits),
+                "expressions": [
+                    {"terms": [[name, coeff] for name, coeff in expr.terms],
+                     "const": expr.const}
+                    for expr in pgate.expressions
+                ],
+                "binding": dict(pgate.binding),
+                "offsets": list(pgate.offsets),
+            }
+        elif inst.is_gate:
+            gate = inst.operation
+            entry = {
                 "kind": "gate",
                 "name": gate.name,
                 "qubits": list(inst.qubits),
@@ -104,6 +119,20 @@ def circuit_from_dict(payload: Mapping[str, Any]) -> Circuit:
                 if factory is None:
                     raise ValidationError(f"artifact names unknown gate {name!r}")
                 operation = factory(*params)
+        elif kind == "pgate":
+            expressions = [
+                ParameterExpression(
+                    [(str(name), float(coeff)) for name, coeff in spec["terms"]],
+                    float(spec.get("const", 0.0)),
+                )
+                for spec in entry["expressions"]
+            ]
+            operation = ParametricGate(
+                str(entry["name"]),
+                expressions,
+                binding={str(k): float(v) for k, v in entry.get("binding", {}).items()},
+                offsets=tuple(float(o) for o in entry.get("offsets", ())) or None,
+            )
         elif kind == "noise":
             operation = KrausChannel(
                 [_matrix_from_lists(rows) for rows in entry["kraus"]],

@@ -25,8 +25,15 @@ import numpy as np
 from repro.api import Session
 from repro.backends import get_backend
 from repro.backends.registry import backend_names
+from repro.circuits import gates as glib
 from repro.circuits.circuit import Circuit
 from repro.circuits.observables import PauliObservable
+from repro.circuits.parameters import (
+    Parameter,
+    ParametricGate,
+    circuit_parameters,
+    substitute,
+)
 from repro.circuits.transpile import decompose_to_native, merge_single_qubit_gates
 from repro.noise import depolarizing_channel
 from repro.sweeps.spec import stable_seed
@@ -35,6 +42,7 @@ from repro.verify.generators import Workload
 
 __all__ = [
     "DEFAULT_ORACLES",
+    "BindEquivalence",
     "CrossBackendAgreement",
     "NoiseMonotonicity",
     "ObservableAgreement",
@@ -42,6 +50,7 @@ __all__ = [
     "SeedDeterminism",
     "TranspileInvariance",
     "Violation",
+    "parametrize_circuit",
 ]
 
 
@@ -540,6 +549,144 @@ class ObservableAgreement(Oracle):
         return self._deviation(circuit, observable) > self.tolerance
 
 
+def _parametrizable(circuit: Circuit) -> List[int]:
+    """Indices of gates a :class:`Parameter` can replace (one-angle factories)."""
+    return [
+        index
+        for index, inst in enumerate(circuit)
+        if inst.is_gate
+        and not getattr(inst.operation, "is_parametric_gate", False)
+        and inst.operation.name in glib.GATE_FACTORIES
+        and len(inst.operation.params) == 1
+    ]
+
+
+def parametrize_circuit(circuit: Circuit, rng: np.random.Generator):
+    """Lift a random subset of one-angle gates into symbolic parameters.
+
+    Each chosen gate ``g(θ)`` becomes ``g(c·p_j)`` for a fresh parameter
+    ``p_j`` and a nonzero seeded coefficient ``c``, with ``binding[p_j] =
+    θ/c`` — so the bound circuit evaluates the *same expression* the
+    substitute path does, and any value drift between the two execution
+    paths is a planner/binding bug, not floating-point re-association.
+
+    Returns ``(parametric_circuit, binding)``; ``(None, {})`` when the
+    circuit has no parametrizable gate.
+    """
+    eligible = _parametrizable(circuit)
+    if not eligible:
+        return None, {}
+    chosen = {index for index in eligible if rng.random() < 0.5}
+    if not chosen:
+        chosen = {eligible[int(rng.integers(len(eligible)))]}
+    parametric = Circuit(circuit.num_qubits, name=f"{circuit.name}_parametric")
+    binding: Dict[str, float] = {}
+    slot = 0
+    for index, inst in enumerate(circuit):
+        if index in chosen:
+            angle = float(inst.operation.params[0])
+            coeff = float(rng.uniform(0.5, 2.0))
+            name = f"p{slot}"
+            parametric.append(
+                ParametricGate(inst.operation.name, (coeff * Parameter(name),)),
+                inst.qubits,
+            )
+            binding[name] = angle / coeff
+            slot += 1
+        else:
+            parametric.append(inst.operation, inst.qubits)
+    return parametric, binding
+
+
+class BindEquivalence(Oracle):
+    """``compile(c).bind(p)`` is bit-identical to ``compile(substitute(c, p))``.
+
+    A parametric plan is a value-free template: binding swaps tensor values
+    while reusing the recorded contraction schedule, noise decompositions
+    and sampling distributions.  Both paths evaluate the same expressions on
+    the same binding with the same explicit seed, so every backend must
+    return the exact same float — the tolerance is zero.
+
+    The reference path runs in an *independent* session with the plan cache
+    disabled: in the shared session the substituted circuit shares the
+    parametric circuit's structural fingerprint and would silently reuse the
+    very plan under test.  Stochastic backends are pinned to ``workers=1``
+    in both paths so the trajectory schedule is identical.
+    """
+
+    name = "bind_equivalence"
+
+    def __init__(self, backends: Sequence[str] | None = None) -> None:
+        self.backends = None if backends is None else list(backends)
+
+    def _names(self, circuit: Circuit) -> List[str]:
+        names = self.backends if self.backends is not None else backend_names()
+        return [name for name in names if _supported(name, circuit)]
+
+    def applies(self, workload: Workload) -> bool:
+        circuit = workload.noisy_circuit()
+        return bool(_parametrizable(circuit)) and bool(self._names(circuit))
+
+    def _deviation(
+        self, parametric: Circuit, binding: Dict[str, float], name: str,
+        session: Session, samples: int, seed: int, level: int,
+    ) -> float:
+        workers = 1 if get_backend(name).capabilities.stochastic else None
+        bound = (
+            session.compile(
+                parametric, backend=name, samples=samples, seed=seed,
+                level=level, workers=workers,
+            )
+            .bind(binding)
+            .run()
+            .value
+        )
+        with Session(
+            plan_cache_size=0, passes=session.passes, device=session.device
+        ) as independent:
+            reference = independent.run(
+                substitute(parametric, binding), backend=name, samples=samples,
+                seed=seed, level=level, workers=workers,
+            ).value
+        return abs(bound - reference)
+
+    def check(self, workload: Workload, session: Session) -> List[Violation]:
+        circuit = workload.noisy_circuit()
+        rng = np.random.default_rng(stable_seed(workload.seed, "bind"))
+        parametric, binding = parametrize_circuit(circuit, rng)
+        if parametric is None:
+            return []
+        violations = []
+        for name in self._names(circuit):
+            deviation = self._deviation(
+                parametric, binding, name, session,
+                workload.samples, workload.seed, workload.level,
+            )
+            if deviation > 0.0:
+                violations.append(
+                    self._violation(
+                        workload, parametric, deviation, 0.0,
+                        backend=name, binding=binding,
+                        samples=workload.samples, seed=workload.seed,
+                        level=workload.level,
+                    )
+                )
+        return violations
+
+    def violates(self, circuit: Circuit, details: Dict[str, Any], session: Session) -> bool:
+        binding = {str(key): float(value) for key, value in details["binding"].items()}
+        free = circuit_parameters(circuit)
+        if not free or not free <= set(binding):
+            return False
+        if not _supported(details["backend"], substitute(circuit, binding)):
+            return False
+        deviation = self._deviation(
+            circuit, binding, details["backend"], session,
+            details["samples"], details["seed"], details["level"],
+        )
+        return deviation > 0.0
+
+
 def _observable_to_list(observable: PauliObservable) -> List[Any]:
     """JSON form: ``[[coefficient, {qubit: label}], ...]``."""
     return [
@@ -564,4 +711,5 @@ def DEFAULT_ORACLES() -> List[Oracle]:
         NoiseMonotonicity(),
         SeedDeterminism(),
         ObservableAgreement(),
+        BindEquivalence(),
     ]

@@ -1,0 +1,172 @@
+"""Parameter-shift gradients: analytic closed forms, finite differences,
+worker-count determinism, and eligibility validation."""
+
+import math
+
+import pytest
+
+from repro.api import Session
+from repro.api.executable import PARAMETER_SHIFT_GATES
+from repro.circuits.circuit import Circuit
+from repro.circuits.library import qaoa_circuit
+from repro.circuits.observables import PauliObservable
+from repro.circuits.parameters import (
+    Parameter,
+    ParametricGate,
+    UnboundParameterError,
+    circuit_parameters,
+    substitute,
+)
+from repro.utils.validation import ValidationError
+
+
+def _single_gate_circuit(gate_name, expression):
+    circuit = Circuit(1)
+    circuit.append(ParametricGate(gate_name, (expression,)), (0,))
+    return circuit
+
+
+def _binding_for(circuit, offset=0.0):
+    return {
+        name: 0.3 + 0.17 * index + offset
+        for index, name in enumerate(sorted(circuit_parameters(circuit)))
+    }
+
+
+class TestAnalyticForms:
+    @pytest.mark.parametrize("theta", [0.3, 1.1, -0.7])
+    def test_rx_fidelity_gradient(self, theta):
+        # F(θ) = |<0|rx(θ)|0>|² = cos²(θ/2)  →  dF/dθ = -sin(θ)/2, and the
+        # two-term shift rule reproduces it exactly (not just to O(θ²)).
+        circuit = _single_gate_circuit("rx", Parameter("theta"))
+        with Session() as session:
+            grad = session.compile(circuit, backend="tn").gradient({"theta": theta})
+        assert grad["theta"] == pytest.approx(-math.sin(theta) / 2.0, abs=1e-12)
+
+    @pytest.mark.parametrize("theta", [0.4, 2.0])
+    def test_chain_rule_through_scaled_angle(self, theta):
+        # rx(2θ): F = cos²(θ)  →  dF/dθ = -sin(2θ).
+        circuit = _single_gate_circuit("rx", 2.0 * Parameter("theta"))
+        with Session() as session:
+            grad = session.compile(circuit, backend="tn").gradient({"theta": theta})
+        assert grad["theta"] == pytest.approx(-math.sin(2.0 * theta), abs=1e-12)
+
+    @pytest.mark.parametrize("theta", [0.25, 1.7])
+    def test_observable_gradient_matches_closed_form(self, theta):
+        # <Z₀> of ry(θ)|0> = cos(θ)  →  d<Z>/dθ = -sin(θ).
+        circuit = _single_gate_circuit("ry", Parameter("theta"))
+        observable = PauliObservable().add_term(1.0, {0: "Z"})
+        with Session() as session:
+            grad = session.compile(circuit, backend="tn").gradient(
+                {"theta": theta}, observable=observable
+            )
+        assert grad["theta"] == pytest.approx(-math.sin(theta), abs=1e-12)
+
+    def test_shared_parameter_accumulates_over_occurrences(self):
+        # Two rx(θ) gates on one qubit compose to rx(2θ): the per-occurrence
+        # partials must sum to the composite gate's derivative.
+        theta = 0.6
+        circuit = Circuit(1)
+        circuit.append(ParametricGate("rx", (Parameter("theta"),)), (0,))
+        circuit.append(ParametricGate("rx", (Parameter("theta"),)), (0,))
+        with Session() as session:
+            grad = session.compile(circuit, backend="tn").gradient({"theta": theta})
+        assert grad["theta"] == pytest.approx(-math.sin(2.0 * theta), abs=1e-12)
+
+
+class TestFiniteDifferences:
+    def test_qaoa_gradient_matches_central_differences(self):
+        parametric = qaoa_circuit(4, seed=7, native_gates=False, parametric=True)
+        params = _binding_for(parametric)
+        eps = 1e-5
+        with Session(seed=3) as session:
+            executable = session.compile(parametric, backend="tn", seed=11)
+            grad = executable.gradient(params)
+
+            def objective(binding):
+                return executable.bind(binding).run().value
+
+            for name in params:
+                plus = dict(params, **{name: params[name] + eps})
+                minus = dict(params, **{name: params[name] - eps})
+                fd = (objective(plus) - objective(minus)) / (2.0 * eps)
+                assert grad[name] == pytest.approx(fd, abs=1e-6), name
+
+
+class TestDeterminism:
+    def test_gradient_bit_identical_across_worker_counts(self):
+        from repro.api import apply_noise
+
+        parametric = apply_noise(
+            qaoa_circuit(4, seed=7, native_gates=False, parametric=True),
+            {"channel": "depolarizing", "parameter": 0.02, "count": 2, "seed": 5},
+        )
+        params = _binding_for(parametric)
+        gradients = []
+        for workers in (1, 2):
+            with Session(seed=9) as session:
+                executable = session.compile(
+                    parametric, backend="trajectories", samples=64,
+                    seed=21, workers=workers,
+                )
+                gradients.append(executable.gradient(params))
+        assert gradients[0] == gradients[1]
+
+    def test_repeated_gradient_is_bit_identical(self):
+        parametric = qaoa_circuit(4, seed=7, native_gates=False, parametric=True)
+        params = _binding_for(parametric)
+        with Session(seed=3) as session:
+            executable = session.compile(parametric, backend="tn", seed=11)
+            assert executable.gradient(params) == executable.gradient(params)
+
+    def test_shifted_evaluations_replay_the_compiled_plan(self):
+        parametric = qaoa_circuit(4, seed=7, native_gates=False, parametric=True)
+        params = _binding_for(parametric)
+        with Session(seed=3) as session:
+            executable = session.compile(parametric, backend="tn", seed=11)
+            executable.gradient(params)
+            stats = session.cache_stats()
+        # One compile-time miss; every ±π/2 evaluation is a cache hit because
+        # shift offsets are excluded from the structural fingerprint.
+        assert stats["misses"] == 1
+        assert stats["hits"] > 0
+
+
+class TestValidation:
+    def test_unsupported_gate_has_no_shift_rule(self):
+        circuit = Circuit(2)
+        circuit.append(ParametricGate("givens", (Parameter("theta"),)), (0, 1))
+        assert "givens" not in PARAMETER_SHIFT_GATES
+        with Session() as session:
+            executable = session.compile(circuit, backend="tn")
+            with pytest.raises(ValidationError, match="parameter-shift"):
+                executable.gradient({"theta": 0.3})
+
+    def test_gradient_requires_full_binding(self):
+        parametric = qaoa_circuit(4, seed=7, native_gates=False, parametric=True)
+        with Session() as session:
+            executable = session.compile(parametric, backend="tn")
+            with pytest.raises(UnboundParameterError):
+                executable.gradient({"gamma0": 0.1})
+
+    def test_bound_executable_delegates_gradient(self):
+        parametric = qaoa_circuit(4, seed=7, native_gates=False, parametric=True)
+        params = _binding_for(parametric)
+        with Session(seed=3) as session:
+            executable = session.compile(parametric, backend="tn", seed=11)
+            bound = executable.bind(params)
+            assert bound.gradient(params) == executable.gradient(params)
+
+    def test_literal_gates_do_not_contribute(self):
+        # Bound-value gates (no free parameter) are skipped, including ones
+        # outside the shift set: only *free* occurrences need a rule.
+        circuit = Circuit(2)
+        circuit.append(
+            ParametricGate("givens", (Parameter("phi"),)).bind({"phi": 0.2}), (0, 1)
+        )
+        circuit.append(ParametricGate("rx", (Parameter("theta"),)), (0,))
+        with Session() as session:
+            executable = session.compile(circuit, backend="tn")
+            grad = executable.gradient({"theta": 0.4})
+        # The gate-level binding removed phi from the free set entirely.
+        assert set(grad) == {"theta"}

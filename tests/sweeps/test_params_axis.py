@@ -1,0 +1,99 @@
+"""The ``params`` grid axis: parsing, cell identity, and one-compile-per-row
+execution through ``Executable.bind``."""
+
+import pytest
+
+from repro.sweeps.runner import run_sweep
+from repro.sweeps.spec import load_spec
+from repro.utils.validation import ValidationError
+
+
+def _spec(**overrides):
+    data = {
+        "name": "params_axis",
+        "seed": 7,
+        "grid": {
+            "circuit": [{"name": "qaoa_4", "parametric": True, "native_gates": False}],
+            "backend": ["tn"],
+            "params": [
+                {"gamma0": 0.4, "beta0": 0.3},
+                {"gamma0": 0.9, "beta0": 0.1},
+                {"gamma0": 0.4, "beta0": 0.8},
+            ],
+        },
+    }
+    data.update(overrides)
+    return data
+
+
+class TestParsing:
+    def test_cells_expand_over_bindings_with_stable_ids(self):
+        spec = load_spec(_spec())
+        cells = spec.cells()
+        assert len(cells) == 3
+        assert cells[0].cell_id.endswith("/params=beta0=0.3,gamma0=0.4")
+        assert len({cell.cell_id for cell in cells}) == 3
+
+    def test_nonparametric_grid_ids_are_unchanged(self):
+        # Omitting the axis must not perturb pre-params cell ids or spec
+        # hashes (resume compatibility with recorded sweeps).
+        data = _spec()
+        del data["grid"]["params"]
+        data["grid"]["circuit"] = ["ghz_2"]
+        spec = load_spec(data)
+        assert "params" not in spec.cells()[0].cell_id
+        assert "params" not in spec.to_dict()["grid"]
+
+    def test_params_axis_requires_a_parametric_circuit(self):
+        data = _spec()
+        data["grid"]["circuit"] = ["ghz_2"]
+        with pytest.raises(ValidationError, match="parametric circuit"):
+            load_spec(data)
+
+    def test_empty_binding_rejected(self):
+        data = _spec()
+        data["grid"]["params"] = [{}]
+        with pytest.raises(ValidationError, match="at least one parameter"):
+            load_spec(data)
+
+    def test_duplicate_bindings_rejected(self):
+        data = _spec()
+        data["grid"]["params"] = [{"gamma0": 0.4}, {"gamma0": 0.4}]
+        with pytest.raises(ValidationError, match="unique"):
+            load_spec(data)
+
+    def test_round_trip_preserves_the_axis(self):
+        spec = load_spec(_spec())
+        again = load_spec(spec.to_dict())
+        assert again.params == spec.params
+        assert again.spec_hash() == spec.spec_hash()
+
+
+class TestExecution:
+    def test_row_compiles_once_and_binds_per_cell(self, tmp_path):
+        spec = load_spec(_spec())
+        result = run_sweep(spec, out_path=tmp_path / "params.jsonl")
+        assert [record["status"] for record in result.records] == ["ok"] * 3
+        # One plan search for the whole row: the first cell's compile is the
+        # only miss; the other two compiles and all three bind lookups hit.
+        assert result.plan_cache["misses"] == 1
+        assert result.plan_cache["hits"] == 5
+        values = {
+            record["cell_id"]: record["value"] for record in result.records
+        }
+        assert len(set(values.values())) == 3
+        for record in result.records:
+            assert record["params"] in (
+                {"beta0": 0.3, "gamma0": 0.4},
+                {"beta0": 0.1, "gamma0": 0.9},
+                {"beta0": 0.8, "gamma0": 0.4},
+            )
+
+    def test_resume_skips_recorded_bindings(self, tmp_path):
+        spec = load_spec(_spec())
+        out = tmp_path / "resume.jsonl"
+        first = run_sweep(spec, out_path=out, max_cells=2)
+        assert first.executed == 2
+        second = run_sweep(spec, out_path=out)
+        assert second.skipped == 2 and second.executed == 1
+        assert len(second.records) == 3

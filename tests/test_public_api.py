@@ -43,8 +43,10 @@ TOP_LEVEL = {
 }
 
 API = {
+    "BoundExecutable",
     "Executable",
     "NOISE_CHANNELS",
+    "PARAMETER_SHIFT_GATES",
     "PassConfig",
     "PassStats",
     "Session",
