@@ -1,91 +1,83 @@
-"""Gate a fresh ``BENCH_*.json`` report against its checked-in baseline.
+"""Gate fresh ``BENCH_*.json`` reports against the recorded perf trajectory.
 
 Usage (what the CI perf step runs after the benchmark smoke)::
 
-    python benchmarks/check_regression.py BENCH_DIR [--baselines DIR]
+    python benchmarks/check_regression.py BENCH_DIR                 # gate
+    python benchmarks/check_regression.py BENCH_DIR --record        # append
+    python benchmarks/check_regression.py BENCH_DIR --record --source ci
 
-For every ``BENCH_<name>.json`` under ``benchmarks/baselines/`` the same
-report must exist in ``BENCH_DIR`` (produced by ``pytest benchmarks/ --json
-BENCH_DIR``), and its aggregate speedup must not regress: the fresh value has
-to clear ``max(RATIO x baseline, FLOOR)``.  The ratio (0.6) absorbs shared-
-runner noise — CI machines are slow and loud — while the absolute floor
-(1.5x) keeps the compile/execute split's core claim ("serving a compiled plan
-beats recompiling") from eroding one noisy run at a time.
+The trajectory (``benchmarks/trajectory.jsonl``, append-only, checked in)
+holds one row per bench x metric x commit — see
+:mod:`repro.dist.trajectory` for the row schema, the metric extraction and
+the per-metric tolerance rules.  The gate compares the fresh reports under
+``BENCH_DIR`` (produced by ``pytest benchmarks/ --json BENCH_DIR``) against
+the *last recorded* value of **every** tracked bench x metric: compile
+amortization, bind amortization and serving throughput alike.  A tracked
+report missing from the fresh directory fails too — benchmarks are retired
+from the trajectory deliberately, never by silently not running them.
 
-Speedup-style reports store rows under ``data`` with a ``method`` field and a
-``speedup`` value; the row named ``aggregate`` is the gated headline.  Reports
-without such a row are skipped (nothing to gate yet).
+``--record`` appends the fresh values as new trajectory rows (idempotent per
+commit) — run it after landing a perf change so the gate protects the new
+level; it does not weaken the gate by itself, because recording and gating
+are separate invocations.
 
-Exit status: 0 when every gated report clears its threshold, 1 otherwise.
+Exit status: 0 when every gated metric clears its threshold, 1 otherwise.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 
-#: Fresh aggregate must reach this fraction of the recorded baseline.
-RATIO = 0.6
-#: ... and never drop below this absolute speedup.
-FLOOR = 1.5
+# Make repro importable when run as a plain script (CI sets PYTHONPATH=src,
+# local invocations may not).
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
 
+from repro.dist import trajectory as _trajectory  # noqa: E402
 
-def aggregate_speedup(report: dict) -> float | None:
-    """The ``aggregate`` row's speedup, or None when the report has none."""
-    rows = report.get("data") or []
-    for row in rows:
-        if isinstance(row, dict) and row.get("method") == "aggregate":
-            value = row.get("speedup")
-            return None if value is None else float(value)
-    return None
-
-
-def check(fresh_dir: Path, baseline_dir: Path) -> int:
-    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
-    if not baselines:
-        print(f"error: no baselines under {baseline_dir}", file=sys.stderr)
-        return 1
-    failures = 0
-    for baseline_path in baselines:
-        baseline = json.loads(baseline_path.read_text())
-        recorded = aggregate_speedup(baseline)
-        if recorded is None:
-            print(f"skip {baseline_path.name}: baseline has no aggregate speedup")
-            continue
-        fresh_path = fresh_dir / baseline_path.name
-        if not fresh_path.exists():
-            print(f"FAIL {baseline_path.name}: missing from {fresh_dir}", file=sys.stderr)
-            failures += 1
-            continue
-        fresh = aggregate_speedup(json.loads(fresh_path.read_text()))
-        if fresh is None:
-            print(f"FAIL {baseline_path.name}: fresh report has no aggregate speedup",
-                  file=sys.stderr)
-            failures += 1
-            continue
-        threshold = max(RATIO * recorded, FLOOR)
-        status = "ok" if fresh >= threshold else "FAIL"
-        line = (f"{status} {baseline_path.name}: aggregate {fresh:.2f}x "
-                f"(baseline {recorded:.2f}x, threshold {threshold:.2f}x)")
-        if fresh >= threshold:
-            print(line)
-        else:
-            print(line, file=sys.stderr)
-            failures += 1
-    return 1 if failures else 0
+DEFAULT_TRAJECTORY = Path(__file__).resolve().parent / "trajectory.jsonl"
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("fresh_dir", type=Path,
                         help="directory holding the freshly produced BENCH_*.json reports")
-    parser.add_argument("--baselines", type=Path,
-                        default=Path(__file__).resolve().parent / "baselines",
-                        help="directory of recorded baselines (default: benchmarks/baselines)")
+    parser.add_argument("--trajectory", type=Path, default=DEFAULT_TRAJECTORY,
+                        help="perf trajectory file (default: benchmarks/trajectory.jsonl)")
+    parser.add_argument("--record", action="store_true",
+                        help="append the fresh values to the trajectory instead of gating")
+    parser.add_argument("--commit", default=None,
+                        help="commit id recorded with --record (default: git rev-parse)")
+    parser.add_argument("--source", default="local",
+                        help="provenance tag recorded with --record (e.g. ci, baseline)")
     args = parser.parse_args(argv)
-    return check(args.fresh_dir, args.baselines)
+
+    if args.record:
+        rows = _trajectory.append_run(
+            args.trajectory, args.fresh_dir, commit=args.commit, source=args.source
+        )
+        for row in rows:
+            print(f"recorded {row['bench']}:{row['metric']} = {row['value']:.4g} "
+                  f"@ {row['commit']}")
+        if not rows:
+            print("nothing new to record (all bench x metric x commit rows present)")
+        return 0
+
+    outcomes = _trajectory.check(args.trajectory, args.fresh_dir)
+    failures = 0
+    for outcome in outcomes:
+        status = "ok" if outcome.ok else "FAIL"
+        line = f"{status} {outcome.bench}:{outcome.metric}: {outcome.detail}"
+        if outcome.ok:
+            print(line)
+        else:
+            print(line, file=sys.stderr)
+            failures += 1
+    print(f"{len(outcomes) - failures}/{len(outcomes)} gated metrics ok")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -7,8 +7,13 @@ Provides a small reproducibility tool around the library's main entry points::
     python -m repro.cli list-backends
     python -m repro.cli verify        --families all --cases 200 --seed 7
     python -m repro.cli sweep run     benchmarks/specs/table3.yaml
+    python -m repro.cli sweep run     benchmarks/specs/table3_large.yaml --shards 4
+    python -m repro.cli sweep run     spec.yaml --shard 2/4 --out part2.jsonl
+    python -m repro.cli sweep merge   merged.jsonl part1.jsonl part2.jsonl
+    python -m repro.cli sweep digest  merged.jsonl
     python -m repro.cli sweep list
     python -m repro.cli sweep report  sweep_results/table3.jsonl
+    python -m repro.cli sweep report  part1.jsonl part2.jsonl
     python -m repro.cli replay        verify_artifacts/<artifact>.json
     python -m repro.cli decompose     --channel depolarizing --parameter 0.01
     python -m repro.cli bound         --noises 20 --rate 0.001 --level 1
@@ -279,9 +284,27 @@ def _cmd_replay(args) -> int:
 _DEFAULT_SPEC_DIRS = ("benchmarks/specs", "examples/specs")
 
 
+def _parse_inject_crash(entries) -> dict:
+    """Parse repeated ``--inject-crash SHARD:AFTER`` flags (testing hook)."""
+    from repro.utils.validation import ValidationError
+
+    inject = {}
+    for entry in entries or []:
+        shard, sep, after = str(entry).partition(":")
+        if not sep:
+            raise ValidationError(f"--inject-crash expects SHARD:AFTER, got {entry!r}")
+        try:
+            inject[int(shard)] = int(after)
+        except ValueError as exc:
+            raise ValidationError(f"--inject-crash expects integers, got {entry!r}") from exc
+    return inject
+
+
 def _cmd_sweep_run(args) -> int:
     from repro.sweeps import load_spec, pivot_table, summary_table, SweepRunner
 
+    if args.shards is not None:
+        return _sweep_run_sharded(args)
     spec = load_spec(args.spec)
     out = Path(args.out) if args.out else Path("sweep_results") / f"{spec.name}.jsonl"
     runner = SweepRunner(
@@ -290,8 +313,14 @@ def _cmd_sweep_run(args) -> int:
         workers=args.workers,
         resume=not args.fresh,
         max_cells=args.max_cells,
+        shard=args.shard,
+        crash_after=args.crash_after,
     )
-    print(f"sweep {spec.name!r}: {len(spec.cells())} cells -> {out}")
+    if args.shard is not None:
+        print(f"sweep {spec.name!r} shard {runner.shard}: "
+              f"{len(runner.cells())}/{len(spec.cells())} cells -> {out}")
+    else:
+        print(f"sweep {spec.name!r}: {len(spec.cells())} cells -> {out}")
     result = runner.run(progress=print)
     print()
     print(
@@ -323,6 +352,72 @@ def _cmd_sweep_run(args) -> int:
         print(f"error: {len(failed)} cell(s) failed; re-running 'sweep run' retries them",
               file=sys.stderr)
         return 1
+    return 0
+
+
+def _sweep_run_sharded(args) -> int:
+    """Coordinator mode: dispatch N shard workers, re-dispatch crashes, merge."""
+    from repro.dist import DistCoordinator, DistError
+    from repro.sweeps import load_spec, summary_table
+
+    spec = load_spec(args.spec)
+    out = Path(args.out) if args.out else Path("sweep_results") / f"{spec.name}.jsonl"
+    if args.fresh:
+        for stale in out.parent.glob(f"{out.stem}.shard-*-of-{args.shards}.jsonl"):
+            stale.unlink()
+    coordinator = DistCoordinator(
+        args.spec,
+        args.shards,
+        out_path=out,
+        workers_per_shard=args.workers,
+        max_rounds=args.max_rounds,
+        inject_crash=_parse_inject_crash(args.inject_crash),
+    )
+    print(f"sweep {spec.name!r}: {len(spec.cells())} cells as {args.shards} shards -> {out}")
+    try:
+        result = coordinator.run(progress=print)
+    except DistError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print()
+    print(
+        summary_table(
+            list(result.records.values()),
+            reference=spec.reference,
+            title=f"Sweep {spec.name}: {spec.description or 'summary'}",
+        )
+    )
+    attempts = {str(state.shard): state.attempts for state in result.shards}
+    print(f"\nrecords: {result.out_path} ({result.rounds} round(s), "
+          f"attempts per shard: {attempts})")
+    failed = [r for r in result.records.values() if r.get("status") == "failed"]
+    if failed:
+        print(f"error: {len(failed)} cell(s) failed after {args.max_rounds} round(s)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_sweep_merge(args) -> int:
+    from repro.dist import merge_records
+
+    result = merge_records(args.inputs, args.out)
+    print(f"merged {len(result.cells)} record(s) from {len(args.inputs)} file(s) "
+          f"-> {result.path}")
+    if result.duplicates:
+        print(f"deduplicated {len(result.duplicates)} identical duplicate record(s)")
+    if result.missing:
+        print(f"note: {len(result.missing)} cell(s) of the grid not recorded yet "
+              "(merge again with more shard files, or 'sweep run' the merged "
+              "file to fill them in)")
+    return 0
+
+
+def _cmd_sweep_digest(args) -> int:
+    from repro.dist import records_digest
+
+    for path in args.records:
+        print(f"{records_digest(path)}  {path}")
     return 0
 
 
@@ -368,12 +463,15 @@ def _cmd_sweep_list(args) -> int:
 
 
 def _cmd_sweep_report(args) -> int:
-    from repro.sweeps import load_records, pivot_table, summary_table
-    from repro.sweeps.spec import load_spec as _load
+    from repro.dist.merge import combine_scans
+    from repro.sweeps import pivot_table, scan_records, shard_table, summary_table
 
-    header, cells = load_records(args.records)
+    # One or many record files (shard parts, a merged file, or any mix of the
+    # same spec): combine with the merge layer's validation, so mismatched
+    # specs or conflicting duplicates fail here instead of rendering nonsense.
+    scans = [scan_records(path) for path in args.records]
+    spec, cells, _ = combine_scans(scans)
     records = list(cells.values())
-    spec = _load(header["spec"])
     reference = spec.reference
     print(
         summary_table(
@@ -391,6 +489,16 @@ def _cmd_sweep_report(args) -> int:
             title=f"Per-backend {args.pivot}",
         )
     )
+    sharded = any(record.get("shard") for record in records) or any(
+        scan.header.get("shard") for scan in scans
+    )
+    if sharded:
+        print()
+        print(shard_table(spec, records))
+    for scan in scans:
+        if scan.torn_offset is not None:
+            print(f"\nnote: {scan.path} has a torn final line (crashed worker); "
+                  "its cell re-runs on resume")
     missing = len(spec.cells()) - len(records)
     if missing > 0:
         print(f"\nnote: {missing} cell(s) not recorded yet (run 'sweep run' to resume)")
@@ -632,6 +740,23 @@ def build_parser() -> argparse.ArgumentParser:
                            help="ignore existing records and start over")
     sweep_run.add_argument("--max-cells", type=int, default=None,
                            help="stop after this many pending cells (smoke runs)")
+    sharding = sweep_run.add_mutually_exclusive_group()
+    sharding.add_argument("--shard", default=None, metavar="K/N",
+                          help="worker mode: execute only shard K of an N-way "
+                               "deterministic partition of the grid (combine "
+                               "the partial files with 'sweep merge')")
+    sharding.add_argument("--shards", type=int, default=None, metavar="N",
+                          help="coordinator mode: run the grid as N local "
+                               "worker processes with crash-safe re-dispatch, "
+                               "then merge into --out")
+    sweep_run.add_argument("--max-rounds", type=int, default=3,
+                           help="dispatch rounds before --shards gives up on a "
+                                "crashing shard (default: 3)")
+    # Fault-injection hooks for the crash-safety drills (tests, CI smoke).
+    sweep_run.add_argument("--crash-after", type=int, default=None,
+                           help=argparse.SUPPRESS)
+    sweep_run.add_argument("--inject-crash", action="append", metavar="SHARD:AFTER",
+                           help=argparse.SUPPRESS)
     sweep_run.set_defaults(func=_cmd_sweep_run)
 
     sweep_list = sweep_sub.add_parser("list", help="list available sweep specs")
@@ -643,10 +768,27 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_report = sweep_sub.add_parser(
         "report", help="summarise a sweep's JSONL records"
     )
-    sweep_report.add_argument("records", help="path to the JSONL record file")
+    sweep_report.add_argument("records", nargs="+",
+                              help="JSONL record file(s): one sweep output, or "
+                                   "several shard/partial files of one spec")
     sweep_report.add_argument("--pivot", choices=("runtime", "precision"), default="runtime",
                               help="metric of the per-backend pivot table")
     sweep_report.set_defaults(func=_cmd_sweep_report)
+
+    sweep_merge = sweep_sub.add_parser(
+        "merge", help="merge shard/partial record files into one canonical file"
+    )
+    sweep_merge.add_argument("out", help="merged JSONL output file")
+    sweep_merge.add_argument("inputs", nargs="+",
+                             help="partial record files (shard outputs, resumed "
+                                  "partials, or previously merged files)")
+    sweep_merge.set_defaults(func=_cmd_sweep_merge)
+
+    sweep_digest = sweep_sub.add_parser(
+        "digest", help="content digest of record files (volatile fields stripped)"
+    )
+    sweep_digest.add_argument("records", nargs="+", help="JSONL record file(s)")
+    sweep_digest.set_defaults(func=_cmd_sweep_digest)
 
     decompose = subparsers.add_parser("decompose", help="SVD-decompose a noise channel")
     decompose.add_argument("--channel", default="depolarizing",

@@ -1,0 +1,65 @@
+"""Distributed sweep execution: shard dispatch, crash-safe merge, perf trajectory.
+
+``repro.dist`` turns the declarative sweep layer (:mod:`repro.sweeps`) into a
+multi-process / multi-machine system without changing a single cell's result:
+
+* :mod:`repro.dist.partition` — a deterministic, spec-hash-stable partitioner
+  splitting a sweep grid into K-of-N shards (``repro sweep run SPEC
+  --shard K/N``); every cell belongs to exactly one shard, and the assignment
+  depends only on the spec hash and the cell's identity, never on ordering or
+  which machine asks;
+* :mod:`repro.dist.coordinator` — runs all N shards as independent worker
+  processes, detects crashed/incomplete shards from their partial record
+  files (torn final lines included) and re-dispatches them; because cells are
+  identity-seeded, a re-dispatched cell reproduces exactly the record the
+  crashed worker would have written;
+* :mod:`repro.dist.merge` — combines partial record files into one canonical
+  sweep file with spec-hash and shard-membership validation, duplicate-cell
+  conflict detection and idempotent re-merge; the merged records are
+  bit-identical (module timing/dispatch provenance) to the same spec run
+  unsharded, certified by :func:`repro.dist.merge.records_digest`;
+* :mod:`repro.dist.trajectory` — folds ``BENCH_*.json`` benchmark reports
+  into an append-only perf trajectory (one row per bench x metric x commit)
+  and gates fresh runs against the last recorded point
+  (``benchmarks/check_regression.py``).
+
+Typical session (one box, four processes)::
+
+    python -m repro.cli sweep run benchmarks/specs/table3_large.yaml --shards 4
+
+or across machines, one shard each, then a merge::
+
+    python -m repro.cli sweep run spec.yaml --shard 1/4 --out part1.jsonl
+    ...
+    python -m repro.cli sweep merge merged.jsonl part*.jsonl
+
+See ``docs/distributed.md`` for the full workflow.
+"""
+
+from repro.dist.coordinator import DistCoordinator, DistError, DistResult, run_sharded
+from repro.dist.merge import (
+    MergeConflictError,
+    MergeError,
+    MergeResult,
+    canonical_cell,
+    merge_records,
+    records_digest,
+)
+from repro.dist.partition import ShardSpec, partition_cells, shard_cells, shard_index
+
+__all__ = [
+    "DistCoordinator",
+    "DistError",
+    "DistResult",
+    "MergeConflictError",
+    "MergeError",
+    "MergeResult",
+    "ShardSpec",
+    "canonical_cell",
+    "merge_records",
+    "partition_cells",
+    "records_digest",
+    "run_sharded",
+    "shard_cells",
+    "shard_index",
+]

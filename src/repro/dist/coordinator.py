@@ -1,0 +1,294 @@
+"""Crash-safe shard dispatch: run a sweep as N independent worker processes.
+
+The coordinator partitions a sweep spec into N shards (deterministically —
+see :mod:`repro.dist.partition`), launches one ``repro sweep run SPEC
+--shard K/N`` subprocess per shard, and watches their partial record files
+rather than trusting their exit status:
+
+* a worker that **dies mid-cell** (OOM kill, machine loss, the injected
+  ``--crash-after`` drill) leaves a resumable partial file with at worst one
+  torn final line; the next dispatch round truncates the tear and re-runs
+  only the missing cells (:mod:`repro.sweeps.records`);
+* a worker whose cells **failed** (transient exceptions) is re-dispatched
+  too — resume retries non-final statuses;
+* every re-dispatched cell keeps its original identity-derived seed, so the
+  recovered record is bit-identical to what the crashed worker would have
+  written.
+
+After all shards complete (or ``max_rounds`` dispatch rounds), the partial
+files merge into one canonical record file (:func:`repro.dist.merge.merge_records`)
+indistinguishable — modulo timing/dispatch provenance — from a
+single-process run of the same spec.
+
+Workers are real OS processes (``sys.executable -m repro.cli``), so the
+coordinator exercises exactly the code path a multi-machine deployment runs
+per box; pointing the workers at a shared filesystem is the only difference.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping
+
+from repro.dist.merge import MergeResult, merge_records
+from repro.dist.partition import ShardSpec, partition_cells
+from repro.sweeps.records import FINAL_STATUSES, RecordError, scan_records
+from repro.sweeps.spec import SweepSpec, load_spec
+from repro.utils.validation import ValidationError
+
+__all__ = ["DistCoordinator", "DistError", "DistResult", "ShardState", "run_sharded"]
+
+
+class DistError(ValidationError):
+    """Raised when a sharded run cannot be driven to completion."""
+
+
+@dataclass
+class ShardState:
+    """Dispatch bookkeeping for one shard."""
+
+    shard: ShardSpec
+    path: Path
+    #: Cell ids the partitioner assigns to this shard.
+    expected: List[str]
+    attempts: int = 0
+    #: Exit code of the most recent worker process (None before the first).
+    returncode: int | None = None
+
+    def pending(self) -> List[str]:
+        """Cells still missing a final record in the shard's partial file."""
+        if not self.path.exists():
+            return list(self.expected)
+        try:
+            scan = scan_records(self.path)
+        except RecordError:
+            # No readable header yet (worker died before its first write):
+            # everything is pending and the next round starts the file over.
+            return list(self.expected)
+        done = {
+            cell_id
+            for cell_id, record in scan.cells.items()
+            if record.get("status") in FINAL_STATUSES
+        }
+        return [cell_id for cell_id in self.expected if cell_id not in done]
+
+
+@dataclass
+class DistResult:
+    """Outcome of one :meth:`DistCoordinator.run` call."""
+
+    spec: SweepSpec
+    out_path: Path
+    merge: MergeResult
+    shards: List[ShardState] = field(default_factory=list)
+    rounds: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def records(self) -> Dict[str, Dict[str, Any]]:
+        return self.merge.cells
+
+
+class DistCoordinator:
+    """Partition a sweep spec, dispatch shard workers, re-dispatch, merge.
+
+    Parameters
+    ----------
+    spec_path:
+        The sweep spec *file* (YAML/JSON) — workers are subprocesses, so the
+        spec must be addressable by path.
+    shards:
+        Number of shards N; one worker process per shard per round.
+    out_path:
+        The merged record file (``sweep_results/<name>.jsonl`` by default).
+        Partial files live next to it as ``<stem>.shard-K-of-N.jsonl``.
+    workers_per_shard:
+        ``--workers`` forwarded to each worker's process pool (default: the
+        spec's ``workers`` entry, else 1).
+    max_rounds:
+        Dispatch rounds before giving up on shards that keep failing.
+    inject_crash:
+        Fault injection for the drills: ``{shard_index: crash_after_cells}``
+        passed as ``--crash-after`` to those shards' *first* attempt only.
+    """
+
+    def __init__(
+        self,
+        spec_path: str | Path,
+        shards: int,
+        out_path: str | Path | None = None,
+        workers_per_shard: int | None = None,
+        max_rounds: int = 3,
+        inject_crash: Mapping[int, int] | None = None,
+        python: str | None = None,
+    ):
+        if shards < 1:
+            raise ValidationError(f"shard count must be >= 1, got {shards}")
+        if max_rounds < 1:
+            raise ValidationError(f"max_rounds must be >= 1, got {max_rounds}")
+        self.spec_path = Path(spec_path)
+        self.spec = load_spec(self.spec_path)
+        self.shards = shards
+        self.out_path = Path(
+            out_path
+            if out_path is not None
+            else Path("sweep_results") / f"{self.spec.name}.jsonl"
+        )
+        self.workers_per_shard = workers_per_shard
+        self.max_rounds = max_rounds
+        self.inject_crash = dict(inject_crash or {})
+        bad = sorted(k for k in self.inject_crash if not 1 <= k <= shards)
+        if bad:
+            raise ValidationError(
+                f"inject_crash names shard(s) {bad} outside 1..{shards}"
+            )
+        self.python = python or sys.executable
+
+    # ------------------------------------------------------------------
+    def _shard_path(self, shard: ShardSpec) -> Path:
+        return self.out_path.with_name(
+            f"{self.out_path.stem}.shard-{shard.index}-of-{shard.count}.jsonl"
+        )
+
+    def _worker_command(self, state: ShardState) -> List[str]:
+        command = [
+            self.python,
+            "-m",
+            "repro.cli",
+            "sweep",
+            "run",
+            str(self.spec_path),
+            "--shard",
+            str(state.shard),
+            "--out",
+            str(state.path),
+        ]
+        if self.workers_per_shard is not None:
+            command += ["--workers", str(self.workers_per_shard)]
+        if state.attempts == 0 and state.shard.index in self.inject_crash:
+            command += ["--crash-after", str(self.inject_crash[state.shard.index])]
+        return command
+
+    def _launch(self, state: ShardState) -> subprocess.Popen:
+        # Workers must import repro without installation: prepend the parent
+        # of the repro package to PYTHONPATH (a no-op for installed trees).
+        import os
+
+        import repro
+
+        env = dict(os.environ)
+        src = str(Path(repro.__file__).resolve().parents[1])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src if not existing else os.pathsep.join((src, existing))
+        # Build the command before bumping attempts: crash injection keys off
+        # "is this the first attempt" and must see the pre-launch count.
+        command = self._worker_command(state)
+        state.attempts += 1
+        return subprocess.Popen(
+            command,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            env=env,
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, progress: Callable[[str], None] | None = None) -> DistResult:
+        """Dispatch, re-dispatch until complete (or ``max_rounds``), merge."""
+        start = time.perf_counter()
+        note = progress or (lambda message: None)
+        partition = partition_cells(self.spec, self.shards)
+        states = [
+            ShardState(
+                shard=ShardSpec(index=index, count=self.shards),
+                path=self._shard_path(ShardSpec(index=index, count=self.shards)),
+                expected=[cell.cell_id for cell in cells],
+            )
+            for index, cells in sorted(partition.items())
+        ]
+        total = sum(len(state.expected) for state in states)
+        note(
+            f"dispatching {total} cells as {self.shards} shard(s): "
+            + ", ".join(f"{state.shard}={len(state.expected)}" for state in states)
+        )
+        rounds = 0
+        for round_number in range(1, self.max_rounds + 1):
+            pending = [state for state in states if state.pending()]
+            if not pending:
+                break
+            rounds = round_number
+            note(
+                f"round {round_number}: {len(pending)} shard(s), "
+                f"{sum(len(state.pending()) for state in pending)} cell(s) pending"
+            )
+            procs = [(state, self._launch(state)) for state in pending]
+            for state, proc in procs:
+                _, stderr = proc.communicate()
+                state.returncode = proc.returncode
+                left = len(state.pending())
+                status = "ok" if proc.returncode == 0 and not left else (
+                    f"exit {proc.returncode}, {left} cell(s) left"
+                )
+                note(f"  shard {state.shard}: {status}")
+                if proc.returncode not in (0, 1) and left and stderr:
+                    # Exit 1 is the runner's own "some cells failed" signal
+                    # (retried next round); anything else with work left is
+                    # worth surfacing — it may be systematic (bad spec path,
+                    # import error) rather than a crash.
+                    tail = stderr.decode(errors="replace").strip().splitlines()[-3:]
+                    for line in tail:
+                        note(f"    {line}")
+        incomplete = {
+            str(state.shard): state.pending() for state in states if state.pending()
+        }
+        if incomplete:
+            detail = "; ".join(
+                f"shard {shard}: {len(cells)} cell(s) missing/failed"
+                for shard, cells in incomplete.items()
+            )
+            raise DistError(
+                f"sharded sweep did not complete after {self.max_rounds} round(s): "
+                f"{detail} (partial files kept for inspection: "
+                f"{', '.join(str(state.path) for state in states)})"
+            )
+        # Shards whose slice of the grid is empty never start a worker, so
+        # they have no partial file to merge.
+        merge = merge_records(
+            [state.path for state in states if state.path.exists()], self.out_path
+        )
+        note(
+            f"merged {len(merge.cells)} record(s) -> {self.out_path}"
+            + (f" ({len(merge.duplicates)} duplicate(s) deduplicated)" if merge.duplicates else "")
+        )
+        return DistResult(
+            spec=self.spec,
+            out_path=self.out_path,
+            merge=merge,
+            shards=states,
+            rounds=rounds,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+
+def run_sharded(
+    spec_path: str | Path,
+    shards: int,
+    out_path: str | Path | None = None,
+    workers_per_shard: int | None = None,
+    max_rounds: int = 3,
+    inject_crash: Mapping[int, int] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> DistResult:
+    """One-call convenience wrapper over :class:`DistCoordinator`."""
+    coordinator = DistCoordinator(
+        spec_path,
+        shards,
+        out_path=out_path,
+        workers_per_shard=workers_per_shard,
+        max_rounds=max_rounds,
+        inject_crash=inject_crash,
+    )
+    return coordinator.run(progress=progress)

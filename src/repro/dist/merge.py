@@ -1,0 +1,215 @@
+"""Merge partial sweep record files into one canonical stream.
+
+``merge_records`` combines any mix of shard files (``--shard K/N`` workers),
+plain partial runs and previously-merged files into one sweep JSONL file that
+downstream tools (``sweep report``, resume, the benchmarks) read exactly like
+the output of a single-process run.  It validates rather than trusts:
+
+* **spec-hash validation** — every input must carry the same spec hash; a
+  shard of a *different* grid cannot be folded in silently;
+* **shard-membership validation** — a file claiming to be shard ``K/N`` may
+  only contain cells the partitioner assigns to ``K/N`` (catches files run
+  with mismatched ``--shard`` flags or renamed outputs);
+* **duplicate-cell conflict detection** — the same cell recorded by two
+  inputs must agree on every deterministic field (value, seed, status, ...);
+  records differing only in timing/dispatch provenance deduplicate, anything
+  else raises :class:`MergeConflictError` naming the cell and fields;
+* **idempotent re-merge** — merge output is a pure function of the input
+  records: re-running a merge, or merging a merged file with the parts it
+  came from, produces byte-identical output.
+
+Because cells are identity-seeded, the merged deterministic content is
+bit-identical to the same spec run unsharded; :func:`records_digest` hashes
+exactly that content (volatile fields stripped, cell order normalised) so
+"sharded == unsharded" is a one-line string comparison.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+from repro.dist.partition import ShardSpec, shard_index
+from repro.sweeps.records import RecordError, RecordScan, scan_records
+from repro.sweeps.spec import SweepSpec, load_spec
+
+__all__ = [
+    "MergeConflictError",
+    "MergeError",
+    "MergeResult",
+    "VOLATILE_KEYS",
+    "canonical_cell",
+    "combine_scans",
+    "merge_records",
+    "records_digest",
+]
+
+#: Per-record fields that legitimately differ between runs of the same cell:
+#: wall-clock timing and which worker produced the record.  Everything else
+#: is a deterministic function of the spec, so two records for one cell must
+#: agree on it.
+VOLATILE_KEYS = ("elapsed_seconds", "shard")
+
+
+class MergeError(RecordError):
+    """Raised when record files cannot be merged (mismatched or misplaced)."""
+
+
+class MergeConflictError(MergeError):
+    """Raised when two inputs recorded *different* results for one cell."""
+
+
+def canonical_cell(record: Mapping[str, Any]) -> Dict[str, Any]:
+    """The deterministic content of a cell record (volatile fields stripped)."""
+    return {key: value for key, value in record.items() if key not in VOLATILE_KEYS}
+
+
+def _conflicting_keys(a: Mapping[str, Any], b: Mapping[str, Any]) -> List[str]:
+    keys = set(a) | set(b)
+    return sorted(
+        key for key in keys if key not in VOLATILE_KEYS and a.get(key) != b.get(key)
+    )
+
+
+@dataclass
+class MergeResult:
+    """Outcome of :func:`merge_records`."""
+
+    path: Path
+    spec: SweepSpec
+    #: Last-merged record per cell id, in canonical grid order.
+    cells: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: Cells recorded by more than one input with identical deterministic
+    #: content (deduplicated, first occurrence kept).
+    duplicates: List[str] = field(default_factory=list)
+    #: Cell ids of the spec grid with no record yet (partial merge).
+    missing: List[str] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return not self.missing
+
+
+def combine_scans(
+    scans: Sequence[RecordScan],
+) -> Tuple[SweepSpec, Dict[str, Dict[str, Any]], List[str]]:
+    """Validate and fold record scans into ``(spec, cells, duplicate_ids)``.
+
+    Shared by :func:`merge_records` and the multi-file ``sweep report`` view;
+    raises :class:`MergeError` / :class:`MergeConflictError` on mismatched
+    specs, misplaced shard files or conflicting duplicates.
+    """
+    if not scans:
+        raise MergeError("nothing to merge: no record files given")
+    spec_hash = scans[0].header.get("spec_hash")
+    spec = load_spec(scans[0].header["spec"])
+    if spec.spec_hash() != spec_hash:
+        raise MergeError(
+            f"{scans[0].path}: header spec does not hash to its spec_hash "
+            f"({spec.spec_hash()} != {spec_hash}); file is corrupt or hand-edited"
+        )
+    cells: Dict[str, Dict[str, Any]] = {}
+    sources: Dict[str, Path] = {}
+    duplicates: List[str] = []
+    for scan in scans:
+        if scan.header.get("spec_hash") != spec_hash:
+            raise MergeError(
+                f"{scan.path} was produced by a different spec "
+                f"(hash {scan.header.get('spec_hash')} != {spec_hash}); "
+                "only records of the same grid can merge"
+            )
+        shard_label = scan.header.get("shard")
+        shard = ShardSpec.parse(shard_label) if shard_label else None
+        for cell_id, record in scan.cells.items():
+            if shard is not None:
+                owner = shard_index(cell_id, shard.count, spec_hash)
+                if owner != shard.index:
+                    raise MergeError(
+                        f"{scan.path}: cell {cell_id!r} belongs to shard "
+                        f"{owner}/{shard.count}, but the file claims shard "
+                        f"{shard} (mismatched --shard flags?)"
+                    )
+            if cell_id in cells:
+                conflicts = _conflicting_keys(cells[cell_id], record)
+                if conflicts:
+                    raise MergeConflictError(
+                        f"cell {cell_id!r} was recorded with different results by "
+                        f"{sources[cell_id]} and {scan.path} "
+                        f"(conflicting fields: {', '.join(conflicts)}); "
+                        "the inputs are not shards of one run"
+                    )
+                duplicates.append(cell_id)
+                continue
+            cells[cell_id] = dict(record)
+            sources[cell_id] = scan.path
+    return spec, cells, duplicates
+
+
+def merge_records(
+    inputs: Sequence[str | Path],
+    out_path: str | Path,
+) -> MergeResult:
+    """Merge sweep record files into one canonical file at ``out_path``.
+
+    The output is a normal sweep JSONL stream: the (unsharded) header first,
+    then one record per recorded cell in canonical grid order, each keeping
+    its ``shard`` provenance.  It is resumable (``sweep run`` fills in any
+    missing cells) and re-mergeable (``out_path`` may itself be an input of a
+    later merge).  Writing is atomic — the file appears only when the merge
+    validated — so ``out_path`` may also be listed among the inputs.
+    """
+    scans = [scan_records(path) for path in inputs]
+    spec, cells, duplicates = combine_scans(scans)
+    header = {
+        "kind": "header",
+        "name": spec.name,
+        "spec_hash": spec.spec_hash(),
+        "spec": spec.to_dict(),
+    }
+    grid_ids = [cell.cell_id for cell in spec.cells()]
+    unknown = sorted(set(cells) - set(grid_ids))
+    if unknown:
+        raise MergeError(
+            f"record(s) for cell(s) not in the spec grid: {', '.join(unknown[:5])}"
+            + (" ..." if len(unknown) > 5 else "")
+        )
+    out_path = Path(out_path)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    tmp_path = out_path.with_name(out_path.name + ".tmp")
+    with tmp_path.open("w") as handle:
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        for cell_id in grid_ids:
+            if cell_id in cells:
+                handle.write(json.dumps(cells[cell_id], sort_keys=True) + "\n")
+    tmp_path.replace(out_path)
+    ordered = {cell_id: cells[cell_id] for cell_id in grid_ids if cell_id in cells}
+    return MergeResult(
+        path=out_path,
+        spec=spec,
+        cells=ordered,
+        duplicates=sorted(set(duplicates)),
+        missing=[cell_id for cell_id in grid_ids if cell_id not in cells],
+    )
+
+
+def records_digest(path: str | Path) -> str:
+    """Content digest of a sweep record file's deterministic outcome.
+
+    Hashes the spec hash plus every cell's :func:`canonical_cell` payload in
+    cell-id order, so two files containing the same results — regardless of
+    execution order, sharding, resumes or timings — digest identically.
+    This is the oracle behind the "sharded run merges bit-identical to the
+    unsharded run" guarantee (CI's sharded-sweep smoke asserts it).
+    """
+    scan = scan_records(path)
+    payload = {
+        "spec_hash": scan.header.get("spec_hash"),
+        "cells": [
+            canonical_cell(scan.cells[cell_id]) for cell_id in sorted(scan.cells)
+        ],
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()

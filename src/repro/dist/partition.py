@@ -1,0 +1,98 @@
+"""Deterministic K-of-N shard partitioning of a sweep grid.
+
+A shard is named ``K/N`` (1-based index K of N shards, e.g. ``2/4``).  Cell
+assignment hashes the *spec hash* and the cell's identity label::
+
+    shard_index(cell_id, count, spec_hash) == stable_seed(spec_hash, "shard", cell_id) % count
+
+so the partition is
+
+* **deterministic** — the same spec file yields the same partition on every
+  machine, Python version and run (no ``hash()`` randomisation, no ordering
+  dependence);
+* **spec-hash-stable** — two workers given the same spec agree on who owns
+  which cell without any coordination, and a merged result can re-verify that
+  every record sits in the shard that claims it;
+* **complete and disjoint** — every cell lands in exactly one shard (the
+  union of all shards is the full grid; shards never overlap), which the
+  merge step and ``tests/dist`` assert.
+
+Doctest::
+
+    >>> from repro.dist.partition import ShardSpec
+    >>> ShardSpec.parse("2/4")
+    ShardSpec(index=2, count=4)
+    >>> str(ShardSpec(index=2, count=4))
+    '2/4'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.sweeps.spec import SweepCell, SweepSpec, stable_seed
+from repro.utils.validation import ValidationError
+
+__all__ = ["ShardSpec", "partition_cells", "shard_cells", "shard_index"]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard of an N-way partition: 1-based ``index`` of ``count``."""
+
+    index: int
+    count: int
+
+    def __post_init__(self):
+        if self.count < 1:
+            raise ValidationError(f"shard count must be >= 1, got {self.count}")
+        if not 1 <= self.index <= self.count:
+            raise ValidationError(
+                f"shard index must be in 1..{self.count}, got {self.index}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "ShardSpec":
+        """Parse the CLI form ``K/N`` (e.g. ``--shard 2/4``)."""
+        index, sep, count = str(text).partition("/")
+        if not sep:
+            raise ValidationError(f"--shard expects K/N (e.g. 2/4), got {text!r}")
+        try:
+            return cls(index=int(index), count=int(count))
+        except ValueError as exc:
+            raise ValidationError(f"--shard expects integers K/N, got {text!r}") from exc
+
+    def __str__(self) -> str:
+        return f"{self.index}/{self.count}"
+
+
+def shard_index(cell_id: str, count: int, spec_hash: str) -> int:
+    """The 1-based shard owning ``cell_id`` under an N-way partition."""
+    if count < 1:
+        raise ValidationError(f"shard count must be >= 1, got {count}")
+    return stable_seed(spec_hash, "shard", cell_id) % count + 1
+
+
+def shard_cells(spec: SweepSpec, shard: ShardSpec) -> List[SweepCell]:
+    """The cells of ``spec`` owned by ``shard``, in canonical grid order."""
+    spec_hash = spec.spec_hash()
+    return [
+        cell
+        for cell in spec.cells()
+        if shard_index(cell.cell_id, shard.count, spec_hash) == shard.index
+    ]
+
+
+def partition_cells(spec: SweepSpec, count: int) -> Dict[int, List[SweepCell]]:
+    """The full N-way partition: ``{shard_index: cells}`` covering every shard.
+
+    Every shard index appears (possibly with an empty cell list, when the
+    grid is smaller than N), so a coordinator can dispatch exactly ``count``
+    workers without special-casing.
+    """
+    spec_hash = spec.spec_hash()
+    partition: Dict[int, List[SweepCell]] = {index: [] for index in range(1, count + 1)}
+    for cell in spec.cells():
+        partition[shard_index(cell.cell_id, count, spec_hash)].append(cell)
+    return partition

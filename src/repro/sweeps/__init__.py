@@ -23,12 +23,20 @@ See ``docs/sweep-spec.md`` for the full spec reference.
 from repro.sweeps.records import (
     FINAL_STATUSES,
     RecordError,
+    RecordScan,
     SweepRecords,
     cell_record,
     load_records,
+    scan_records,
 )
-from repro.sweeps.report import pivot_table, reference_values, summary_table
-from repro.sweeps.runner import CircuitCache, SweepResult, SweepRunner, run_sweep
+from repro.sweeps.report import pivot_table, reference_values, shard_table, summary_table
+from repro.sweeps.runner import (
+    CRASH_EXIT_CODE,
+    CircuitCache,
+    SweepResult,
+    SweepRunner,
+    run_sweep,
+)
 from repro.sweeps.spec import (
     BackendSpec,
     CircuitSpec,
@@ -41,11 +49,13 @@ from repro.sweeps.spec import (
 
 __all__ = [
     "BackendSpec",
+    "CRASH_EXIT_CODE",
     "CircuitCache",
     "CircuitSpec",
     "FINAL_STATUSES",
     "NoiseSpec",
     "RecordError",
+    "RecordScan",
     "SweepCell",
     "SweepRecords",
     "SweepResult",
@@ -57,6 +67,8 @@ __all__ = [
     "pivot_table",
     "reference_values",
     "run_sweep",
+    "scan_records",
+    "shard_table",
     "stable_seed",
     "summary_table",
 ]

@@ -22,7 +22,7 @@ from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
 from repro.analysis import format_seconds, format_table
 
-__all__ = ["pivot_table", "reference_values", "summary_table"]
+__all__ = ["pivot_table", "reference_values", "shard_table", "summary_table"]
 
 _STATUS_MARKS = {"memory_out": "MO", "unsupported": "MO", "failed": "FAILED"}
 
@@ -62,8 +62,14 @@ def summary_table(
     reference: str | None = None,
     title: str | None = None,
 ) -> str:
-    """Per-cell summary: fidelity / std error / TVD vs reference / runtime."""
+    """Per-cell summary: fidelity / std error / TVD vs reference / runtime.
+
+    Records carrying ``shard`` dispatch provenance (``--shard K/N`` workers,
+    merged distributed runs) get an extra Shard column; unsharded sweeps
+    render exactly as before.
+    """
     references = reference_values(records, reference)
+    sharded = any(record.get("shard") for record in records)
     rows: List[List[Any]] = []
     for record in records:
         status = record.get("status")
@@ -87,6 +93,7 @@ def summary_table(
                 _precision(record, references),
                 elapsed,
             ]
+            + ([record.get("shard", "-")] if sharded else [])
         )
     headers = [
         "Circuit",
@@ -98,8 +105,68 @@ def summary_table(
         "Std. error",
         f"TVD vs {reference}" if reference else "TVD vs ref",
         "Time (s)",
-    ]
+    ] + (["Shard"] if sharded else [])
     return format_table(headers, rows, title=title)
+
+
+def shard_table(
+    spec,
+    records: Sequence[Mapping[str, Any]],
+    title: str | None = None,
+) -> str:
+    """Per-shard completion/progress summary of a (partially) sharded sweep.
+
+    One row per shard seen in the records (plus ``-`` for records written by
+    unsharded runs): how many of the shard's assigned cells are recorded,
+    split by status, and how many are still missing — so a distributed sweep
+    is inspectable mid-flight from whatever partial files exist.
+    """
+    from repro.dist.partition import ShardSpec, shard_index
+
+    spec_hash = spec.spec_hash()
+    grid_ids = [cell.cell_id for cell in spec.cells()]
+    by_shard: Dict[str, List[Mapping[str, Any]]] = {}
+    for record in records:
+        by_shard.setdefault(record.get("shard") or "-", []).append(record)
+
+    def sort_key(label: str) -> Tuple[int, str]:
+        return (0, label) if label == "-" else (1, label)
+
+    rows: List[List[Any]] = []
+    for label in sorted(by_shard, key=sort_key):
+        group = by_shard[label]
+        counts: Dict[str, int] = {}
+        for record in group:
+            status = record.get("status", "?")
+            counts[status] = counts.get(status, 0) + 1
+        if label == "-":
+            # Unsharded records own whatever no shard claims; "missing" is
+            # only meaningful against the whole grid, reported by the caller.
+            assigned: Any = "-"
+            missing: Any = "-"
+        else:
+            shard = ShardSpec.parse(label)
+            expected = [
+                cell_id
+                for cell_id in grid_ids
+                if shard_index(cell_id, shard.count, spec_hash) == shard.index
+            ]
+            recorded = {record["cell_id"] for record in group}
+            assigned = len(expected)
+            missing = len([cell_id for cell_id in expected if cell_id not in recorded])
+        rows.append(
+            [
+                label,
+                assigned,
+                len(group),
+                counts.get("ok", 0),
+                counts.get("memory_out", 0) + counts.get("unsupported", 0),
+                counts.get("failed", 0),
+                missing,
+            ]
+        )
+    headers = ["Shard", "Assigned", "Recorded", "ok", "MO", "failed", "Missing"]
+    return format_table(headers, rows, title=title or "Per-shard progress")
 
 
 def pivot_table(

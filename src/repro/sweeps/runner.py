@@ -21,10 +21,20 @@ compiling every cell through one shared :class:`repro.api.Session`
 Every stochastic cell runs in the engine's seeded block mode (``workers >= 1``),
 so a sweep's values are deterministic for a fixed spec seed regardless of the
 ``--workers`` setting used to produce them.
+
+A runner given ``shard=ShardSpec(k, n)`` executes only the cells the
+deterministic partitioner (:mod:`repro.dist.partition`) assigns to shard
+``k/n``, stamping the shard into the file header and every record; N such
+workers cover the grid exactly once and their outputs merge back into the
+single-process result (:mod:`repro.dist.merge`).  ``crash_after=N`` is the
+fault-injection hook behind the crash-safety guarantee: the runner dies via
+``os._exit`` mid-write after N cells, leaving a torn-tail record file for
+resume/re-dispatch to recover.
 """
 
 from __future__ import annotations
 
+import os
 import time
 import warnings
 from dataclasses import dataclass, field
@@ -44,7 +54,11 @@ from repro.sweeps.spec import NoiseSpec, SweepCell, SweepSpec, stable_seed
 from repro.tensornetwork import ContractionMemoryError
 from repro.utils.validation import ValidationError
 
-__all__ = ["CircuitCache", "SweepResult", "SweepRunner", "run_sweep"]
+__all__ = ["CRASH_EXIT_CODE", "CircuitCache", "SweepResult", "SweepRunner", "run_sweep"]
+
+#: Exit status of a worker killed by the ``crash_after`` fault-injection hook
+#: (distinct from argparse's 2 and pytest's 1, so drills can assert on it).
+CRASH_EXIT_CODE = 32
 
 def noise_model_for(noise: NoiseSpec, seed: int) -> NoiseModel:
     """Deprecated shim: build the model a noise-axis entry names.
@@ -134,6 +148,8 @@ class SweepResult:
     elapsed_seconds: float = 0.0
     #: Session plan-cache counters (hits/misses/evictions) of this run.
     plan_cache: Dict[str, int] = field(default_factory=dict)
+    #: ``"K/N"`` when this run executed one shard of a partition, else None.
+    shard: str | None = None
 
     def by_cell(self) -> Dict[str, Dict[str, Any]]:
         return {record["cell_id"]: record for record in self.records}
@@ -158,6 +174,15 @@ class SweepRunner:
     max_cells:
         Execute at most this many *pending* cells, then stop (useful for
         smoke runs; the JSONL stays resumable).
+    shard:
+        A :class:`repro.dist.partition.ShardSpec` (or its ``"K/N"`` string
+        form): execute only the cells the deterministic partitioner assigns
+        to this shard, and stamp the shard into the header and every record.
+    crash_after:
+        Fault injection for the crash-safety drills: after this many executed
+        cells, flush a torn partial record and die via ``os._exit``
+        (:data:`CRASH_EXIT_CODE`) — exactly what a worker killed mid-cell
+        looks like to resume and merge.
     """
 
     def __init__(
@@ -167,7 +192,11 @@ class SweepRunner:
         workers: int | None = None,
         resume: bool = True,
         max_cells: int | None = None,
+        shard=None,
+        crash_after: int | None = None,
     ):
+        from repro.dist.partition import ShardSpec
+
         self.spec = spec
         self.out_path = Path(
             out_path if out_path is not None else Path("sweep_results") / f"{spec.name}.jsonl"
@@ -177,15 +206,30 @@ class SweepRunner:
             raise ValidationError("workers must be >= 1")
         self.resume = resume
         self.max_cells = max_cells
+        if shard is not None and not isinstance(shard, ShardSpec):
+            shard = ShardSpec.parse(shard)
+        self.shard = shard
+        if crash_after is not None and crash_after < 0:
+            raise ValidationError("crash_after must be >= 0")
+        self.crash_after = crash_after
 
     # ------------------------------------------------------------------
+    def cells(self) -> List[SweepCell]:
+        """The cells this runner owns: the full grid, or its shard's slice."""
+        if self.shard is None:
+            return self.spec.cells()
+        from repro.dist.partition import shard_cells
+
+        return shard_cells(self.spec, self.shard)
+
     def run(self, progress: Callable[[str], None] | None = None) -> SweepResult:
         """Run all pending cells; returns the merged (previous + new) records."""
         start = time.perf_counter()
         note = progress or (lambda message: None)
-        cells = self.spec.cells()
+        cells = self.cells()
+        shard_label = str(self.shard) if self.shard is not None else None
         cache = CircuitCache(self.spec)
-        result = SweepResult(self.spec, self.out_path)
+        result = SweepResult(self.spec, self.out_path, shard=shard_label)
         # The session owns the shared process pool for the stochastic cells;
         # it is created lazily on first use, so a fully-resumed re-run never
         # pays the pool start-up cost.
@@ -194,7 +238,9 @@ class SweepRunner:
             passes=self.spec.passes,
             device=self.spec.device,
         ) as session:
-            with SweepRecords.open_for(self.spec, self.out_path, resume=self.resume) as records:
+            with SweepRecords.open_for(
+                self.spec, self.out_path, resume=self.resume, shard=shard_label
+            ) as records:
                 pending = [cell for cell in cells if cell.cell_id not in records.completed]
                 result.skipped = len(cells) - len(pending)
                 if result.skipped:
@@ -202,7 +248,12 @@ class SweepRunner:
                 if self.max_cells is not None:
                     pending = pending[: self.max_cells]
                 for index, cell in enumerate(pending, start=1):
+                    if self.crash_after is not None and result.executed >= self.crash_after:
+                        records.tear()
+                        os._exit(CRASH_EXIT_CODE)
                     record = self._run_cell(cell, cache, session)
+                    if shard_label is not None:
+                        record["shard"] = shard_label
                     records.append(record)
                     result.executed += 1
                     note(self._progress_line(index, len(pending), record))
@@ -284,6 +335,7 @@ def run_sweep(
     workers: int | None = None,
     resume: bool = True,
     max_cells: int | None = None,
+    shard=None,
     progress: Callable[[str], None] | None = None,
 ) -> SweepResult:
     """One-call convenience wrapper: load (if needed), run, return the result."""
@@ -292,6 +344,11 @@ def run_sweep(
     if not isinstance(spec, SweepSpec):
         spec = load_spec(spec)
     runner = SweepRunner(
-        spec, out_path=out_path, workers=workers, resume=resume, max_cells=max_cells
+        spec,
+        out_path=out_path,
+        workers=workers,
+        resume=resume,
+        max_cells=max_cells,
+        shard=shard,
     )
     return runner.run(progress=progress)

@@ -1,0 +1,140 @@
+"""CLI surface of the distributed runner: --shard/--shards, merge, digest, report."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.dist import partition_cells, records_digest
+from repro.sweeps import load_spec, scan_records
+
+SPEC = {
+    "name": "cli_dist_test",
+    "seed": 11,
+    "grid": {
+        "circuit": [{"name": "ghz_3"}, {"name": "qft_3"}],
+        "noise": [{"channel": "depolarizing", "parameter": 0.01, "count": 2}],
+        "backend": ["density_matrix", "approximation"],
+        "samples": [100],
+    },
+}
+
+
+def _write_spec(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(SPEC))
+    return path
+
+
+def test_shard_run_records_only_its_cells(tmp_path, capsys):
+    spec_file = _write_spec(tmp_path)
+    out = tmp_path / "part1.jsonl"
+    assert main(["sweep", "run", str(spec_file), "--shard", "1/2", "--out", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "shard 1/2" in text
+    scan = scan_records(out)
+    assert scan.header["shard"] == "1/2"
+    expected = partition_cells(load_spec(SPEC), 2)[1]
+    assert sorted(scan.cells) == sorted(cell.cell_id for cell in expected)
+    assert all(record["shard"] == "1/2" for record in scan.cells.values())
+
+
+def test_shards_coordinator_merge_and_digest_roundtrip(tmp_path, capsys):
+    spec_file = _write_spec(tmp_path)
+    merged = tmp_path / "merged.jsonl"
+    assert main(["sweep", "run", str(spec_file), "--shards", "2", "--out", str(merged)]) == 0
+    text = capsys.readouterr().out
+    assert "2 shards" in text and "attempts per shard" in text
+    assert merged.exists()
+
+    full = tmp_path / "full.jsonl"
+    assert main(["sweep", "run", str(spec_file), "--out", str(full)]) == 0
+    capsys.readouterr()
+    assert records_digest(merged) == records_digest(full)
+
+    # the digest subcommand prints matching digests for both files
+    assert main(["sweep", "digest", str(merged), str(full)]) == 0
+    lines = capsys.readouterr().out.splitlines()
+    assert len(lines) == 2
+    assert lines[0].split()[0] == lines[1].split()[0]
+
+
+def test_shard_and_shards_are_mutually_exclusive(tmp_path, capsys):
+    spec_file = _write_spec(tmp_path)
+    with pytest.raises(SystemExit):
+        main(["sweep", "run", str(spec_file), "--shard", "1/2", "--shards", "2"])
+
+
+def test_bad_shard_syntax_exits_2(tmp_path, capsys):
+    spec_file = _write_spec(tmp_path)
+    assert main(["sweep", "run", str(spec_file), "--shard", "3/2",
+                 "--out", str(tmp_path / "x.jsonl")]) == 2
+    assert "shard" in capsys.readouterr().err
+
+
+def test_cli_merge_validates_and_reports_missing(tmp_path, capsys):
+    spec_file = _write_spec(tmp_path)
+    part1 = tmp_path / "part1.jsonl"
+    assert main(["sweep", "run", str(spec_file), "--shard", "1/2", "--out", str(part1)]) == 0
+    capsys.readouterr()
+    merged = tmp_path / "merged.jsonl"
+    assert main(["sweep", "merge", str(merged), str(part1)]) == 0
+    text = capsys.readouterr().out
+    assert "merged" in text and "not recorded yet" in text
+
+    part2 = tmp_path / "part2.jsonl"
+    assert main(["sweep", "run", str(spec_file), "--shard", "2/2", "--out", str(part2)]) == 0
+    capsys.readouterr()
+    assert main(["sweep", "merge", str(merged), str(merged), str(part2)]) == 0
+    assert "not recorded yet" not in capsys.readouterr().out
+
+
+def test_cli_merge_mismatched_specs_exits_2(tmp_path, capsys):
+    spec_file = _write_spec(tmp_path)
+    out = tmp_path / "a.jsonl"
+    assert main(["sweep", "run", str(spec_file), "--out", str(out)]) == 0
+    changed = json.loads(json.dumps(SPEC))
+    changed["seed"] = 12
+    other_file = tmp_path / "other.json"
+    other_file.write_text(json.dumps(changed))
+    other = tmp_path / "b.jsonl"
+    assert main(["sweep", "run", str(other_file), "--out", str(other)]) == 0
+    capsys.readouterr()
+    assert main(["sweep", "merge", str(tmp_path / "m.jsonl"), str(out), str(other)]) == 2
+    assert "different spec" in capsys.readouterr().err
+
+
+def test_multi_file_report_shows_shard_progress(tmp_path, capsys):
+    spec_file = _write_spec(tmp_path)
+    part1 = tmp_path / "part1.jsonl"
+    part2 = tmp_path / "part2.jsonl"
+    assert main(["sweep", "run", str(spec_file), "--shard", "1/2", "--out", str(part1)]) == 0
+    assert main(["sweep", "run", str(spec_file), "--shard", "2/2", "--out", str(part2)]) == 0
+    capsys.readouterr()
+    assert main(["sweep", "report", str(part1), str(part2)]) == 0
+    text = capsys.readouterr().out
+    assert "Per-shard progress" in text and "Shard" in text
+    assert "1/2" in text and "2/2" in text
+
+
+def test_partial_shard_report_counts_missing_cells(tmp_path, capsys):
+    spec_file = _write_spec(tmp_path)
+    part1 = tmp_path / "part1.jsonl"
+    assert main(["sweep", "run", str(spec_file), "--shard", "1/2", "--out", str(part1)]) == 0
+    capsys.readouterr()
+    assert main(["sweep", "report", str(part1)]) == 0
+    text = capsys.readouterr().out
+    assert "Per-shard progress" in text
+    expected = len(partition_cells(load_spec(SPEC), 2)[2])
+    assert f"{expected} cell(s) not recorded yet" in text
+
+
+def test_report_notes_torn_final_line(tmp_path, capsys):
+    spec_file = _write_spec(tmp_path)
+    out = tmp_path / "out.jsonl"
+    assert main(["sweep", "run", str(spec_file), "--out", str(out)]) == 0
+    with out.open("a") as handle:
+        handle.write('{"kind": "cell", "cell_id": "torn')
+    capsys.readouterr()
+    assert main(["sweep", "report", str(out)]) == 0
+    assert "torn final line" in capsys.readouterr().out

@@ -1,0 +1,107 @@
+"""Coordinator end-to-end: subprocess dispatch, crash recovery, digest parity.
+
+These spawn real worker subprocesses (``python -m repro.cli sweep run``), the
+same code path a multi-machine deployment runs per box, so they are a tier-1
+integration check on the whole dispatch/recover/merge chain.
+"""
+
+import json
+
+import pytest
+
+from repro.dist import DistCoordinator, DistError, records_digest, run_sharded
+from repro.sweeps import CRASH_EXIT_CODE, SweepRunner, load_spec, scan_records
+from repro.utils.validation import ValidationError
+
+SPEC = {
+    "name": "coordinator_test",
+    "seed": 11,
+    "grid": {
+        "circuit": [{"name": "ghz_3"}, {"name": "qft_3"}],
+        "noise": [{"channel": "depolarizing", "parameter": 0.01, "count": 2}],
+        "backend": ["density_matrix", "approximation"],
+        "samples": [100],
+    },
+}
+
+
+@pytest.fixture()
+def spec_path(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(SPEC))
+    return path
+
+
+@pytest.fixture(scope="module")
+def reference_digest(tmp_path_factory):
+    root = tmp_path_factory.mktemp("coordinator_ref")
+    SweepRunner(load_spec(SPEC), root / "full.jsonl").run()
+    return records_digest(root / "full.jsonl")
+
+
+def test_sharded_run_matches_unsharded_digest(spec_path, tmp_path, reference_digest):
+    result = run_sharded(spec_path, 2, out_path=tmp_path / "merged.jsonl")
+    assert result.rounds == 1
+    assert result.merge.complete
+    assert records_digest(tmp_path / "merged.jsonl") == reference_digest
+
+
+def test_crashed_shard_is_redispatched_and_digest_matches(
+    spec_path, tmp_path, reference_digest
+):
+    result = run_sharded(
+        spec_path, 2, out_path=tmp_path / "merged.jsonl", inject_crash={1: 1}
+    )
+    crashed = [state for state in result.shards if state.attempts > 1]
+    assert crashed, "injected crash must force a re-dispatch round"
+    assert result.rounds == 2
+    assert records_digest(tmp_path / "merged.jsonl") == reference_digest
+    # the crashed worker exited with the crash drill's reserved code before
+    # the re-dispatch (returncode records the most recent, successful, run)
+    assert all(state.returncode == 0 for state in result.shards)
+
+
+def test_crash_leaves_resumable_partial_file(spec_path, tmp_path):
+    coordinator = DistCoordinator(
+        spec_path, 2, out_path=tmp_path / "merged.jsonl", max_rounds=1,
+        inject_crash={1: 1},
+    )
+    with pytest.raises(DistError, match="did not complete"):
+        coordinator.run()
+    part = tmp_path / "merged.shard-1-of-2.jsonl"
+    assert part.exists()
+    scan = scan_records(part)  # torn tail detected, not fatal
+    assert scan.torn_line is not None
+    assert len(scan.cells) == 1  # exactly the one cell before the crash
+
+
+def test_crashed_worker_exits_with_reserved_code(spec_path, tmp_path):
+    import os
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    import repro
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(repro.__file__).resolve().parents[1])
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "sweep", "run", str(spec_path),
+         "--shard", "1/2", "--out", str(tmp_path / "part1.jsonl"),
+         "--crash-after", "1"],
+        env=env, capture_output=True,
+    )
+    assert proc.returncode == CRASH_EXIT_CODE
+    # the partial file ends in a torn line the next resume truncates
+    scan = scan_records(tmp_path / "part1.jsonl")
+    assert scan.torn_line is not None and len(scan.cells) == 1
+
+
+def test_invalid_shard_count_rejected(spec_path, tmp_path):
+    with pytest.raises(ValidationError, match="shard count"):
+        DistCoordinator(spec_path, 0, out_path=tmp_path / "m.jsonl")
+
+
+def test_inject_crash_outside_range_rejected(spec_path, tmp_path):
+    with pytest.raises(ValidationError, match="outside"):
+        DistCoordinator(spec_path, 2, out_path=tmp_path / "m.jsonl", inject_crash={3: 1})

@@ -1,0 +1,120 @@
+"""Torn-line hardening: crash artifacts resume cleanly, real corruption raises."""
+
+import json
+
+import pytest
+
+from repro.sweeps import SweepRunner, load_records, load_spec, scan_records
+from repro.sweeps.records import RecordError, SweepRecords
+
+SPEC = {
+    "name": "torn_records_test",
+    "seed": 11,
+    "grid": {
+        "circuit": [{"name": "ghz_2"}],
+        "noise": [
+            {"channel": "depolarizing", "parameter": 0.01, "count": 2},
+            {"channel": "depolarizing", "parameter": 0.02, "count": 2},
+            {"channel": "depolarizing", "parameter": 0.05, "count": 2},
+        ],
+        "backend": ["density_matrix"],
+        "samples": [100],
+    },
+}
+
+
+def _strip_timing(record):
+    return {key: value for key, value in record.items() if key != "elapsed_seconds"}
+
+
+def _run(tmp_path, name, **kwargs):
+    return SweepRunner(load_spec(SPEC), tmp_path / name, **kwargs).run()
+
+
+def _tear(path, partial: str):
+    with path.open("a") as handle:
+        handle.write(partial)
+
+
+def test_torn_final_line_is_dropped_and_reported(tmp_path):
+    _run(tmp_path, "out.jsonl")
+    path = tmp_path / "out.jsonl"
+    clean = load_records(path)[1]
+    _tear(path, '{"kind": "cell", "cell_id": "gh')
+    scan = scan_records(path)
+    assert scan.torn_line == '{"kind": "cell", "cell_id": "gh'
+    assert scan.torn_offset is not None
+    assert scan.cells.keys() == clean.keys()
+
+
+def test_valid_json_without_newline_is_still_torn(tmp_path):
+    # the writer always terminates records with \n; a missing newline means
+    # the write was cut even if the bytes happen to parse
+    _run(tmp_path, "out.jsonl")
+    path = tmp_path / "out.jsonl"
+    record = json.dumps({"kind": "cell", "cell_id": "phantom", "status": "ok"})
+    _tear(path, record)
+    scan = scan_records(path)
+    assert scan.torn_line == record
+    assert "phantom" not in scan.cells
+
+
+def test_resume_truncates_tear_and_reruns_only_that_cell(tmp_path):
+    full = _run(tmp_path, "full.jsonl")
+    partial = _run(tmp_path, "crashed.jsonl", max_cells=2)
+    assert partial.executed == 2
+    path = tmp_path / "crashed.jsonl"
+    size_before_tear = path.stat().st_size
+    _tear(path, '{"kind": "cell", "cell_id": "torn')
+    resumed = _run(tmp_path, "crashed.jsonl")
+    assert resumed.executed == 1 and resumed.skipped == 2
+    # the torn bytes are gone: every line in the final file is valid JSON
+    lines = path.read_text().splitlines()
+    assert all(json.loads(line) for line in lines)
+    assert path.stat().st_size > size_before_tear  # tear cut, new record appended
+    full_records = load_records(tmp_path / "full.jsonl")[1]
+    resumed_records = load_records(path)[1]
+    assert {k: _strip_timing(v) for k, v in full_records.items()} == {
+        k: _strip_timing(v) for k, v in resumed_records.items()
+    }
+
+
+def test_mid_file_corruption_still_raises(tmp_path):
+    _run(tmp_path, "out.jsonl")
+    path = tmp_path / "out.jsonl"
+    lines = path.read_text().splitlines()
+    lines[1] = lines[1][:-5]  # damage a record that is not the final line
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(RecordError, match="invalid JSON record"):
+        scan_records(path)
+
+
+def test_tear_helper_produces_a_detectable_tear(tmp_path):
+    spec = load_spec(SPEC)
+    with SweepRecords.open_for(spec, tmp_path / "out.jsonl") as records:
+        records.tear()
+    scan = scan_records(tmp_path / "out.jsonl")
+    assert scan.torn_offset is not None and not scan.cells
+
+
+def test_shard_resume_mismatch_is_refused(tmp_path):
+    spec = load_spec(SPEC)
+    SweepRecords.open_for(spec, tmp_path / "out.jsonl", shard="1/2").close()
+    with pytest.raises(RecordError, match="belongs to shard 1/2"):
+        SweepRecords.open_for(spec, tmp_path / "out.jsonl", shard="2/2")
+    with pytest.raises(RecordError, match="belongs to shard 1/2"):
+        SweepRecords.open_for(spec, tmp_path / "out.jsonl")  # unsharded resume
+
+
+def test_unsharded_file_refuses_shard_resume(tmp_path):
+    spec = load_spec(SPEC)
+    SweepRecords.open_for(spec, tmp_path / "out.jsonl").close()
+    with pytest.raises(RecordError, match="belongs to shard none"):
+        SweepRecords.open_for(spec, tmp_path / "out.jsonl", shard="1/2")
+
+
+def test_empty_file_raises_missing_header(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    with pytest.raises(RecordError, match="no header"):
+        scan_records(path)
